@@ -1,0 +1,86 @@
+"""Ablation: sensitivity to the reshaping bounds max_p / max_i (§4.2).
+
+The paper recommends ``n/k^1.5 <= max_p <= n/k`` and
+``n/k^2.5 <= max_i <= n/k²``, arguing small values make post-refinement
+easy (good cut/balance, bigger trees) while large values strand weight
+in immovable regions (balance violations, worse cut). The bench sweeps
+inside and outside those windows and records cut, balance, and
+descriptor-tree size per setting.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.mcml_dt import MCMLDTParams, MCMLDTPartitioner
+from repro.core.weights import build_contact_graph
+from repro.graph.metrics import edge_cut, load_imbalance
+from repro.metrics.comm import fe_comm
+
+from .conftest import record, strong_options
+
+K = 8
+
+# positions within (and beyond) the paper's windows, as exponents e in
+# max_p = n/k^e: the window is e in [1, 1.5]; 0.5 is out-of-range high
+SETTINGS = {
+    "window-low (n/k^1.5, n/k^2.5)": (1.5, 2.5),
+    "window-mid (n/k^1.25, n/k^2.25)": (1.25, 2.25),
+    "window-high (n/k, n/k^2)": (1.0, 2.0),
+    "too-high (n/k^0.5, n/k^1.5)": (0.5, 1.5),
+}
+
+
+@pytest.mark.parametrize("setting", list(SETTINGS))
+def test_maxpi_sensitivity(benchmark, short_sequence, setting):
+    snap = short_sequence[0]
+    n = len(snap.mesh.used_nodes())
+    ep, ei = SETTINGS[setting]
+    max_p = max(1, int(n / K**ep))
+    max_i = max(1, int(n / K**ei))
+    params = MCMLDTParams(
+        max_p=max_p, max_i=max_i, options=strong_options()
+    )
+
+    def fit():
+        return MCMLDTPartitioner(K, params).fit(snap)
+
+    pt = benchmark.pedantic(fit, rounds=1, iterations=1)
+    graph = build_contact_graph(snap)
+    tree, _ = pt.build_descriptors(snap)
+    imb = load_imbalance(graph, pt.part, K)
+    record(
+        benchmark,
+        max_p=max_p,
+        max_i=max_i,
+        edge_cut=edge_cut(graph, pt.part),
+        fe_comm=fe_comm(graph, pt.part),
+        imbalance_fe=float(imb[0]),
+        imbalance_search=float(imb[1]),
+        reshape_tree_nodes=pt.diagnostics.reshape_tree_nodes,
+        descriptor_nodes=tree.n_nodes,
+    )
+
+
+def test_maxpi_in_window_beats_too_high(benchmark, short_sequence):
+    """The paper's claim: bounds above the window hurt balance (heavy
+    immovable regions)."""
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    snap = short_sequence[0]
+    n = len(snap.mesh.used_nodes())
+    graph = build_contact_graph(snap)
+
+    def run(ep, ei):
+        params = MCMLDTParams(
+            max_p=max(1, int(n / K**ep)),
+            max_i=max(1, int(n / K**ei)),
+            options=strong_options(),
+        )
+        pt = MCMLDTPartitioner(K, params).fit(snap)
+        return load_imbalance(graph, pt.part, K).max()
+
+    in_window = run(1.25, 2.25)
+    too_high = run(0.5, 1.5)
+    record(benchmark, in_window_imb=in_window, too_high_imb=too_high)
+    assert in_window <= too_high + 0.02

@@ -1,0 +1,73 @@
+"""Ablation: the §4.3 update strategies over a running simulation.
+
+Replays the sequence under descriptor-only updates, per-step
+multi-constraint repartitioning, and the hybrid scheme, recording mean
+descriptor-tree size, worst balance drift, and total vertices
+redistributed — the three quantities whose trade-off motivates the
+paper's hybrid recommendation.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.mcml_dt import MCMLDTParams
+from repro.core.update import UpdateStrategy, replay_sequence
+
+from .conftest import record, strong_options
+
+K = 8
+
+
+@pytest.mark.parametrize(
+    "strategy",
+    [
+        UpdateStrategy.DESCRIPTOR_ONLY,
+        UpdateStrategy.REPARTITION,
+        UpdateStrategy.HYBRID,
+    ],
+    ids=lambda s: s.value,
+)
+def test_update_strategy(benchmark, short_sequence, strategy):
+    params = MCMLDTParams(options=strong_options())
+
+    def run():
+        return replay_sequence(
+            short_sequence, K, strategy, period=8, params=params
+        )
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    record(
+        benchmark,
+        mean_nt_nodes=result.mean_nt_nodes(),
+        max_imbalance=result.max_imbalance(),
+        total_moved=result.total_moved(),
+    )
+
+
+def test_update_tradeoff_shape(benchmark, short_sequence):
+    """Descriptor-only must move nothing; repartitioning must bound the
+    imbalance drift at least as tightly; hybrid must move less than
+    per-step repartitioning."""
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    params = MCMLDTParams(options=strong_options())
+    fixed = replay_sequence(
+        short_sequence, K, UpdateStrategy.DESCRIPTOR_ONLY, params=params
+    )
+    repart = replay_sequence(
+        short_sequence, K, UpdateStrategy.REPARTITION, params=params
+    )
+    hybrid = replay_sequence(
+        short_sequence, K, UpdateStrategy.HYBRID, period=8, params=params
+    )
+    record(
+        benchmark,
+        fixed_imb=fixed.max_imbalance(),
+        repart_imb=repart.max_imbalance(),
+        hybrid_imb=hybrid.max_imbalance(),
+        repart_moved=repart.total_moved(),
+        hybrid_moved=hybrid.total_moved(),
+    )
+    assert fixed.total_moved() == 0
+    assert repart.max_imbalance() <= fixed.max_imbalance() + 0.05
+    assert hybrid.total_moved() <= repart.total_moved()

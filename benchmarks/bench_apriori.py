@@ -1,0 +1,72 @@
+"""Ablation: a-priori (§3 first-class) vs prediction-free partitioning.
+
+When contacting surfaces are predictable, virtual edges between the
+predicted pairs pull them into the same partition. The bench measures
+the pair-colocation fraction and NRemote for the a-priori partitioner
+against MCML+DT on a snapshot where the projectile has engaged the
+upper plate, and times the extra prediction/augmentation work.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.apriori import AprioriParams, AprioriPartitioner
+from repro.core.mcml_dt import MCMLDTParams, MCMLDTPartitioner
+from repro.core.weights import build_contact_graph
+from repro.graph.metrics import load_imbalance
+from repro.metrics.comm import fe_comm
+
+from .conftest import record, strong_options
+
+K = 8
+
+
+def engaged_snapshot(seq):
+    for snap in seq:
+        if snap.tip_z < 0.1:
+            return snap
+    return seq[-1]
+
+
+def test_apriori_fit(benchmark, short_sequence):
+    snap = engaged_snapshot(short_sequence)
+    params = AprioriParams(options=strong_options())
+
+    def fit():
+        return AprioriPartitioner(K, params).fit(snap)
+
+    ap = benchmark.pedantic(fit, rounds=1, iterations=1)
+    graph = build_contact_graph(snap)
+    record(
+        benchmark,
+        predicted_pairs=len(ap.predicted_pairs),
+        colocation=ap.colocation_fraction(),
+        fe_comm=fe_comm(graph, ap.part),
+        imbalance=float(load_imbalance(graph, ap.part, K).max()),
+        n_remote=ap.search_plan(snap).n_remote,
+    )
+
+
+def test_apriori_vs_mcml_colocation(benchmark, short_sequence):
+    """Virtual edges must colocate predicted pairs better than the
+    prediction-free MCML+DT partition does."""
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    snap = engaged_snapshot(short_sequence)
+    ap = AprioriPartitioner(
+        K, AprioriParams(options=strong_options())
+    ).fit(snap)
+    mc = MCMLDTPartitioner(
+        K, MCMLDTParams(options=strong_options())
+    ).fit(snap)
+    pairs = ap.predicted_pairs
+    mc_coloc = float(
+        (mc.part[pairs[:, 0]] == mc.part[pairs[:, 1]]).mean()
+    ) if len(pairs) else 1.0
+    record(
+        benchmark,
+        apriori_colocation=ap.colocation_fraction(),
+        mcml_colocation=mc_coloc,
+    )
+    assert ap.colocation_fraction() >= mc_coloc

@@ -1,0 +1,79 @@
+"""Figure 1: subdomain descriptors for a 3-way partition of 45 contact
+points.
+
+Reproduces the paper's worked example: 45 points in three clustered
+partitions are described by a handful of axis-parallel rectangles from
+a small decision tree, and the tree answers point/box queries. The
+bench times pure-tree induction at the figure's size and at the
+evaluation scale, and records the descriptor statistics (tree size,
+leaf count, zero-overlap invariant).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.dtree.descriptors import SubdomainDescriptors
+from repro.dtree.induction import induce_pure_tree
+from repro.geometry.bbox import bbox_of_points
+
+from .conftest import record
+
+
+def figure1_points(seed: int = 0):
+    """45 contact points in three clustered partitions (paper Fig. 1a)."""
+    rng = np.random.default_rng(seed)
+    pts = np.concatenate(
+        [
+            rng.random((15, 2)) * [2.0, 2.5] + [0.2, 2.2],   # top-left
+            rng.random((15, 2)) * [2.5, 2.0] + [2.8, 2.8],   # top-right
+            rng.random((15, 2)) * [3.5, 1.8] + [0.8, 0.2],   # bottom
+        ]
+    )
+    labels = np.repeat(np.arange(3), 15)
+    return pts, labels
+
+
+def test_fig1_tree_induction(benchmark):
+    pts, labels = figure1_points()
+
+    tree, _ = benchmark(lambda: induce_pure_tree(pts, labels, 3))
+    tree.validate()
+    desc = SubdomainDescriptors.from_tree(tree, bbox_of_points(pts))
+    record(
+        benchmark,
+        nt_nodes=tree.n_nodes,
+        n_leaves=tree.n_leaves,
+        depth=tree.depth(),
+        n_regions=desc.n_regions(),
+        overlap_volume=desc.total_overlap_volume(),
+    )
+    # the paper's figure uses ~10 rectangles for 45 points; clustered
+    # partitions must stay in that small-tree regime
+    assert tree.n_leaves <= 12
+    assert desc.total_overlap_volume() == 0.0
+
+
+def test_fig1_induction_scaling(benchmark, bench_sequence):
+    """Pure-tree induction at evaluation scale (the per-step cost of
+    MCML+DT's descriptor update)."""
+    from repro.core.mcml_dt import MCMLDTParams, MCMLDTPartitioner
+
+    from .conftest import strong_options
+
+    snap = bench_sequence[0]
+    pt = MCMLDTPartitioner(
+        8, MCMLDTParams(options=strong_options())
+    ).fit(snap)
+    cn = snap.contact_nodes
+    coords = snap.mesh.nodes[cn]
+    labels = pt.part[cn]
+
+    tree, _ = benchmark(lambda: induce_pure_tree(coords, labels, 8))
+    record(
+        benchmark,
+        n_points=len(coords),
+        nt_nodes=tree.n_nodes,
+        depth=tree.depth(),
+    )

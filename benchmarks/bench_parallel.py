@@ -1,0 +1,146 @@
+"""The §6 parallel formulations: communication and throughput.
+
+The paper argues MCML+DT parallelises because parallel multi-constraint
+partitioning, refinement, and decision-tree induction all exist. These
+benches execute the distributed tree induction and distributed RCB on
+the simulated runtime at evaluation scale and record what actually
+crossed the (simulated) network — the histogram/count protocols move a
+small fraction of what gathering the points would.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.mcml_dt import MCMLDTParams, MCMLDTPartitioner
+from repro.dtree.parallel import parallel_induce_pure_tree
+from repro.dtree.query import predict_partition
+from repro.geometry.parallel_rcb import parallel_rcb
+
+from .conftest import record, strong_options
+
+K = 8
+
+
+@pytest.fixture(scope="module")
+def distributed_points(bench_sequence):
+    snap = bench_sequence[0]
+    pt = MCMLDTPartitioner(
+        K, MCMLDTParams(options=strong_options())
+    ).fit(snap)
+    coords = snap.mesh.nodes[snap.contact_nodes]
+    labels = pt.part[snap.contact_nodes]
+    return coords, labels
+
+
+def test_parallel_tree_induction(benchmark, distributed_points):
+    coords, labels = distributed_points
+
+    def run():
+        return parallel_induce_pure_tree(
+            coords, labels, K, owner_rank=labels, n_ranks=K
+        )
+
+    tree, ledger = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert np.array_equal(predict_partition(tree, coords), labels)
+    gather_everything = len(coords) * coords.shape[1]
+    record(
+        benchmark,
+        n_points=len(coords),
+        nt_nodes=tree.n_nodes,
+        hist_items=ledger.items("dtree-hist"),
+        gather_items=ledger.items("dtree-gather"),
+        naive_gather_cost=gather_everything,
+    )
+    # point-gather traffic must be a small fraction of shipping all
+    # points to one rank
+    assert ledger.items("dtree-gather") < 0.5 * len(coords)
+
+
+def test_parallel_rcb_at_scale(benchmark, distributed_points):
+    coords, labels = distributed_points
+
+    def run():
+        return parallel_rcb(coords, K, owner_rank=labels, n_ranks=K)
+
+    rcb_labels, ledger = benchmark.pedantic(run, rounds=1, iterations=1)
+    counts = np.bincount(rcb_labels, minlength=K)
+    record(
+        benchmark,
+        n_points=len(coords),
+        count_items=ledger.items("rcb-count"),
+        extent_items=ledger.items("rcb-extent"),
+        max_count=int(counts.max()),
+        min_count=int(counts.min()),
+    )
+    assert counts.min() > 0
+    assert ledger.items("rcb-count") < len(coords)
+
+
+def test_parallel_partition_at_scale(benchmark, bench_sequence):
+    """Distributed multilevel partitioning of the full contact graph:
+    the complete §6 claim, with the ledger separating halo traffic from
+    the (much smaller) coarsest-graph gather."""
+    from repro.core.weights import build_contact_graph
+    from repro.graph.metrics import edge_cut, load_imbalance
+    from repro.partition.kway import partition_kway
+    from repro.partition.parallel_kway import parallel_partition_kway
+
+    snap = bench_sequence[0]
+    graph = build_contact_graph(snap, 5)
+
+    def run():
+        return parallel_partition_kway(
+            graph, K, n_ranks=K, options=strong_options()
+        )
+
+    res = benchmark.pedantic(run, rounds=1, iterations=1)
+    serial = partition_kway(graph, K, strong_options())
+    record(
+        benchmark,
+        levels=res.levels,
+        halo_items=res.ledger.items("pk-halo"),
+        gather_items=res.ledger.items("pk-gather"),
+        par_cut=edge_cut(graph, res.part),
+        serial_cut=edge_cut(graph, serial),
+        par_imbalance=float(load_imbalance(graph, res.part, K).max()),
+    )
+    assert load_imbalance(graph, res.part, K).max() <= 1.30
+    # the gathered coarse graph must be much smaller than the input
+    assert res.ledger.items("pk-gather") < graph.num_vertices
+
+
+def test_parallel_repartition_at_scale(benchmark, bench_sequence):
+    """Distributed diffusion repartitioning after a mid-run drift: the
+    §4.3 update executed as an SPMD protocol."""
+    from repro.core.weights import build_contact_graph
+    from repro.graph.metrics import load_imbalance
+    from repro.partition.parallel_repartition import (
+        parallel_diffusion_repartition,
+    )
+
+    snap0 = bench_sequence[0]
+    snap_late = bench_sequence[60]
+    pt = MCMLDTPartitioner(
+        K, MCMLDTParams(options=strong_options())
+    ).fit(snap0)
+    graph_late = build_contact_graph(snap_late)
+    before = load_imbalance(graph_late, pt.part, K).max()
+
+    def run():
+        return parallel_diffusion_repartition(
+            graph_late, pt.part, K, strong_options()
+        )
+
+    res = benchmark.pedantic(run, rounds=1, iterations=1)
+    after = load_imbalance(graph_late, res.part, K).max()
+    record(
+        benchmark,
+        imbalance_before=float(before),
+        imbalance_after=float(after),
+        n_moved=res.n_moved,
+        migrate_items=res.ledger.items("repart-migrate"),
+        rounds=res.rounds,
+    )
+    assert after <= before + 1e-9

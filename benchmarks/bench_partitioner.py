@@ -1,0 +1,105 @@
+"""Supporting bench: the multilevel partitioner behaves like one.
+
+Not a table in the paper, but every Table-1 number sits on top of the
+partitioner, so its quality envelope is benchmarked explicitly: cut
+growth with k on structured grids, balance under one and two
+constraints, recursive-bisection vs direct multilevel k-way, and
+coarsening throughput.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.graph.build import grid_graph
+from repro.graph.metrics import edge_cut, load_imbalance
+from repro.partition.coarsen import coarsen
+from repro.partition.kway import partition_kway
+from repro.partition.matching import heavy_edge_matching
+from repro.partition.mlkway import multilevel_kway
+
+from .conftest import record, strong_options
+
+
+@pytest.mark.parametrize("k", [4, 16, 64])
+def test_partition_grid_quality(benchmark, k):
+    """50×50 grid: cut should stay within a small factor of the ideal
+    straight-cut tiling and balance within tolerance."""
+    g = grid_graph(50, 50)
+    opts = strong_options()
+
+    part = benchmark.pedantic(
+        lambda: partition_kway(g, k, opts), rounds=1, iterations=1
+    )
+    cut = edge_cut(g, part)
+    imb = load_imbalance(g, part, k).max()
+    # ideal tiling of a 50x50 grid into k squares cuts ~2*50*(sqrt(k)-1)
+    ideal = 2 * 50 * (np.sqrt(k) - 1)
+    record(benchmark, k=k, cut=cut, ideal_cut=ideal, imbalance=imb)
+    assert imb <= 1.06
+    assert cut <= 2.2 * ideal
+
+
+def test_partition_two_constraint_overhead(benchmark, short_sequence):
+    """Balancing the second (contact) constraint costs cut quality; the
+    overhead factor is recorded for the record."""
+    from repro.core.weights import build_contact_graph
+
+    snap = short_sequence[0]
+    g2 = build_contact_graph(snap, 1)
+    g1 = g2.with_vwgts(g2.vwgts[:, :1])
+    opts = strong_options()
+
+    def run_both():
+        p1 = partition_kway(g1, 8, opts)
+        p2 = partition_kway(g2, 8, opts)
+        return p1, p2
+
+    p1, p2 = benchmark.pedantic(run_both, rounds=1, iterations=1)
+    c1, c2 = edge_cut(g1, p1), edge_cut(g2, p2)
+    record(benchmark, cut_1con=c1, cut_2con=c2, overhead=c2 / max(c1, 1))
+    assert load_imbalance(g2, p2, 8).max() <= 1.12
+
+
+def test_rb_vs_direct_kway(benchmark, short_sequence):
+    """Recursive bisection vs the direct multilevel k-way driver on the
+    two-constraint contact graph (architecture ablation)."""
+    from repro.core.weights import build_contact_graph
+
+    snap = short_sequence[0]
+    g = build_contact_graph(snap, 5)
+    opts = strong_options()
+
+    def run_both():
+        rb = partition_kway(g, 8, opts)
+        ml = multilevel_kway(g, 8, opts)
+        return rb, ml
+
+    rb, ml = benchmark.pedantic(run_both, rounds=1, iterations=1)
+    record(
+        benchmark,
+        rb_cut=edge_cut(g, rb),
+        mlkway_cut=edge_cut(g, ml),
+        rb_imb=float(load_imbalance(g, rb, 8).max()),
+        mlkway_imb=float(load_imbalance(g, ml, 8).max()),
+    )
+    assert load_imbalance(g, ml, 8).max() <= 1.12
+
+
+def test_matching_throughput(benchmark):
+    """Heavy-edge matching over a 200×200 grid (vectorised rounds)."""
+    g = grid_graph(200, 200)
+    cmap, nc = benchmark(lambda: heavy_edge_matching(g, seed=0))
+    record(benchmark, n=g.num_vertices, n_coarse=nc,
+           shrink=nc / g.num_vertices)
+    assert nc < 0.65 * g.num_vertices
+
+
+def test_coarsening_throughput(benchmark):
+    """Full coarsening hierarchy of a 120×120 grid."""
+    g = grid_graph(120, 120)
+    opts = strong_options()
+    h = benchmark(lambda: coarsen(g, opts))
+    record(benchmark, levels=len(h.levels),
+           coarsest=h.coarsest.num_vertices)

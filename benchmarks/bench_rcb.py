@@ -1,0 +1,79 @@
+"""RCB substrate bench: build and incremental-update costs, UpdComm.
+
+ML+RCB re-fits its RCB decomposition every step; the paper's UpdComm
+metric counts the contact points that migrate. The bench times both
+operations at evaluation scale and records the migration volume for
+the real motion field (projectile translation + crater growth).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.geometry.rcb import rcb_partition
+
+from .conftest import record
+
+K = 25
+
+
+def test_rcb_build(benchmark, bench_sequence):
+    snap = bench_sequence[0]
+    coords = snap.mesh.nodes[snap.contact_nodes]
+    labels, tree = benchmark(lambda: rcb_partition(coords, K))
+    counts = np.bincount(labels, minlength=K)
+    record(
+        benchmark,
+        n_points=len(coords),
+        tree_nodes=tree.n_nodes,
+        max_count=int(counts.max()),
+        min_count=int(counts.min()),
+    )
+    assert counts.min() > 0
+
+
+def test_rcb_incremental_update(benchmark, bench_sequence):
+    """Per-step incremental re-fit on the real motion field."""
+    snap0 = bench_sequence[0]
+    snap1 = bench_sequence[1]
+    coords0 = snap0.mesh.nodes[snap0.contact_nodes]
+    _, tree = rcb_partition(coords0, K)
+    coords1 = snap1.mesh.nodes[snap1.contact_nodes]
+
+    labels = benchmark(lambda: tree.update(coords1))
+    counts = np.bincount(labels, minlength=K)
+    record(benchmark, n_points=len(coords1), max_count=int(counts.max()))
+    assert counts.min() > 0
+
+
+def test_rcb_updcomm_over_sequence(benchmark, bench_sequence):
+    """Total UpdComm across the full run stays small relative to the
+    contact-point count (paper: UpdComm ≪ M2MComm)."""
+
+    def replay():
+        from repro.metrics.mapping import update_comm
+
+        snap0 = bench_sequence[0]
+        labels, tree = rcb_partition(
+            bench_sequence[0].mesh.nodes[snap0.contact_nodes], K
+        )
+        prev_labels, prev_ids = labels, snap0.contact_nodes
+        total = 0
+        for snap in bench_sequence.snapshots[1:]:
+            coords = snap.mesh.nodes[snap.contact_nodes]
+            new_labels = tree.update(coords)
+            total += update_comm(
+                prev_labels, new_labels, prev_ids, snap.contact_nodes
+            )
+            prev_labels, prev_ids = new_labels, snap.contact_nodes
+        return total
+
+    total = benchmark.pedantic(replay, rounds=1, iterations=1)
+    n_contact = bench_sequence[0].num_contact_nodes
+    record(benchmark, total_updcomm=total,
+           per_step=total / (len(bench_sequence) - 1),
+           contact_nodes=n_contact)
+    # migrations happen, but each step moves only a small fraction
+    assert total > 0
+    assert total / (len(bench_sequence) - 1) < 0.25 * n_contact

@@ -1,0 +1,107 @@
+"""Global-search filters head-to-head: decision tree vs bounding box.
+
+Times the two filters on the same snapshot and partition, and records
+their false-positive behaviour: the tree filter sends each element only
+to partitions whose descriptor regions it touches, while the bbox
+filter sends it to every partition whose (overlapping) bounding box it
+touches. Also benchmarks the end-to-end simulated-parallel search.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.contact_search import (
+    parallel_contact_search,
+    serial_candidate_pairs,
+)
+from repro.core.mcml_dt import MCMLDTParams, MCMLDTPartitioner
+from repro.geometry.bbox import element_bboxes
+from repro.geometry.boxsearch import bbox_filter_search
+from repro.dtree.query import tree_filter_search
+
+from .conftest import record, strong_options
+
+K = 8
+
+
+PAD = 0.3  # contact capture distance (plate spacing ≈ 0.41)
+
+
+@pytest.fixture(scope="module")
+def scene(bench_sequence):
+    snap = bench_sequence[40]
+    pt = MCMLDTPartitioner(
+        K, MCMLDTParams(options=strong_options())
+    ).fit(snap)
+    tree, _ = pt.build_descriptors(snap)
+    boxes = element_bboxes(snap.mesh.nodes, snap.contact_faces)
+    boxes[:, 0] -= PAD
+    boxes[:, 1] += PAD
+    from repro.core.contact_search import face_owner_partition
+
+    owner = face_owner_partition(pt.part, snap.contact_faces)
+    coords = snap.mesh.nodes[snap.contact_nodes]
+    point_part = pt.part[snap.contact_nodes]
+    return snap, pt, tree, boxes, owner, coords, point_part
+
+
+def test_tree_filter_throughput(benchmark, scene):
+    snap, pt, tree, boxes, owner, coords, point_part = scene
+    plan = benchmark(lambda: tree_filter_search(tree, boxes, owner, K))
+    record(benchmark, n_elements=len(boxes), n_remote=plan.n_remote)
+
+
+def test_bbox_filter_throughput(benchmark, scene):
+    snap, pt, tree, boxes, owner, coords, point_part = scene
+    plan = benchmark(
+        lambda: bbox_filter_search(boxes, owner, coords, point_part, K)
+    )
+    record(benchmark, n_elements=len(boxes), n_remote=plan.n_remote)
+
+
+def test_tree_filter_fewer_false_positives(benchmark, scene):
+    """On the same partition, the tree filter's sends are a subset of
+    the bbox filter's in aggregate (the paper's false-positive
+    argument)."""
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    snap, pt, tree, boxes, owner, coords, point_part = scene
+    tree_plan = tree_filter_search(tree, boxes, owner, K)
+    bbox_plan = bbox_filter_search(boxes, owner, coords, point_part, K)
+    record(
+        benchmark,
+        tree_n_remote=tree_plan.n_remote,
+        bbox_n_remote=bbox_plan.n_remote,
+    )
+    assert tree_plan.n_remote <= bbox_plan.n_remote
+
+
+def test_parallel_search_end_to_end(benchmark, scene):
+    """Full simulated-parallel global search (exchange + local KD-tree
+    detection on every rank)."""
+    snap, pt, tree, boxes, owner, coords, point_part = scene
+    plan = tree_filter_search(tree, boxes, owner, K)
+
+    def run():
+        return parallel_contact_search(
+            plan, boxes, snap.contact_faces, coords,
+            snap.contact_nodes, point_part, K,
+        )
+
+    pairs, ledger = benchmark(run)
+    record(
+        benchmark,
+        candidates=len(pairs),
+        exchanged=ledger.items("contact-exchange"),
+    )
+
+
+def test_serial_search_reference(benchmark, scene):
+    snap, pt, tree, boxes, owner, coords, point_part = scene
+    pairs = benchmark(
+        lambda: serial_candidate_pairs(
+            boxes, snap.contact_faces, coords, snap.contact_nodes
+        )
+    )
+    record(benchmark, candidates=len(pairs))

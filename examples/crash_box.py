@@ -1,0 +1,130 @@
+#!/usr/bin/env python
+"""Crash-box scenario: using the library on your own meshes.
+
+The built-in simulator is one workload; this example shows the path a
+simulation code would take — build the bodies yourself, identify the
+contact surfaces yourself, wrap them in a snapshot, and drive the
+MCML+DT pipeline plus the simulated-parallel global search directly.
+
+Scene: a stiff box (a "bumper") closing on a wall at an oblique angle,
+the kind of geometry where single-box subdomain descriptors produce
+many false-positive sends.
+
+Run:  python examples/crash_box.py
+"""
+
+import numpy as np
+
+from repro.core.contact_search import (
+    parallel_contact_search,
+    serial_candidate_pairs,
+)
+from repro.core.mcml_dt import MCMLDTParams, MCMLDTPartitioner
+from repro.geometry.bbox import element_bboxes
+from repro.mesh.generators import merge_meshes, structured_box_mesh
+from repro.mesh.surface import boundary_faces
+from repro.partition.config import PartitionOptions
+from repro.sim.sequence import ContactSnapshot
+
+
+def build_scene():
+    """A box tilted toward a wall, nearly touching."""
+    wall = structured_box_mesh(24, 24, 3, origin=(-6, -6, 0),
+                               size=(12, 12, 1.5))
+    box = structured_box_mesh(8, 8, 8, origin=(-2, -2, 1.7),
+                              size=(4, 4, 4))
+    scene = merge_meshes([wall, box])
+    # tilt the box 15 degrees about x so one edge leads
+    nodes = scene.nodes.copy()
+    box_nodes = np.unique(scene.elements[scene.body_id == 1])
+    c = nodes[box_nodes].mean(axis=0)
+    theta = np.deg2rad(15)
+    rel = nodes[box_nodes] - c
+    rot = np.array(
+        [[1, 0, 0],
+         [0, np.cos(theta), -np.sin(theta)],
+         [0, np.sin(theta), np.cos(theta)]]
+    )
+    nodes[box_nodes] = rel @ rot.T + c
+    return scene.with_nodes(nodes)
+
+
+def make_snapshot(mesh) -> ContactSnapshot:
+    """Contact surfaces: the box's whole boundary plus the wall's upper
+    face region beneath it."""
+    faces, owner = boundary_faces(mesh)
+    centroids = mesh.nodes[faces].mean(axis=1)
+    is_box = mesh.body_id[owner] == 1
+    near_impact = (
+        (np.abs(centroids[:, 0]) < 4.0)
+        & (np.abs(centroids[:, 1]) < 4.0)
+        & (centroids[:, 2] > 1.0)
+    )
+    keep = is_box | near_impact
+    faces, owner = faces[keep], owner[keep]
+    return ContactSnapshot(
+        mesh=mesh,
+        contact_faces=faces,
+        contact_face_owner=owner,
+        contact_nodes=np.unique(faces),
+        step=0,
+        time=0.0,
+        tip_z=float(mesh.nodes[:, 2].max()),
+    )
+
+
+def main() -> None:
+    k = 6
+    pad = 0.4  # contact capture distance
+
+    mesh = build_scene()
+    snap = make_snapshot(mesh)
+    print(
+        f"Scene: {mesh.num_nodes} nodes, {mesh.num_elements} elements, "
+        f"{snap.num_contact_nodes} contact nodes on "
+        f"{snap.num_contact_faces} contact faces"
+    )
+
+    print(f"\nPartitioning with MCML+DT, k={k}...")
+    pt = MCMLDTPartitioner(
+        k, MCMLDTParams(pad=pad, options=PartitionOptions(seed=0))
+    ).fit(snap)
+    d = pt.diagnostics
+    print(
+        f"  cut {d.edge_cut_final}, imbalance "
+        f"{d.imbalance_final.round(3).tolist()}, "
+        f"{d.reshape_moved} vertices reshaped"
+    )
+
+    tree, _ = pt.build_descriptors(snap)
+    plan = pt.search_plan(snap, tree)
+    print(
+        f"  descriptor tree: {tree.n_nodes} nodes; "
+        f"NRemote = {plan.n_remote}"
+    )
+
+    print("\nRunning the simulated-parallel global search...")
+    boxes = element_bboxes(mesh.nodes, snap.contact_faces)
+    boxes[:, 0] -= pad
+    boxes[:, 1] += pad
+    coords = mesh.nodes[snap.contact_nodes]
+    pairs, ledger = parallel_contact_search(
+        plan, boxes, snap.contact_faces, coords,
+        snap.contact_nodes, pt.part[snap.contact_nodes], k,
+    )
+    serial = serial_candidate_pairs(
+        boxes, snap.contact_faces, coords, snap.contact_nodes
+    )
+    assert pairs == serial, "parallel search must match the serial one"
+    print(
+        f"  candidate (element, node) contacts: {len(pairs)} "
+        f"(verified equal to the serial search)"
+    )
+    print(f"  elements exchanged: {ledger.items('contact-exchange')}")
+    print(f"  messages: {ledger.messages('contact-exchange')}")
+    hot = ledger.max_rank_send("contact-exchange", k)
+    print(f"  busiest rank sent {hot} elements")
+
+
+if __name__ == "__main__":
+    main()

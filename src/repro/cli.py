@@ -1,0 +1,143 @@
+"""Command-line experiment runner.
+
+``repro-contact table1`` regenerates the paper's Table 1 on the
+synthetic sequence; ``repro-contact stages`` prints the Figure-3-style
+per-snapshot simulation statistics; ``repro-contact ablation-update``
+compares the §4.3 update strategies.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.sim.projectile import ImpactConfig
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-contact",
+        description=(
+            "Reproduction experiments for 'Multi-Constraint Mesh "
+            "Partitioning for Contact/Impact Computations' (SC 2003)."
+        ),
+    )
+    parser.add_argument(
+        "--steps", type=int, default=100, help="snapshots to simulate"
+    )
+    parser.add_argument(
+        "--refine",
+        type=float,
+        default=1.0,
+        help="mesh refinement factor (scales all element counts)",
+    )
+    parser.add_argument("--seed", type=int, default=0)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    t1 = sub.add_parser("table1", help="regenerate Table 1")
+    t1.add_argument(
+        "--k",
+        type=int,
+        nargs="+",
+        default=[25, 100],
+        help="partition counts (paper: 25 100)",
+    )
+
+    sub.add_parser("stages", help="Figure-3-style simulation statistics")
+
+    ab = sub.add_parser(
+        "ablation-update", help="compare the §4.3 update strategies"
+    )
+    ab.add_argument("--k", type=int, default=16)
+    ab.add_argument("--period", type=int, default=10)
+
+    fig = sub.add_parser(
+        "figure1", help="render a snapshot's descriptors in the terminal"
+    )
+    fig.add_argument("--k", type=int, default=4)
+    fig.add_argument("--snapshot", type=int, default=0)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Parse arguments and run the selected experiment command."""
+    args = _build_parser().parse_args(argv)
+    config = ImpactConfig(n_steps=args.steps, refine=args.refine)
+
+    # imports deferred so `--help` stays instant
+    from repro.sim.sequence import simulate_impact
+
+    seq = simulate_impact(config)
+
+    if args.command == "table1":
+        from repro.core.pipeline import table1
+
+        print(table1(seq, ks=args.k).render())
+    elif args.command == "stages":
+        from repro.metrics.report import format_table
+
+        rows = {}
+        for s in seq:
+            if s.step % max(1, len(seq) // 10) == 0 or s.step == len(seq) - 1:
+                rows[f"step {s.step}"] = [
+                    round(s.tip_z, 2),
+                    s.mesh.num_elements,
+                    s.num_contact_faces,
+                    s.num_contact_nodes,
+                ]
+        print(
+            format_table(
+                "Simulation stages (Figure 3 analogue)",
+                ["tip_z", "elements", "contact_faces", "contact_nodes"],
+                rows,
+            )
+        )
+    elif args.command == "ablation-update":
+        from repro.core.update import UpdateStrategy, replay_sequence
+        from repro.metrics.report import format_table
+
+        rows = {}
+        for strategy in UpdateStrategy:
+            r = replay_sequence(
+                seq, args.k, strategy, period=args.period
+            )
+            rows[strategy.value] = [
+                round(r.mean_nt_nodes(), 1),
+                round(r.max_imbalance(), 3),
+                r.total_moved(),
+            ]
+        print(
+            format_table(
+                f"Update strategies at k={args.k} (§4.3)",
+                ["mean NTNodes", "max imbalance", "vertices moved"],
+                rows,
+            )
+        )
+    elif args.command == "figure1":
+        import numpy as np
+
+        from repro.core.mcml_dt import MCMLDTPartitioner
+        from repro.dtree.induction import induce_pure_tree
+        from repro.dtree.render import render_descriptors, render_tree
+
+        snap = seq[min(args.snapshot, len(seq) - 1)]
+        pt = MCMLDTPartitioner(args.k).fit(snap)
+        coords = snap.mesh.nodes[snap.contact_nodes]
+        labels = pt.part[snap.contact_nodes]
+        # project to the two dominant lateral axes for display
+        spread = coords.max(axis=0) - coords.min(axis=0)
+        dims = np.argsort(spread)[::-1][:2]
+        tree2d, _ = induce_pure_tree(coords[:, sorted(dims)], labels, args.k)
+        print(
+            f"Contact points of snapshot {snap.step} "
+            f"(k={args.k}, projected to 2D), Figure-1 style:\n"
+        )
+        print(render_descriptors(tree2d, coords[:, sorted(dims)], labels))
+        print(f"\nDecision tree ({tree2d.n_nodes} nodes):\n")
+        print(render_tree(tree2d))
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

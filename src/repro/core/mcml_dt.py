@@ -1,0 +1,195 @@
+"""MCML+DT: the paper's partitioning algorithm (§4).
+
+Pipeline per fit:
+
+1. Build the two-constraint contact graph (§4.2 weights).
+2. Multi-constraint k-way partition → ``P``.
+3. *Reshape* (§4.2): induce a bounded decision tree over all live mesh
+   nodes; reassign every leaf's nodes to the leaf's majority partition
+   (``P'``); collapse each leaf to one vertex (graph ``G'``); run
+   multi-constraint rebalancing + refinement on ``G'`` so whole
+   rectangular regions move between partitions; project back (``P''``,
+   piecewise axis-parallel boundaries by construction).
+4. Per snapshot, induce a *pure* tree on the contact points (§4.1) —
+   the subdomain geometric descriptors — and filter the global search
+   through it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.core.contact_search import face_owner_partition
+from repro.core.weights import build_contact_graph
+from repro.dtree.induction import (
+    induce_bounded_tree,
+    induce_pure_tree,
+    suggested_bounds,
+)
+from repro.dtree.query import tree_filter_search
+from repro.dtree.tree import DecisionTree
+from repro.geometry.bbox import element_bboxes
+from repro.geometry.boxsearch import SearchPlan
+from repro.graph.csr import CSRGraph
+from repro.graph.metrics import edge_cut, load_imbalance
+from repro.graph.ops import contract, induced_subgraph
+from repro.partition.config import PartitionOptions
+from repro.partition.kway import partition_kway
+from repro.partition.refine_kway import greedy_kway_refine, rebalance_kway
+from repro.partition.refine_kway_fm import kway_fm_refine
+from repro.sim.sequence import ContactSnapshot
+from repro.utils.arrays import relabel_contiguous
+
+
+@dataclass
+class MCMLDTParams:
+    """Tunables of MCML+DT (§4.2 and §5 defaults)."""
+
+    contact_edge_weight: int = 5
+    max_p: Optional[int] = None  # default: paper's recommended window
+    max_i: Optional[int] = None
+    margin_weight: float = 0.0  # §6 extension; 0 = paper's Eq. 1 only
+    pad: float = 0.0  # contact capture distance added to element boxes
+    reshape: bool = True  # False disables P→P'→P'' (ablation)
+    options: PartitionOptions = field(default_factory=PartitionOptions)
+
+
+@dataclass
+class FitDiagnostics:
+    """What happened inside one fit (exposed for ablations/tests)."""
+
+    edge_cut_initial: int = 0
+    edge_cut_final: int = 0
+    imbalance_initial: Optional[np.ndarray] = None
+    imbalance_reshaped: Optional[np.ndarray] = None
+    imbalance_final: Optional[np.ndarray] = None
+    reshape_tree_nodes: int = 0
+    reshape_moved: int = 0
+    max_p: int = 0
+    max_i: int = 0
+
+
+class MCMLDTPartitioner:
+    """Stateful MCML+DT driver over a snapshot sequence."""
+
+    def __init__(self, k: int, params: Optional[MCMLDTParams] = None):
+        if k < 1:
+            raise ValueError("k must be >= 1")
+        self.k = k
+        self.params = params or MCMLDTParams()
+        self.part: Optional[np.ndarray] = None
+        self.diagnostics = FitDiagnostics()
+
+    # ------------------------------------------------------------------
+    def fit(self, snapshot: ContactSnapshot) -> "MCMLDTPartitioner":
+        """Compute the contact-friendly multi-constraint partition."""
+        p = self.params
+        graph = build_contact_graph(snapshot, p.contact_edge_weight)
+        part = partition_kway(graph, self.k, p.options)
+        diag = self.diagnostics = FitDiagnostics()
+        diag.edge_cut_initial = edge_cut(graph, part)
+        diag.imbalance_initial = load_imbalance(graph, part, self.k)
+
+        if p.reshape and self.k > 1:
+            part = self._reshape(snapshot, graph, part, diag)
+
+        diag.edge_cut_final = edge_cut(graph, part)
+        diag.imbalance_final = load_imbalance(graph, part, self.k)
+        self.part = part
+        return self
+
+    def _reshape(
+        self,
+        snapshot: ContactSnapshot,
+        graph: CSRGraph,
+        part: np.ndarray,
+        diag: FitDiagnostics,
+    ) -> np.ndarray:
+        """P → P' (leaf-majority) → P'' (refine collapsed G')."""
+        p = self.params
+        mesh = snapshot.mesh
+        used = mesh.used_nodes()
+        coords = mesh.nodes[used]
+        labels = part[used]
+
+        def_max_p, def_max_i = suggested_bounds(len(used), self.k)
+        max_p = p.max_p if p.max_p is not None else def_max_p
+        max_i = p.max_i if p.max_i is not None else def_max_i
+        diag.max_p, diag.max_i = max_p, max_i
+
+        tree, leaf_of = induce_bounded_tree(
+            coords, labels, self.k, max_p=max_p, max_i=max_i,
+            margin_weight=p.margin_weight,
+        )
+        diag.reshape_tree_nodes = tree.n_nodes
+
+        # P': every point adopts its leaf's majority partition
+        node_labels = np.array(
+            [nd.label for nd in tree.nodes], dtype=np.int64
+        )
+        leaf_idx, _ = relabel_contiguous(leaf_of)
+        n_leaves = int(leaf_idx.max()) + 1
+
+        # collapse leaves into G' and refine so only whole regions move
+        sub, _ = induced_subgraph(graph, used)
+        gprime = contract(sub, leaf_idx, n_leaves)
+        leaf_part = np.empty(n_leaves, dtype=np.int64)
+        leaf_part[leaf_idx] = node_labels[leaf_of]  # majority per leaf
+
+        p_prime = leaf_part[leaf_idx]
+        diag.imbalance_reshaped = load_imbalance(
+            sub.with_vwgts(sub.vwgts), p_prime, self.k
+        )
+
+        leaf_part, _ = rebalance_kway(gprime, leaf_part, self.k, p.options)
+        leaf_part = greedy_kway_refine(gprime, leaf_part, self.k, p.options)
+        leaf_part = kway_fm_refine(gprime, leaf_part, self.k, p.options)
+
+        new_part = part.copy()
+        new_part[used] = leaf_part[leaf_idx]
+        diag.reshape_moved = int(
+            np.count_nonzero(new_part[used] != part[used])
+        )
+        return new_part
+
+    # ------------------------------------------------------------------
+    def build_descriptors(
+        self, snapshot: ContactSnapshot
+    ) -> Tuple[DecisionTree, np.ndarray]:
+        """Pure search tree over the snapshot's contact points.
+
+        Returns ``(tree, leaf_of_point)``; ``tree.n_nodes`` is NTNodes.
+        """
+        self._check_fitted()
+        cn = snapshot.contact_nodes
+        coords = snapshot.mesh.nodes[cn]
+        return induce_pure_tree(
+            coords,
+            self.part[cn],
+            self.k,
+            margin_weight=self.params.margin_weight,
+        )
+
+    def search_plan(
+        self, snapshot: ContactSnapshot, tree: Optional[DecisionTree] = None
+    ) -> SearchPlan:
+        """Tree-filtered global search plan for the snapshot's surface
+        elements (NRemote = ``plan.n_remote``)."""
+        self._check_fitted()
+        if tree is None:
+            tree, _ = self.build_descriptors(snapshot)
+        faces = snapshot.contact_faces
+        boxes = element_bboxes(snapshot.mesh.nodes, faces)
+        if self.params.pad > 0:
+            boxes = boxes.copy()
+            boxes[:, 0] -= self.params.pad
+            boxes[:, 1] += self.params.pad
+        owner = face_owner_partition(self.part, faces)
+        return tree_filter_search(tree, boxes, owner, self.k)
+
+    def _check_fitted(self) -> None:
+        if self.part is None:
+            raise RuntimeError("call fit() before using the partitioner")

@@ -1,0 +1,126 @@
+"""The ML+RCB baseline (Plimpton/Attaway/Brown/Hendrickson, §3).
+
+Two decoupled decompositions: a single-constraint multilevel graph
+partition of the whole mesh for the FE phase, and an RCB partition of
+the contact points for the search phase. Costs this incurs that
+MCML+DT avoids:
+
+* **M2MComm** — contact points whose two owners differ must be shipped
+  between the decompositions before each phase (2× per iteration).
+* **UpdComm** — as contact points move, the RCB decomposition is
+  incrementally re-fit each step, and points that cross a shifted cut
+  must migrate.
+
+Its advantage: each decomposition is individually optimal (lower
+FEComm than the two-constraint partition, compact RCB boxes for the
+search).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from repro.core.contact_search import face_owner_partition
+from repro.geometry.bbox import element_bboxes
+from repro.geometry.boxsearch import SearchPlan, bbox_filter_search
+from repro.geometry.rcb import RCBTree, rcb_partition
+from repro.graph.csr import CSRGraph
+from repro.mesh.nodal_graph import nodal_graph
+from repro.metrics.mapping import m2m_comm, update_comm
+from repro.partition.config import PartitionOptions
+from repro.partition.kway import partition_kway
+from repro.sim.sequence import ContactSnapshot
+
+
+@dataclass
+class MLRCBParams:
+    """Tunables of the baseline."""
+
+    pad: float = 0.0  # contact capture distance added to element boxes
+    options: PartitionOptions = field(default_factory=PartitionOptions)
+
+
+class MLRCBPartitioner:
+    """Stateful ML+RCB driver over a snapshot sequence."""
+
+    def __init__(self, k: int, params: Optional[MLRCBParams] = None):
+        if k < 1:
+            raise ValueError("k must be >= 1")
+        self.k = k
+        self.params = params or MLRCBParams()
+        self.part_fe: Optional[np.ndarray] = None
+        self.rcb_tree: Optional[RCBTree] = None
+        self.rcb_labels: Optional[np.ndarray] = None
+        self.contact_ids: Optional[np.ndarray] = None
+        self.last_upd_comm: int = 0
+
+    # ------------------------------------------------------------------
+    def fit(self, snapshot: ContactSnapshot) -> "MLRCBPartitioner":
+        """Build both decompositions from the first snapshot."""
+        mesh = snapshot.mesh
+        n = mesh.num_nodes
+        vwgts = np.zeros((n, 1), dtype=np.int64)
+        vwgts[mesh.used_nodes(), 0] = 1
+        graph = nodal_graph(mesh, vwgts=vwgts)
+        self.part_fe = partition_kway(graph, self.k, self.params.options)
+
+        cn = snapshot.contact_nodes
+        coords = mesh.nodes[cn]
+        self.rcb_labels, self.rcb_tree = rcb_partition(coords, self.k)
+        self.contact_ids = cn.copy()
+        self.last_upd_comm = 0
+        return self
+
+    def update(self, snapshot: ContactSnapshot) -> np.ndarray:
+        """Incremental RCB re-fit for a new snapshot.
+
+        Re-solves each cut on the moved contact points (structure
+        preserved), assigns the snapshot's contact nodes, and records
+        **UpdComm** (points present in both steps that changed RCB
+        owner).
+        """
+        self._check_fitted()
+        cn = snapshot.contact_nodes
+        coords = snapshot.mesh.nodes[cn]
+        new_labels = self.rcb_tree.update(coords)
+        self.last_upd_comm = update_comm(
+            self.rcb_labels, new_labels, self.contact_ids, cn
+        )
+        self.rcb_labels = new_labels
+        self.contact_ids = cn.copy()
+        return new_labels
+
+    # ------------------------------------------------------------------
+    def m2m_comm_now(self) -> int:
+        """Contact points whose FE and RCB owners differ (after optimal
+        RCB relabelling)."""
+        self._check_fitted()
+        return m2m_comm(
+            self.part_fe[self.contact_ids], self.rcb_labels, self.k
+        )
+
+    def search_plan(self, snapshot: ContactSnapshot) -> SearchPlan:
+        """Bounding-box-filtered global search plan; elements are owned
+        by their (majority) RCB partition, the decomposition that
+        performs the search phase."""
+        self._check_fitted()
+        faces = snapshot.contact_faces
+        boxes = element_bboxes(snapshot.mesh.nodes, faces)
+        if self.params.pad > 0:
+            boxes = boxes.copy()
+            boxes[:, 0] -= self.params.pad
+            boxes[:, 1] += self.params.pad
+        rcb_of_node = np.full(snapshot.mesh.num_nodes, -1, dtype=np.int64)
+        rcb_of_node[self.contact_ids] = self.rcb_labels
+        owner = face_owner_partition(rcb_of_node, faces)
+        coords = snapshot.mesh.nodes[self.contact_ids]
+        return bbox_filter_search(
+            boxes, owner, coords, self.rcb_labels, self.k
+        )
+
+    def _check_fitted(self) -> None:
+        if self.part_fe is None:
+            raise RuntimeError("call fit() before using the partitioner")

@@ -1,0 +1,113 @@
+"""Update strategies across a snapshot sequence (paper §4.3).
+
+Three ways to keep the decomposition current as nodes move and elements
+erode:
+
+* ``DESCRIPTOR_ONLY`` — partition fixed; only the search tree is
+  re-induced each step (fast, no redistribution; tree may grow as the
+  boundary geometry drifts away from axis-parallel).
+* ``REPARTITION`` — multi-constraint diffusion repartitioning every
+  step (balance stays tight; vertices migrate).
+* ``HYBRID`` — repartition every ``period`` steps, descriptor-only in
+  between (the paper's suggested optimum).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+from repro.core.mcml_dt import MCMLDTParams, MCMLDTPartitioner
+from repro.core.weights import build_contact_graph
+from repro.graph.metrics import load_imbalance
+from repro.partition.repartition import diffusion_repartition
+from repro.sim.sequence import MeshSequence
+
+
+class UpdateStrategy(enum.Enum):
+    """How the decomposition tracks the evolving mesh."""
+
+    DESCRIPTOR_ONLY = "descriptor-only"
+    REPARTITION = "repartition"
+    HYBRID = "hybrid"
+
+
+@dataclass
+class ReplayStep:
+    """Per-step outcome of a replay."""
+
+    step: int
+    nt_nodes: int
+    imbalance_fe: float
+    imbalance_search: float
+    n_moved: int  # vertices redistributed this step
+
+
+@dataclass
+class ReplayResult:
+    """Full replay trace plus conveniences for the ablation bench."""
+
+    strategy: UpdateStrategy
+    k: int
+    steps: List[ReplayStep] = field(default_factory=list)
+
+    def mean_nt_nodes(self) -> float:
+        """Mean descriptor-tree size across the replay."""
+        return float(np.mean([s.nt_nodes for s in self.steps]))
+
+    def max_imbalance(self) -> float:
+        """Worst imbalance (either constraint) seen at any step."""
+        return float(
+            max(
+                max(s.imbalance_fe, s.imbalance_search)
+                for s in self.steps
+            )
+        )
+
+    def total_moved(self) -> int:
+        """Total vertices redistributed across the replay."""
+        return int(sum(s.n_moved for s in self.steps))
+
+
+def replay_sequence(
+    seq: MeshSequence,
+    k: int,
+    strategy: UpdateStrategy,
+    period: int = 10,
+    params: Optional[MCMLDTParams] = None,
+) -> ReplayResult:
+    """Replay ``seq`` under an update strategy, tracking tree size,
+    balance drift, and redistribution volume."""
+    if period < 1:
+        raise ValueError("period must be >= 1")
+    params = params or MCMLDTParams()
+    pt = MCMLDTPartitioner(k, params).fit(seq[0])
+    result = ReplayResult(strategy=strategy, k=k)
+
+    for snapshot in seq:
+        moved = 0
+        repartition_now = strategy is UpdateStrategy.REPARTITION or (
+            strategy is UpdateStrategy.HYBRID
+            and snapshot.step > 0
+            and snapshot.step % period == 0
+        )
+        graph = build_contact_graph(snapshot, params.contact_edge_weight)
+        if repartition_now and snapshot.step > 0:
+            rep = diffusion_repartition(graph, pt.part, k, params.options)
+            moved = rep.n_moved
+            pt.part = rep.part
+        tree, _ = pt.build_descriptors(snapshot)
+        imb = load_imbalance(graph, pt.part, k)
+        result.steps.append(
+            ReplayStep(
+                step=snapshot.step,
+                nt_nodes=tree.n_nodes,
+                imbalance_fe=float(imb[0]),
+                imbalance_search=float(imb[1]) if len(imb) > 1 else 1.0,
+                n_moved=moved,
+            )
+        )
+    return result

@@ -1,0 +1,172 @@
+"""Decision-tree induction (paper §4.1.1 and §4.2).
+
+Both inducers share one recursive engine differing only in the
+termination predicate and in which splitter a node uses:
+
+* :func:`induce_pure_tree` — split impure nodes with Eq. 1 until every
+  leaf is pure (or geometrically unsplittable, which only happens when
+  coincident points carry different labels).
+* :func:`induce_bounded_tree` — the §4.2 variant: keep splitting pure
+  nodes of ``>= max_p`` points (median cuts — Eq. 1 is indifferent on a
+  pure node) and impure nodes of ``>= max_i`` points (Eq. 1 cuts);
+  everything else terminates.
+
+Both return ``(tree, leaf_of_point)`` so callers can collapse leaves
+into the refinement graph ``G'`` without re-querying.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Tuple
+
+import numpy as np
+
+from repro.dtree.splitter import SplitResult, best_split, median_split
+from repro.dtree.tree import DecisionTree, TreeNode
+from repro.utils.validation import check_array
+
+
+def _majority_label(labels: np.ndarray) -> int:
+    counts = np.bincount(labels)
+    return int(counts.argmax())
+
+
+def _is_pure(labels: np.ndarray) -> bool:
+    return bool((labels == labels[0]).all())
+
+
+def _induce(
+    points: np.ndarray,
+    labels: np.ndarray,
+    k: int,
+    should_split: Callable[[int, bool], bool],
+    margin_weight: float,
+    max_depth: int,
+) -> Tuple[DecisionTree, np.ndarray]:
+    points = check_array("points", np.asarray(points, dtype=float), ndim=2)
+    labels = np.asarray(labels, dtype=np.int64)
+    if len(points) != len(labels):
+        raise ValueError("points and labels lengths differ")
+    if len(points) == 0:
+        raise ValueError("cannot induce a tree on zero points")
+    if labels.min() < 0 or labels.max() >= k:
+        raise ValueError(f"labels must lie in [0, {k})")
+
+    tree = DecisionTree(k=k)
+    leaf_of_point = np.full(len(points), -1, dtype=np.int64)
+
+    def build(idx: np.ndarray, depth: int) -> int:
+        nid = len(tree.nodes)
+        sub_labels = labels[idx]
+        pure = _is_pure(sub_labels)
+        node = TreeNode(
+            n_points=len(idx),
+            label=_majority_label(sub_labels),
+            is_pure=pure,
+        )
+        tree.nodes.append(node)
+
+        if depth >= max_depth or not should_split(len(idx), pure):
+            leaf_of_point[idx] = nid
+            return nid
+
+        sub_points = points[idx]
+        if pure:
+            split = median_split(sub_points)
+        else:
+            split = best_split(sub_points, sub_labels, margin_weight)
+        if split is None:
+            # coincident points with mixed labels (or a single point):
+            # geometrically unsplittable, must terminate
+            leaf_of_point[idx] = nid
+            return nid
+
+        go_left = sub_points[:, split.dim] <= split.threshold
+        if go_left.all() or not go_left.any():
+            # midpoint rounding between two adjacent floats can land on
+            # one of the coordinates and empty a side; terminate rather
+            # than recurse on a degenerate split
+            leaf_of_point[idx] = nid
+            return nid
+        node.dim = split.dim
+        node.threshold = split.threshold
+        node.left = build(idx[go_left], depth + 1)
+        node.right = build(idx[~go_left], depth + 1)
+        node.is_pure = pure
+        return nid
+
+    build(np.arange(len(points)), 0)
+    return tree, leaf_of_point
+
+
+def induce_pure_tree(
+    points: np.ndarray,
+    labels: np.ndarray,
+    k: int,
+    margin_weight: float = 0.0,
+    max_depth: int = 64,
+) -> Tuple[DecisionTree, np.ndarray]:
+    """Induce the contact-search tree: leaves contain points of a
+    single partition (§4.1.1).
+
+    ``margin_weight`` enables the §6 margin-aware extension. The
+    ``max_depth`` guard bounds pathological inputs; leaves cut off by
+    it (or by coincident mixed-label points) are impure and flagged
+    ``is_pure=False`` so the search can treat them conservatively.
+    """
+    return _induce(
+        points,
+        labels,
+        k,
+        should_split=lambda n, pure: not pure,
+        margin_weight=margin_weight,
+        max_depth=max_depth,
+    )
+
+
+def induce_bounded_tree(
+    points: np.ndarray,
+    labels: np.ndarray,
+    k: int,
+    max_p: int,
+    max_i: int,
+    margin_weight: float = 0.0,
+    max_depth: int = 64,
+) -> Tuple[DecisionTree, np.ndarray]:
+    """Induce the §4.2 partition-reshaping tree over *all* mesh nodes.
+
+    Splitting continues while (pure and ``n >= max_p``) or (impure and
+    ``n >= max_i``); i.e. it terminates at pure nodes smaller than
+    ``max_p`` and impure nodes smaller than ``max_i``.
+    """
+    if max_p < 1 or max_i < 1:
+        raise ValueError("max_p and max_i must be >= 1")
+    return _induce(
+        points,
+        labels,
+        k,
+        should_split=lambda n, pure: (n >= max_p) if pure else (n >= max_i),
+        margin_weight=margin_weight,
+        max_depth=max_depth,
+    )
+
+
+def suggested_bounds(n: int, k: int) -> Tuple[int, int]:
+    """Default ``(max_p, max_i)`` for the §4.2 reshaping tree.
+
+    The paper's study (on the 156k-node EPIC mesh) recommends
+    ``n/k^1.5 <= max_p <= n/k`` and ``n/k^2.5 <= max_i <= n/k²``. The
+    paper also observes that *small* values make the post-refinement
+    easy — better final cut and balance — at the price of more leaf
+    regions. On our ~9× smaller meshes the paper's absolute box sizes
+    correspond to smaller relative exponents, and the ablation
+    (``benchmarks/bench_ablation_maxpi.py``) shows the cut/balance side
+    dominating, so the default sits half a step *below* the paper's
+    window: ``max_p = n/k^1.75``, ``max_i = n/k^2.75``. Callers
+    reproducing the paper's exact setting can pass explicit bounds.
+    """
+    if n < 1 or k < 1:
+        raise ValueError("n and k must be >= 1")
+    max_p = int(round(n / k**1.75))
+    max_i = int(round(n / k**2.75))
+    return max(1, max_p), max(1, max_i)

@@ -1,0 +1,143 @@
+"""Decision-tree queries: point location and box traversal.
+
+Both queries are frontier sweeps over (item, node) pairs held in NumPy
+arrays — each iteration advances *all* items one level, so cost is
+O(pairs · depth) with whole-array operations, not a Python recursion
+per item. Box queries can descend both branches when the box straddles
+a hyperplane, which is exactly how an element gets sent to multiple
+subdomains.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.dtree.tree import DecisionTree
+from repro.geometry.boxsearch import SearchPlan
+
+
+def _node_arrays(tree: DecisionTree) -> Tuple[np.ndarray, ...]:
+    """Flatten node fields into parallel arrays for vectorised sweeps.
+
+    Cached on the tree keyed by its node count: trees are immutable
+    after induction except for grafting, which changes the node count,
+    so the key also serves as the invalidation token.
+    """
+    cached = getattr(tree, "_query_arrays", None)
+    if cached is not None and cached[0] == len(tree.nodes):
+        return cached[1]
+    n = len(tree.nodes)
+    dim = np.empty(n, dtype=np.int64)
+    thr = np.empty(n, dtype=float)
+    left = np.empty(n, dtype=np.int64)
+    right = np.empty(n, dtype=np.int64)
+    label = np.empty(n, dtype=np.int64)
+    pure = np.empty(n, dtype=bool)
+    for i, nd in enumerate(tree.nodes):
+        dim[i], thr[i] = nd.dim, nd.threshold
+        left[i], right[i] = nd.left, nd.right
+        label[i], pure[i] = nd.label, nd.is_pure
+    arrays = (dim, thr, left, right, label, pure)
+    tree._query_arrays = (n, arrays)
+    return arrays
+
+
+def assign_points(tree: DecisionTree, points: np.ndarray) -> np.ndarray:
+    """Leaf id reached by each point, ``int64[n]``."""
+    points = np.asarray(points, dtype=float)
+    dim, thr, left, right, _, _ = _node_arrays(tree)
+    cur = np.full(len(points), tree.root, dtype=np.int64)
+    active = left[cur] >= 0
+    while active.any():
+        ids = np.nonzero(active)[0]
+        nodes = cur[ids]
+        go_left = points[ids, dim[nodes]] <= thr[nodes]
+        cur[ids] = np.where(go_left, left[nodes], right[nodes])
+        active[ids] = left[cur[ids]] >= 0
+    return cur
+
+
+def predict_partition(tree: DecisionTree, points: np.ndarray) -> np.ndarray:
+    """Partition label each point's leaf carries (majority label)."""
+    leaf = assign_points(tree, points)
+    labels = np.array([nd.label for nd in tree.nodes], dtype=np.int64)
+    return labels[leaf]
+
+
+def box_query_pairs(
+    tree: DecisionTree, boxes: np.ndarray
+) -> Tuple[np.ndarray, np.ndarray]:
+    """All (box index, leaf id) incidences, each pair once.
+
+    A box reaches a leaf iff its slab along every split on the path is
+    compatible: at node (dim, t), boxes with ``lo[dim] <= t`` descend
+    left and boxes with ``hi[dim] > t`` descend right (possibly both).
+    """
+    boxes = np.asarray(boxes, dtype=float)
+    m = len(boxes)
+    dim, thr, left, right, _, _ = _node_arrays(tree)
+
+    box_idx = np.arange(m, dtype=np.int64)
+    node_idx = np.full(m, tree.root, dtype=np.int64)
+    out_boxes = []
+    out_leaves = []
+    while len(box_idx):
+        is_leaf = left[node_idx] < 0
+        if is_leaf.any():
+            out_boxes.append(box_idx[is_leaf])
+            out_leaves.append(node_idx[is_leaf])
+        box_idx, node_idx = box_idx[~is_leaf], node_idx[~is_leaf]
+        if len(box_idx) == 0:
+            break
+        d = dim[node_idx]
+        t = thr[node_idx]
+        go_l = boxes[box_idx, 0, :][np.arange(len(box_idx)), d] <= t
+        go_r = boxes[box_idx, 1, :][np.arange(len(box_idx)), d] > t
+        # a box not strictly right of the threshold that also fails the
+        # left test can only happen on NaN input; treat as both-ways
+        neither = ~(go_l | go_r)
+        go_l |= neither
+        nb = np.concatenate((box_idx[go_l], box_idx[go_r]))
+        nn = np.concatenate((left[node_idx[go_l]], right[node_idx[go_r]]))
+        box_idx, node_idx = nb, nn
+    if out_boxes:
+        return np.concatenate(out_boxes), np.concatenate(out_leaves)
+    return np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64)
+
+
+def tree_filter_search(
+    tree: DecisionTree,
+    element_boxes: np.ndarray,
+    element_owner: np.ndarray,
+    k: int,
+) -> SearchPlan:
+    """MCML+DT global search: send each element to every partition whose
+    descriptor leaves its box touches (minus its own).
+
+    Impure leaves (possible only under depth cut-off or coincident
+    mixed-label points) conservatively stand for *all* the partitions
+    whose points they contain — approximated here by their majority
+    label plus a "send to everyone touching" flag would overcount, so
+    we store per-leaf label and mark impure leaves as wildcards.
+    """
+    element_boxes = np.asarray(element_boxes, dtype=float)
+    element_owner = np.asarray(element_owner, dtype=np.int64)
+    if len(element_boxes) != len(element_owner):
+        raise ValueError("element_boxes and element_owner lengths differ")
+
+    labels = np.array([nd.label for nd in tree.nodes], dtype=np.int64)
+    pure = np.array([nd.is_pure for nd in tree.nodes], dtype=bool)
+    b_idx, leaf_idx = box_query_pairs(tree, element_boxes)
+
+    send = np.zeros((len(element_boxes), k), dtype=bool)
+    if len(b_idx):
+        pure_hits = pure[leaf_idx]
+        send[b_idx[pure_hits], labels[leaf_idx[pure_hits]]] = True
+        # impure leaves: the element may contact any partition, so it is
+        # broadcast (rare; bounded-depth safety valve)
+        impure_boxes = np.unique(b_idx[~pure_hits])
+        send[impure_boxes, :] = True
+    send[np.arange(len(element_owner)), element_owner] = False
+    return SearchPlan(send_matrix=send, owner=element_owner)

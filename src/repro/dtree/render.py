@@ -1,0 +1,121 @@
+"""Terminal rendering of 2D decision-tree descriptors (Figure 1).
+
+No plotting dependency is available offline, so the paper's Figure 1
+panels are reproduced as character grids: points drawn with one glyph
+per partition, leaf-region borders drawn with box characters, and the
+tree itself pretty-printed with its decision hyperplanes. Meant for
+examples and debugging, not precision graphics.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.dtree.descriptors import leaf_regions
+from repro.dtree.tree import DecisionTree
+
+_GLYPHS = "o^#*+x%@"
+
+
+def render_points(
+    points: np.ndarray,
+    labels: np.ndarray,
+    width: int = 60,
+    height: int = 24,
+) -> str:
+    """Scatter-plot a labelled 2D point set as text."""
+    points = np.asarray(points, dtype=float)
+    if points.shape[1] != 2:
+        raise ValueError("render_points is 2D-only")
+    labels = np.asarray(labels, dtype=np.int64)
+    lo = points.min(axis=0)
+    hi = points.max(axis=0)
+    span = np.maximum(hi - lo, 1e-12)
+    grid = [[" "] * width for _ in range(height)]
+    for (x, y), lab in zip(points, labels):
+        cx = int((x - lo[0]) / span[0] * (width - 1))
+        cy = int((y - lo[1]) / span[1] * (height - 1))
+        grid[height - 1 - cy][cx] = _GLYPHS[lab % len(_GLYPHS)]
+    return "\n".join("".join(row) for row in grid)
+
+
+def render_descriptors(
+    tree: DecisionTree,
+    points: np.ndarray,
+    labels: np.ndarray,
+    width: int = 60,
+    height: int = 24,
+) -> str:
+    """Figure 1(b): points plus leaf-region borders.
+
+    Region borders are drawn with ``|`` and ``-``; points keep their
+    partition glyphs and overwrite borders where they collide.
+    """
+    points = np.asarray(points, dtype=float)
+    if points.shape[1] != 2:
+        raise ValueError("render_descriptors is 2D-only")
+    lo = points.min(axis=0)
+    hi = points.max(axis=0)
+    span = np.maximum(hi - lo, 1e-12)
+
+    def to_cell(x, y):
+        cx = int(np.clip((x - lo[0]) / span[0] * (width - 1), 0, width - 1))
+        cy = int(np.clip((y - lo[1]) / span[1] * (height - 1), 0, height - 1))
+        return height - 1 - cy, cx
+
+    grid = [[" "] * width for _ in range(height)]
+    domain = np.stack((lo, hi))
+    _, regions = leaf_regions(tree, domain)
+    for box in regions:
+        r0, c0 = to_cell(box[0, 0], box[1, 1])
+        r1, c1 = to_cell(box[1, 0], box[0, 1])
+        for c in range(min(c0, c1), max(c0, c1) + 1):
+            grid[r0][c] = "-"
+            grid[r1][c] = "-"
+        for r in range(min(r0, r1), max(r0, r1) + 1):
+            grid[r][c0] = "|"
+            grid[r][c1] = "|"
+    for (x, y), lab in zip(points, np.asarray(labels, dtype=np.int64)):
+        r, c = to_cell(x, y)
+        grid[r][c] = _GLYPHS[lab % len(_GLYPHS)]
+    return "\n".join("".join(row) for row in grid)
+
+
+def render_tree(tree: DecisionTree, dims: Sequence[str] = ("x", "y", "z")) -> str:
+    """Figure 1(c): the decision tree with its hyperplane tests."""
+    lines: List[str] = []
+
+    def walk(nid: int, prefix: str, tail: bool) -> None:
+        node = tree.nodes[nid]
+        connector = "`- " if tail else "|- "
+        if node.is_leaf:
+            purity = "" if node.is_pure else " (impure)"
+            lines.append(
+                f"{prefix}{connector}leaf: partition {node.label}, "
+                f"{node.n_points} pts{purity}"
+            )
+            return
+        dim_name = dims[node.dim] if node.dim < len(dims) else str(node.dim)
+        lines.append(
+            f"{prefix}{connector}{dim_name} <= {node.threshold:.3g}?"
+        )
+        child_prefix = prefix + ("   " if tail else "|  ")
+        walk(node.left, child_prefix, tail=False)
+        walk(node.right, child_prefix, tail=True)
+
+    root = tree.nodes[tree.root]
+    if root.is_leaf:
+        purity = "" if root.is_pure else " (impure)"
+        lines.append(
+            f"leaf: partition {root.label}, {root.n_points} pts{purity}"
+        )
+    else:
+        dim_name = (
+            dims[root.dim] if root.dim < len(dims) else str(root.dim)
+        )
+        lines.append(f"{dim_name} <= {root.threshold:.3g}?")
+        walk(root.left, "", tail=False)
+        walk(root.right, "", tail=True)
+    return "\n".join(lines)

@@ -1,0 +1,168 @@
+"""Axis-parallel split search with the paper's splitting index (Eq. 1).
+
+    index = sqrt(Σ_i |A1,i|²) + sqrt(Σ_i |A2,i|²)
+
+maximised over every hyperplane passing between successive sorted
+coordinates in each dimension. The scan is O(n log n) per dimension and
+— crucially — independent of the number of partitions k: instead of a
+(n × k) prefix-count matrix we use the occurrence-rank identity
+
+    Σ_c left_c(i)²  =  Σ_{j ≤ i} (2·rank_j − 1)
+
+where ``rank_j`` is the 1-based occurrence number of point j's label
+among its class in sorted order, so both ``Σ|A1,i|²`` and ``Σ|A2,i|²``
+come from two O(n) cumulative sums.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class SplitResult:
+    """A chosen hyperplane: ``points[:, dim] <= threshold`` go left."""
+
+    dim: int
+    threshold: float
+    index_value: float
+    n_left: int
+    n_right: int
+
+
+def _occurrence_ranks(labels: np.ndarray) -> np.ndarray:
+    """1-based occurrence rank of each element among equal labels,
+    in array order. E.g. [a, b, a, a] -> [1, 1, 2, 3]."""
+    n = len(labels)
+    idx = np.argsort(labels, kind="stable")
+    sorted_lab = labels[idx]
+    boundaries = np.nonzero(np.diff(sorted_lab))[0] + 1
+    group_start = np.concatenate(([0], boundaries))
+    sizes = np.diff(np.concatenate((group_start, [n])))
+    ranks_sorted = np.arange(n) - np.repeat(group_start, sizes)
+    ranks = np.empty(n, dtype=np.int64)
+    ranks[idx] = ranks_sorted + 1
+    return ranks
+
+
+def _sumsq_prefix(labels_in_order: np.ndarray) -> np.ndarray:
+    """``out[i] = Σ_c (count of class c among the first i elements)²``
+    for i in 0..n (length n+1)."""
+    ranks = _occurrence_ranks(labels_in_order)
+    inc = 2 * ranks - 1
+    out = np.zeros(len(labels_in_order) + 1, dtype=np.int64)
+    np.cumsum(inc, out=out[1:])
+    return out
+
+
+def split_index_curve(
+    coords: np.ndarray, labels: np.ndarray
+) -> tuple:
+    """Eq. 1 values for all candidate cuts along one dimension.
+
+    Returns ``(order, valid, index)`` where ``order`` sorts the points
+    by coordinate, ``valid[i]`` marks cut positions *after* sorted
+    point ``i`` (i.e. between distinct coordinates), and ``index[i]``
+    is the Eq. 1 value of that cut. Exposed for tests and for the
+    margin-aware extension.
+    """
+    order = np.argsort(coords, kind="stable")
+    c = coords[order]
+    lab = labels[order]
+    n = len(c)
+    left_sq = _sumsq_prefix(lab)  # prefix sums of squares
+    right_sq = _sumsq_prefix(lab[::-1])[::-1]  # suffix sums of squares
+    # cut after sorted position i (0-based) puts i+1 points left
+    sizes_left = np.arange(1, n, dtype=np.int64)
+    idx_vals = np.sqrt(left_sq[1:n].astype(float)) + np.sqrt(
+        right_sq[1:n].astype(float)
+    )
+    valid = c[:-1] < c[1:]
+    return order, valid, idx_vals
+
+
+def best_split(
+    points: np.ndarray,
+    labels: np.ndarray,
+    margin_weight: float = 0.0,
+) -> Optional[SplitResult]:
+    """Best Eq. 1 split over all dimensions, or ``None`` if every
+    dimension is constant (the node is geometrically unsplittable).
+
+    ``margin_weight > 0`` enables the paper's §6 extension: the score
+    is augmented by the (normalised) gap width between the two points
+    the hyperplane separates, preferring cuts through sparse regions.
+    Ties are broken toward the more size-balanced cut to keep trees
+    shallow.
+    """
+    points = np.asarray(points, dtype=float)
+    labels = np.asarray(labels, dtype=np.int64)
+    n, d = points.shape
+    if n < 2:
+        return None
+
+    best: Optional[SplitResult] = None
+    best_key = None
+    for dim in range(d):
+        coords = points[:, dim]
+        order, valid, idx_vals = split_index_curve(coords, labels)
+        if not valid.any():
+            continue
+        score = idx_vals.astype(float)
+        if margin_weight > 0.0:
+            c = coords[order]
+            extent = c[-1] - c[0]
+            if extent > 0:
+                gaps = (c[1:] - c[:-1]) / extent
+                score = score + margin_weight * n * gaps
+        score = np.where(valid, score, -np.inf)
+        i = int(np.argmax(score))
+        # tie-break toward balance among equal scores
+        ties = np.nonzero(score == score[i])[0]
+        if len(ties) > 1:
+            i = int(ties[np.argmin(np.abs(ties + 1 - n / 2))])
+        c = coords[order]
+        key = (score[i], -abs((i + 1) - n / 2))
+        if best_key is None or key > best_key:
+            best_key = key
+            best = SplitResult(
+                dim=dim,
+                threshold=float(0.5 * (c[i] + c[i + 1])),
+                index_value=float(idx_vals[i]),
+                n_left=i + 1,
+                n_right=n - (i + 1),
+            )
+    return best
+
+
+def median_split(points: np.ndarray) -> Optional[SplitResult]:
+    """Balanced median cut along the longest extent.
+
+    Used for *pure* nodes in bounded induction (§4.2), where Eq. 1 is
+    indifferent (every cut of a single-class node scores the same) and
+    the goal is simply to produce compact, movable boxes.
+    """
+    points = np.asarray(points, dtype=float)
+    n, d = points.shape
+    if n < 2:
+        return None
+    extents = points.max(axis=0) - points.min(axis=0)
+    for dim in np.argsort(extents)[::-1]:
+        coords = points[:, int(dim)]
+        order = np.argsort(coords, kind="stable")
+        c = coords[order]
+        valid = np.nonzero(c[:-1] < c[1:])[0]
+        if len(valid) == 0:
+            continue
+        i = int(valid[np.argmin(np.abs(valid + 1 - n / 2))])
+        return SplitResult(
+            dim=int(dim),
+            threshold=float(0.5 * (c[i] + c[i + 1])),
+            index_value=float(n),
+            n_left=i + 1,
+            n_right=n - (i + 1),
+        )
+    return None

@@ -1,0 +1,132 @@
+"""Decision-tree data structure.
+
+Nodes live in a flat list (ids are list indices) so queries can be run
+as array-driven frontier sweeps instead of per-point recursion. Leaves
+carry the majority partition label, the point count, and a purity flag;
+interior nodes carry the ``(dim, threshold)`` hyperplane. The *yes*
+branch (``coord <= threshold``) is ``left``, matching the paper's
+Figure 1(c) convention.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, List, Optional
+
+import numpy as np
+
+
+@dataclass
+class TreeNode:
+    """One decision-tree node (interior or leaf)."""
+
+    n_points: int
+    label: int = -1  # majority partition label (valid for leaves)
+    is_pure: bool = False
+    dim: int = -1  # split dimension (interior only)
+    threshold: float = 0.0  # split position (interior only)
+    left: int = -1  # child ids, -1 on leaves
+    right: int = -1
+
+    @property
+    def is_leaf(self) -> bool:
+        """True when the node has no children."""
+        return self.left < 0
+
+
+@dataclass
+class DecisionTree:
+    """Flat-array decision tree over a labelled point set.
+
+    ``k`` is the number of partition labels the tree discriminates.
+    """
+
+    nodes: List[TreeNode] = field(default_factory=list)
+    k: int = 0
+    root: int = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def n_nodes(self) -> int:
+        """Total node count — the paper's **NTNodes** metric."""
+        return len(self.nodes)
+
+    @property
+    def n_leaves(self) -> int:
+        """Number of leaves (= rectangles/boxes in the descriptors)."""
+        return sum(1 for nd in self.nodes if nd.is_leaf)
+
+    def leaf_ids(self) -> np.ndarray:
+        """Ids of all leaf nodes."""
+        return np.array(
+            [i for i, nd in enumerate(self.nodes) if nd.is_leaf],
+            dtype=np.int64,
+        )
+
+    def depth(self) -> int:
+        """Maximum root-to-leaf edge count (0 for a single-leaf tree)."""
+        depths = {self.root: 0}
+        best = 0
+        stack = [self.root]
+        while stack:
+            nid = stack.pop()
+            node = self.nodes[nid]
+            if node.is_leaf:
+                best = max(best, depths[nid])
+                continue
+            for child in (node.left, node.right):
+                depths[child] = depths[nid] + 1
+                stack.append(child)
+        return best
+
+    def leaf_labels(self) -> np.ndarray:
+        """Majority partition label of each leaf, aligned with
+        :meth:`leaf_ids`."""
+        return np.array(
+            [nd.label for nd in self.nodes if nd.is_leaf], dtype=np.int64
+        )
+
+    def partitions_present(self) -> np.ndarray:
+        """Sorted unique partition labels among the leaves."""
+        return np.unique(self.leaf_labels())
+
+    def validate(self) -> None:
+        """Structural sanity checks (tests/debugging)."""
+        seen = np.zeros(len(self.nodes), dtype=bool)
+        stack = [self.root]
+        while stack:
+            nid = stack.pop()
+            if seen[nid]:
+                raise ValueError(f"node {nid} reachable twice (cycle?)")
+            seen[nid] = True
+            node = self.nodes[nid]
+            if node.is_leaf:
+                if node.right >= 0:
+                    raise ValueError(f"leaf {nid} has a right child")
+                if not 0 <= node.label < max(self.k, 1):
+                    raise ValueError(
+                        f"leaf {nid} label {node.label} out of range"
+                    )
+            else:
+                if node.right < 0:
+                    raise ValueError(f"interior node {nid} missing a child")
+                if node.dim < 0:
+                    raise ValueError(f"interior node {nid} has no split dim")
+                children_pts = (
+                    self.nodes[node.left].n_points
+                    + self.nodes[node.right].n_points
+                )
+                if children_pts != node.n_points:
+                    raise ValueError(
+                        f"node {nid} point count mismatch: "
+                        f"{node.n_points} != {children_pts}"
+                    )
+                stack.extend((node.left, node.right))
+        if not seen.all():
+            raise ValueError("unreachable nodes present")
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"DecisionTree(nodes={self.n_nodes}, leaves={self.n_leaves}, "
+            f"k={self.k})"
+        )

@@ -1,0 +1,22 @@
+"""Geometric substrate: axis-aligned boxes, recursive coordinate
+bisection (RCB), and the bounding-box-filter global search used by the
+ML+RCB baseline."""
+
+from repro.geometry.bbox import (
+    bbox_of_points,
+    bboxes_of_groups,
+    bboxes_intersect_matrix,
+    element_bboxes,
+)
+from repro.geometry.rcb import RCBTree, rcb_partition
+from repro.geometry.boxsearch import bbox_filter_search
+
+__all__ = [
+    "bbox_of_points",
+    "bboxes_of_groups",
+    "bboxes_intersect_matrix",
+    "element_bboxes",
+    "RCBTree",
+    "rcb_partition",
+    "bbox_filter_search",
+]

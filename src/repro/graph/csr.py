@@ -1,0 +1,178 @@
+"""Compressed-sparse-row graph with multi-constraint vertex weights.
+
+This is the METIS data model: ``xadj``/``adjncy`` adjacency arrays with
+both directions of every undirected edge stored, integer edge weights
+``adjwgt``, and an ``(n, ncon)`` matrix of vertex weights where each
+column is one balance constraint.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Optional
+
+import numpy as np
+
+from repro.utils.validation import check_array
+
+
+@dataclass
+class CSRGraph:
+    """Undirected weighted graph in CSR form.
+
+    Attributes
+    ----------
+    xadj:
+        ``int64[n+1]`` — adjacency offsets; neighbours of vertex ``v``
+        are ``adjncy[xadj[v]:xadj[v+1]]``.
+    adjncy:
+        ``int64[2m]`` — neighbour ids; every undirected edge appears in
+        both endpoints' lists.
+    adjwgt:
+        ``int64[2m]`` — edge weights, symmetric across the two copies.
+    vwgts:
+        ``int64[n, ncon]`` — vertex weight matrix; column ``j`` is the
+        ``j``-th balance constraint.
+    """
+
+    xadj: np.ndarray
+    adjncy: np.ndarray
+    adjwgt: np.ndarray
+    vwgts: np.ndarray
+
+    def __post_init__(self) -> None:
+        self.xadj = np.ascontiguousarray(self.xadj, dtype=np.int64)
+        self.adjncy = np.ascontiguousarray(self.adjncy, dtype=np.int64)
+        self.adjwgt = np.ascontiguousarray(self.adjwgt, dtype=np.int64)
+        vw = np.asarray(self.vwgts)
+        if vw.ndim == 1:
+            vw = vw[:, None]
+        self.vwgts = np.ascontiguousarray(vw, dtype=np.int64)
+
+    # ------------------------------------------------------------------
+    # basic properties
+    # ------------------------------------------------------------------
+    @property
+    def num_vertices(self) -> int:
+        """Number of vertices ``n``."""
+        return len(self.xadj) - 1
+
+    @property
+    def num_edges(self) -> int:
+        """Number of undirected edges ``m`` (each stored twice)."""
+        return len(self.adjncy) // 2
+
+    @property
+    def ncon(self) -> int:
+        """Number of balance constraints (columns of ``vwgts``)."""
+        return self.vwgts.shape[1]
+
+    @property
+    def total_vwgt(self) -> np.ndarray:
+        """Per-constraint total vertex weight, shape ``(ncon,)``."""
+        return self.vwgts.sum(axis=0)
+
+    def degree(self, v: int) -> int:
+        """Number of neighbours of vertex ``v``."""
+        return int(self.xadj[v + 1] - self.xadj[v])
+
+    def degrees(self) -> np.ndarray:
+        """Vector of all vertex degrees."""
+        return np.diff(self.xadj)
+
+    def neighbors(self, v: int) -> np.ndarray:
+        """Neighbour ids of ``v`` (a CSR view, do not mutate)."""
+        return self.adjncy[self.xadj[v] : self.xadj[v + 1]]
+
+    def edge_weights_of(self, v: int) -> np.ndarray:
+        """Weights of the edges incident to ``v``, aligned with
+        :meth:`neighbors`."""
+        return self.adjwgt[self.xadj[v] : self.xadj[v + 1]]
+
+    def iter_edges(self) -> Iterator[tuple]:
+        """Yield each undirected edge once as ``(u, v, w)`` with ``u < v``."""
+        for u in range(self.num_vertices):
+            for idx in range(self.xadj[u], self.xadj[u + 1]):
+                v = self.adjncy[idx]
+                if u < v:
+                    yield u, int(v), int(self.adjwgt[idx])
+
+    def edge_array(self) -> np.ndarray:
+        """All undirected edges once, as an ``(m, 3)`` array of
+        ``(u, v, w)`` rows with ``u < v``. Vectorised counterpart of
+        :meth:`iter_edges`."""
+        src = np.repeat(np.arange(self.num_vertices), self.degrees())
+        mask = src < self.adjncy
+        return np.column_stack(
+            (src[mask], self.adjncy[mask], self.adjwgt[mask])
+        )
+
+    # ------------------------------------------------------------------
+    # consistency
+    # ------------------------------------------------------------------
+    def validate(self) -> None:
+        """Check structural invariants; raise :class:`ValueError` on breakage.
+
+        Verifies monotone offsets, in-range neighbour ids, absence of
+        self-loops, symmetry of the adjacency structure, and matching
+        ``vwgts`` length. Intended for tests and debugging (O(m log m)).
+        """
+        n = self.num_vertices
+        check_array("xadj", self.xadj, ndim=1)
+        if n < 0 or self.xadj[0] != 0:
+            raise ValueError("xadj must start at 0")
+        if np.any(np.diff(self.xadj) < 0):
+            raise ValueError("xadj must be non-decreasing")
+        if self.xadj[-1] != len(self.adjncy):
+            raise ValueError("xadj[-1] must equal len(adjncy)")
+        if len(self.adjwgt) != len(self.adjncy):
+            raise ValueError("adjwgt and adjncy lengths differ")
+        if self.vwgts.shape[0] != n:
+            raise ValueError(
+                f"vwgts has {self.vwgts.shape[0]} rows for {n} vertices"
+            )
+        if len(self.adjncy):
+            if self.adjncy.min() < 0 or self.adjncy.max() >= n:
+                raise ValueError("adjncy contains out-of-range vertex ids")
+        src = np.repeat(np.arange(n), self.degrees())
+        if np.any(src == self.adjncy):
+            raise ValueError("graph contains self-loops")
+        # symmetry: the multiset of (u,v,w) equals the multiset of (v,u,w)
+        fwd = np.lexsort((self.adjwgt, self.adjncy, src))
+        rev = np.lexsort((self.adjwgt, src, self.adjncy))
+        if not (
+            np.array_equal(src[fwd], self.adjncy[rev])
+            and np.array_equal(self.adjncy[fwd], src[rev])
+            and np.array_equal(self.adjwgt[fwd], self.adjwgt[rev])
+        ):
+            raise ValueError("adjacency structure is not symmetric")
+
+    # ------------------------------------------------------------------
+    # conversions / misc
+    # ------------------------------------------------------------------
+    def with_vwgts(self, vwgts: np.ndarray) -> "CSRGraph":
+        """Return a graph sharing this adjacency but with new vertex
+        weights (used to re-weight the nodal graph per §4.2)."""
+        return CSRGraph(self.xadj, self.adjncy, self.adjwgt, vwgts)
+
+    def with_adjwgt(self, adjwgt: np.ndarray) -> "CSRGraph":
+        """Return a graph sharing this adjacency but with new edge weights."""
+        adjwgt = np.asarray(adjwgt, dtype=np.int64)
+        if len(adjwgt) != len(self.adjncy):
+            raise ValueError("adjwgt length must match adjncy")
+        return CSRGraph(self.xadj, self.adjncy, adjwgt, self.vwgts)
+
+    def copy(self) -> "CSRGraph":
+        """Deep copy."""
+        return CSRGraph(
+            self.xadj.copy(),
+            self.adjncy.copy(),
+            self.adjwgt.copy(),
+            self.vwgts.copy(),
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"CSRGraph(n={self.num_vertices}, m={self.num_edges}, "
+            f"ncon={self.ncon})"
+        )

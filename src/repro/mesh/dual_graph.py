@@ -1,0 +1,24 @@
+"""Dual graph of a mesh (paper §2).
+
+Vertices are elements; edges connect elements sharing an edge (2D) or
+face (3D). Not used by the headline MCML+DT pipeline (which partitions
+the nodal graph) but part of the substrate the paper assumes, and used
+in tests to cross-check surface extraction.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.graph.build import from_edge_list
+from repro.graph.csr import CSRGraph
+from repro.mesh.mesh import Mesh
+from repro.mesh.surface import interior_face_pairs
+
+
+def dual_graph(mesh: Mesh, vwgts: Optional[np.ndarray] = None) -> CSRGraph:
+    """Build the dual (element-adjacency) graph of ``mesh``."""
+    pairs = interior_face_pairs(mesh)
+    return from_edge_list(mesh.num_elements, pairs, vwgts=vwgts)

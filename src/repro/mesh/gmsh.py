@@ -1,0 +1,162 @@
+"""Gmsh MSH 2.2 (ASCII) import.
+
+Lets users run the pipeline on their own meshes: the MSH2 format is
+the lingua franca every mesh generator can emit. Only the element
+types this library supports are imported (triangles, quads, tets,
+hexes — Gmsh type codes 2, 3, 4, 5); lower-dimensional elements
+(points, lines) and unsupported 3D types are skipped. The Gmsh
+*physical group* tag (first element tag) becomes the body id, so
+multi-body contact scenes import directly.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Dict, List, Tuple, Union
+
+import numpy as np
+
+from repro.mesh.mesh import Mesh
+
+PathLike = Union[str, Path]
+
+# Gmsh element type -> (our type, node count)
+_GMSH_TYPES: Dict[int, Tuple[str, int]] = {
+    2: ("tri", 3),
+    3: ("quad", 4),
+    4: ("tet", 4),
+    5: ("hex", 8),
+}
+
+# node count per Gmsh type (for skipping unsupported elements)
+_GMSH_NODE_COUNT: Dict[int, int] = {
+    1: 2, 2: 3, 3: 4, 4: 4, 5: 8, 6: 6, 7: 5, 8: 3, 9: 6,
+    10: 9, 11: 10, 15: 1,
+}
+
+
+def _sections(text: str) -> Dict[str, List[str]]:
+    """Split an MSH file into its ``$Name``…``$EndName`` sections."""
+    out: Dict[str, List[str]] = {}
+    current = None
+    buf: List[str] = []
+    for line in text.splitlines():
+        stripped = line.strip()
+        if stripped.startswith("$End"):
+            if current is None:
+                raise ValueError(f"unmatched {stripped}")
+            out[current] = buf
+            current, buf = None, []
+        elif stripped.startswith("$"):
+            current = stripped[1:]
+            buf = []
+        elif current is not None:
+            buf.append(stripped)
+    if current is not None:
+        raise ValueError(f"section ${current} is not closed")
+    return out
+
+
+def read_gmsh_mesh(path: PathLike, elem_type: str = "auto") -> Mesh:
+    """Read an MSH 2.2 ASCII file.
+
+    ``elem_type`` selects which element family to keep when the file
+    mixes several (``"auto"`` keeps the most numerous supported type).
+    Node ids are compacted to the nodes actually used. Raises
+    :class:`ValueError` on version ≠ 2.x, binary files, or when no
+    supported elements are present.
+    """
+    text = Path(path).read_text()
+    sections = _sections(text)
+
+    fmt = sections.get("MeshFormat")
+    if not fmt:
+        raise ValueError("missing $MeshFormat section")
+    version, file_type = fmt[0].split()[:2]
+    if not version.startswith("2"):
+        raise ValueError(f"only MSH 2.x is supported, got {version}")
+    if file_type != "0":
+        raise ValueError("binary MSH files are not supported")
+
+    node_lines = sections.get("Nodes")
+    if not node_lines:
+        raise ValueError("missing $Nodes section")
+    n_nodes = int(node_lines[0])
+    if len(node_lines) - 1 != n_nodes:
+        raise ValueError("node count mismatch in $Nodes")
+    ids = np.empty(n_nodes, dtype=np.int64)
+    coords = np.empty((n_nodes, 3))
+    for i, line in enumerate(node_lines[1:]):
+        tok = line.split()
+        ids[i] = int(tok[0])
+        coords[i] = [float(t) for t in tok[1:4]]
+    id_to_row = {int(g): i for i, g in enumerate(ids)}
+
+    elem_lines = sections.get("Elements")
+    if not elem_lines:
+        raise ValueError("missing $Elements section")
+    n_elems = int(elem_lines[0])
+    by_type: Dict[str, List[List[int]]] = {}
+    bodies: Dict[str, List[int]] = {}
+    for line in elem_lines[1 : n_elems + 1]:
+        tok = [int(t) for t in line.split()]
+        etype = tok[1]
+        n_tags = tok[2]
+        tags = tok[3 : 3 + n_tags]
+        conn = tok[3 + n_tags :]
+        if etype not in _GMSH_TYPES:
+            continue
+        name, npe = _GMSH_TYPES[etype]
+        if len(conn) != npe:
+            raise ValueError(
+                f"element of type {etype} has {len(conn)} nodes, "
+                f"expected {npe}"
+            )
+        by_type.setdefault(name, []).append(
+            [id_to_row[c] for c in conn]
+        )
+        bodies.setdefault(name, []).append(tags[0] if tags else 0)
+
+    if not by_type:
+        raise ValueError("no supported elements (tri/quad/tet/hex) found")
+    if elem_type == "auto":
+        elem_type = max(by_type, key=lambda t: len(by_type[t]))
+    if elem_type not in by_type:
+        raise ValueError(
+            f"no {elem_type!r} elements in file; found "
+            f"{sorted(by_type)}"
+        )
+
+    elements = np.asarray(by_type[elem_type], dtype=np.int64)
+    body_raw = np.asarray(bodies[elem_type], dtype=np.int64)
+    # densify body ids
+    _, body_id = np.unique(body_raw, return_inverse=True)
+
+    # 2D meshes: drop the z column when it is constant
+    dim = 2 if elem_type in ("tri", "quad") else 3
+    nodes = coords[:, :dim]
+
+    # compact to used nodes
+    used = np.unique(elements)
+    remap = np.full(n_nodes, -1, dtype=np.int64)
+    remap[used] = np.arange(len(used))
+    return Mesh(nodes[used], remap[elements], elem_type, body_id)
+
+
+def write_gmsh_mesh(path: PathLike, mesh: Mesh) -> None:
+    """Write ``mesh`` as MSH 2.2 ASCII (round-trip counterpart)."""
+    rev = {name: code for code, (name, _) in _GMSH_TYPES.items()}
+    etype = rev[mesh.elem_type]
+    lines = ["$MeshFormat", "2.2 0 8", "$EndMeshFormat"]
+    lines += ["$Nodes", str(mesh.num_nodes)]
+    for i, p in enumerate(mesh.nodes):
+        xyz = list(p) + [0.0] * (3 - len(p))
+        lines.append(
+            f"{i + 1} {xyz[0]:.17g} {xyz[1]:.17g} {xyz[2]:.17g}"
+        )
+    lines += ["$EndNodes", "$Elements", str(mesh.num_elements)]
+    for e, (conn, body) in enumerate(zip(mesh.elements, mesh.body_id)):
+        conn_str = " ".join(str(int(c) + 1) for c in conn)
+        lines.append(f"{e + 1} {etype} 2 {int(body)} {int(body)} {conn_str}")
+    lines += ["$EndElements"]
+    Path(path).write_text("\n".join(lines) + "\n")

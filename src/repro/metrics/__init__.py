@@ -1,0 +1,28 @@
+"""The paper's evaluation metrics (§5.1).
+
+* **FEComm** — total communication volume of the mesh partition.
+* **NTNodes** — decision-tree size (MCML+DT setup cost).
+* **NRemote** — surface elements shipped for global search.
+* **M2MComm** — contact points whose FE and RCB owners differ, after
+  optimal (maximal-weight matching) relabelling of the RCB parts.
+* **UpdComm** — contact points that change RCB owner between steps.
+"""
+
+from repro.metrics.comm import fe_comm
+from repro.metrics.mapping import (
+    m2m_comm,
+    optimal_relabel,
+    overlap_matrix,
+    update_comm,
+)
+from repro.metrics.report import MetricTable, format_table
+
+__all__ = [
+    "fe_comm",
+    "m2m_comm",
+    "optimal_relabel",
+    "overlap_matrix",
+    "update_comm",
+    "MetricTable",
+    "format_table",
+]

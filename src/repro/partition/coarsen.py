@@ -1,0 +1,62 @@
+"""Coarsening driver: repeated matching + contraction.
+
+Produces the hierarchy of graphs that multilevel bisection walks back
+up during uncoarsening. Coarsening stops when the graph is small
+enough for initial partitioning or when matching stalls (shrink factor
+above ``min_coarsen_ratio``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+import numpy as np
+
+from repro.graph.csr import CSRGraph
+from repro.graph.ops import contract
+from repro.partition.config import PartitionOptions
+from repro.partition.matching import heavy_edge_matching
+from repro.utils.rng import as_rng
+
+
+@dataclass
+class Level:
+    """One level of the multilevel hierarchy.
+
+    ``cmap`` maps this level's vertices to the next-coarser level's
+    vertices (``None`` on the coarsest level).
+    """
+
+    graph: CSRGraph
+    cmap: np.ndarray  # fine -> coarse map applied to produce the next level
+
+
+@dataclass
+class Hierarchy:
+    """Coarsening hierarchy: ``levels[0]`` is the input graph;
+    ``coarsest`` is the final contracted graph."""
+
+    levels: List[Level]
+    coarsest: CSRGraph
+
+    def project(self, coarse_part: np.ndarray, level_idx: int) -> np.ndarray:
+        """Project a partition of level ``level_idx + 1`` (or of
+        ``coarsest`` for the last level) onto level ``level_idx``."""
+        return coarse_part[self.levels[level_idx].cmap]
+
+
+def coarsen(graph: CSRGraph, options: PartitionOptions) -> Hierarchy:
+    """Build the coarsening hierarchy for ``graph``."""
+    rng = as_rng(options.seed)
+    levels: List[Level] = []
+    current = graph
+    while current.num_vertices > options.coarsen_to:
+        cmap, n_coarse = heavy_edge_matching(
+            current, rounds=options.matching_rounds, seed=rng
+        )
+        if n_coarse >= current.num_vertices * options.min_coarsen_ratio:
+            break  # matching stalled; further levels would be wasted work
+        levels.append(Level(graph=current, cmap=cmap))
+        current = contract(current, cmap, n_coarse)
+    return Hierarchy(levels=levels, coarsest=current)

@@ -1,0 +1,58 @@
+"""Top-level k-way partitioning entry point.
+
+``partition_kway`` is the library's equivalent of
+``METIS_PartGraphKway`` / the multi-constraint partitioner of [16]:
+recursive multilevel bisection followed by a greedy multi-constraint
+k-way refinement polish and, if needed, a rebalancing sweep.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.graph.csr import CSRGraph
+from repro.partition.config import PartitionOptions
+from repro.partition.fragments import absorb_fragments
+from repro.partition.recursive import recursive_bisection
+from repro.partition.refine_kway import greedy_kway_refine, rebalance_kway
+from repro.partition.refine_kway_fm import kway_fm_refine
+
+
+def partition_kway(
+    graph: CSRGraph,
+    k: int,
+    options: Optional[PartitionOptions] = None,
+) -> np.ndarray:
+    """Compute a balanced k-way partition of ``graph``.
+
+    Balances *every* column of ``graph.vwgts`` to within
+    ``options.ubfactor`` (best effort when infeasible) while minimising
+    the edge cut — i.e. single-constraint partitioning when ``ncon==1``
+    and multi-constraint partitioning (paper §2/[16]) otherwise.
+    """
+    if k < 1:
+        raise ValueError(f"k must be >= 1, got {k}")
+    if k > max(1, graph.num_vertices):
+        raise ValueError(
+            f"k={k} exceeds number of vertices {graph.num_vertices}"
+        )
+    options = options or PartitionOptions()
+    part = recursive_bisection(graph, k, options)
+    if k > 1:
+        # absorb stray fragments (may overload their destinations),
+        # repair balance, then polish the cut; twice, because
+        # rebalancing/refinement can strand new islands. Each round
+        # ends feasible: absorb is the only step allowed to overload,
+        # and rebalance_kway runs right after it.
+        for _round in range(2):
+            part, moved = absorb_fragments(graph, part, k, options)
+            part, _ = rebalance_kway(graph, part, k, options)
+            part = greedy_kway_refine(graph, part, k, options)
+            if moved == 0:
+                break
+        # hill-climbing FM polish (escapes the greedy loop's local
+        # minima; feasibility-preserving)
+        part = kway_fm_refine(graph, part, k, options)
+    return part

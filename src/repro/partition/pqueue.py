@@ -1,0 +1,67 @@
+"""Max-priority queue with updatable keys, for FM refinement.
+
+Classic heap + lazy invalidation: updating a vertex pushes a fresh
+entry and bumps a version counter; stale entries are discarded on pop.
+For FM's access pattern (many updates to boundary vertices) this is
+simpler and, in Python, faster than a indexed binary heap.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Hashable, Optional, Tuple
+
+
+class MaxPQ:
+    """Max-priority queue keyed by arbitrary hashable items."""
+
+    def __init__(self) -> None:
+        self._heap: list = []
+        self._version: dict = {}
+        self._counter = itertools.count()
+
+    def __len__(self) -> int:
+        return len(self._version)
+
+    def __contains__(self, item: Hashable) -> bool:
+        return item in self._version
+
+    def insert(self, item: Hashable, priority: float) -> None:
+        """Insert or update ``item`` with ``priority``."""
+        count = next(self._counter)
+        self._version[item] = count
+        # negate for max-heap on heapq's min-heap; counter breaks ties FIFO
+        heapq.heappush(self._heap, (-priority, count, item))
+
+    update = insert
+
+    def remove(self, item: Hashable) -> None:
+        """Remove ``item`` if present (lazy; the heap entry is orphaned)."""
+        self._version.pop(item, None)
+
+    def peek(self) -> Optional[Tuple[Hashable, float]]:
+        """Return ``(item, priority)`` of the max without removing it."""
+        self._drop_stale()
+        if not self._heap:
+            return None
+        neg, _, item = self._heap[0]
+        return item, -neg
+
+    def pop(self) -> Optional[Tuple[Hashable, float]]:
+        """Remove and return ``(item, priority)`` of the max, or ``None``."""
+        self._drop_stale()
+        if not self._heap:
+            return None
+        neg, count, item = heapq.heappop(self._heap)
+        del self._version[item]
+        return item, -neg
+
+    def _drop_stale(self) -> None:
+        heap = self._heap
+        version = self._version
+        while heap:
+            neg, count, item = heap[0]
+            if version.get(item) == count:
+                return
+            heapq.heappop(heap)

@@ -1,0 +1,224 @@
+"""Fiduccia–Mattheyses bisection refinement with multi-constraint balance.
+
+Each pass has two phases:
+
+1. *Rebalance* — while the bisection violates a constraint bound, move
+   the best-gain vertex out of a violating side (boundary vertices
+   first). This is what repairs infeasible initial bisections and the
+   paper's post-projection imbalances.
+2. *Hill-climb* — classic FM: repeatedly move the highest-gain vertex
+   whose move keeps the bisection feasible, allowing a bounded run of
+   negative-gain moves, then roll back to the best prefix seen.
+
+Gains are maintained incrementally; the initial gain vector is computed
+with one vectorised pass over the edge arrays.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.graph.csr import CSRGraph
+from repro.graph.metrics import edge_cut
+from repro.partition.balance import (
+    BalanceTracker,
+    is_feasible,
+    move_keeps_feasible,
+    violation,
+    violation_delta,
+)
+from repro.partition.config import PartitionOptions
+from repro.partition.pqueue import MaxPQ
+
+
+def gain_vector(graph: CSRGraph, part: np.ndarray) -> np.ndarray:
+    """FM gains for all vertices: external minus internal edge weight."""
+    n = graph.num_vertices
+    src = np.repeat(np.arange(n), graph.degrees())
+    same = part[src] == part[graph.adjncy]
+    contrib = np.where(same, -graph.adjwgt, graph.adjwgt)
+    gains = np.zeros(n, dtype=np.int64)
+    np.add.at(gains, src, contrib)
+    return gains
+
+
+def _boundary_mask(graph: CSRGraph, part: np.ndarray) -> np.ndarray:
+    n = graph.num_vertices
+    src = np.repeat(np.arange(n), graph.degrees())
+    cut = part[src] != part[graph.adjncy]
+    mask = np.zeros(n, dtype=bool)
+    mask[src[cut]] = True
+    return mask
+
+
+def _partition_weights2(graph: CSRGraph, part: np.ndarray) -> np.ndarray:
+    pw = np.zeros((2, graph.ncon), dtype=np.int64)
+    np.add.at(pw, part, graph.vwgts)
+    return pw
+
+
+def _rebalance(
+    graph: CSRGraph,
+    part: np.ndarray,
+    pwgts: np.ndarray,
+    targets: np.ndarray,
+    ubfactor: float,
+    max_moves: int,
+) -> None:
+    """Greedy violation descent (phase 1). Mutates ``part``/``pwgts``.
+
+    Each move targets the worst (side, constraint) excess and scores
+    only vertices carrying weight in that constraint; gains are
+    maintained incrementally after each move.
+    """
+    tracker = BalanceTracker(pwgts, targets, ubfactor)
+    if tracker.total <= 1e-12:
+        return
+    gains = gain_vector(graph, part)
+    boundary = _boundary_mask(graph, part)
+    vwgts = graph.vwgts
+
+    for _ in range(max_moves):
+        worst = tracker.worst()
+        if worst is None:
+            break
+        side, j_star = worst
+        cand = np.nonzero(
+            (part == side) & boundary & (vwgts[:, j_star] > 0)
+        )[0]
+        if len(cand) == 0:
+            cand = np.nonzero((part == side) & (vwgts[:, j_star] > 0))[0]
+        if len(cand) == 0:
+            break  # the binding weight cannot be exported at all
+        # best balance improvement, then best gain
+        top = cand[np.argsort(gains[cand])[::-1][:64]]
+        best = None  # (delta, -gain, v)
+        for v in top:
+            v = int(v)
+            dv = tracker.delta_move(side, 1 - side, vwgts[v].tolist())
+            if dv < -1e-12:
+                key = (dv, -gains[v], v)
+                if best is None or key < best:
+                    best = key
+        if best is None:
+            break  # no single move improves balance
+        _, _, v = best
+        part[v] = 1 - side
+        tracker.apply_move(side, 1 - side, vwgts[v].tolist())
+        # incremental gain + boundary maintenance around v
+        gains[v] = -gains[v]
+        nbrs = graph.neighbors(v)
+        wts = graph.edge_weights_of(v)
+        for u, w in zip(nbrs, wts):
+            if part[u] == part[v]:
+                gains[u] -= 2 * w
+            else:
+                gains[u] += 2 * w
+            boundary[u] = True
+        boundary[v] = True
+    pwgts[:] = tracker.pwgts_array().astype(np.int64)
+
+
+def fm_refine_bisection(
+    graph: CSRGraph,
+    part: np.ndarray,
+    targets: np.ndarray,
+    options: PartitionOptions,
+) -> np.ndarray:
+    """Refine a 0/1 partition in place; returns ``part``.
+
+    ``targets`` has shape ``(2, ncon)``.
+    """
+    n = graph.num_vertices
+    part = np.asarray(part, dtype=np.int64)
+    pwgts = _partition_weights2(graph, part)
+
+    for _pass in range(options.fm_passes):
+        _rebalance(
+            graph, part, pwgts, targets, options.ubfactor, max_moves=n
+        )
+        improved = _fm_pass(graph, part, pwgts, targets, options)
+        if not improved:
+            break
+    return part
+
+
+def _fm_pass(
+    graph: CSRGraph,
+    part: np.ndarray,
+    pwgts: np.ndarray,
+    targets: np.ndarray,
+    options: PartitionOptions,
+) -> bool:
+    """One FM hill-climbing pass. Returns True if the cut improved."""
+    gains = gain_vector(graph, part)
+    boundary = _boundary_mask(graph, part)
+    locked = np.zeros(graph.num_vertices, dtype=bool)
+
+    queues = (MaxPQ(), MaxPQ())
+    for v in np.nonzero(boundary)[0]:
+        queues[part[v]].insert(int(v), float(gains[v]))
+
+    start_cut = cur_cut = edge_cut(graph, part)
+    best_cut = cur_cut
+    moves: list = []  # (v, from_side)
+    best_len = 0
+    since_best = 0
+
+    while since_best < options.fm_neg_moves:
+        # pick the feasible move with the larger gain among the two tops
+        choice = None
+        for side in (0, 1):
+            top = queues[side].peek()
+            if top is None:
+                continue
+            v, g = top
+            if choice is None or g > choice[1]:
+                choice = (side, g, v)
+        if choice is None:
+            break
+        side, g, v = choice
+        queues[side].pop()
+        if locked[v] or part[v] != side:
+            continue
+        if not move_keeps_feasible(
+            pwgts, graph.vwgts[v], side, 1 - side, targets, options.ubfactor
+        ):
+            continue  # discard for this pass
+
+        # execute the move
+        part[v] = 1 - side
+        pwgts[side] -= graph.vwgts[v]
+        pwgts[1 - side] += graph.vwgts[v]
+        locked[v] = True
+        cur_cut -= int(gains[v])
+        moves.append((v, side))
+
+        if cur_cut < best_cut:
+            best_cut = cur_cut
+            best_len = len(moves)
+            since_best = 0
+        else:
+            since_best += 1
+
+        # incremental gain updates for unlocked neighbours
+        nbrs = graph.neighbors(v)
+        wts = graph.edge_weights_of(v)
+        for u, w in zip(nbrs, wts):
+            if locked[u]:
+                continue
+            if part[u] == part[v]:
+                gains[u] -= 2 * w  # edge became internal
+            else:
+                gains[u] += 2 * w  # edge became external
+            queues[part[u]].insert(int(u), float(gains[u]))
+
+    # roll back past the best prefix
+    for v, side in reversed(moves[best_len:]):
+        part[v] = side
+        pwgts[1 - side] -= graph.vwgts[v]
+        pwgts[side] += graph.vwgts[v]
+
+    return best_cut < start_cut

@@ -1,0 +1,197 @@
+"""Greedy multi-constraint k-way refinement and rebalancing.
+
+Two related loops over boundary vertices:
+
+* :func:`greedy_kway_refine` — cut-driven: move a vertex to the
+  adjacent partition with the largest positive gain among
+  balance-feasible destinations (gain-0 moves are taken when they
+  strictly improve balance). This is the final polish after recursive
+  bisection *and* the refinement operator applied to the collapsed leaf
+  graph ``G'`` in the paper's §4.2 (there, each vertex is a whole
+  rectangular region, so feasible moves preserve axis-parallel
+  boundaries by construction).
+
+* :func:`rebalance_kway` — balance-driven: while any partition exceeds
+  a constraint bound, pick the partition/constraint with the worst
+  relative excess and move the vertex that best reduces the total
+  violation (cheapest cut loss among ties) out of it. Restores
+  feasibility of the paper's P' majority-reassigned partition and
+  implements the diffusion step of the repartitioner.
+
+Both loops track balance with
+:class:`~repro.partition.balance.BalanceTracker`, so a move query is
+O(ncon) without allocations.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.graph.csr import CSRGraph
+from repro.graph.metrics import boundary_vertices, partition_weights
+from repro.partition.balance import BalanceTracker, target_weights
+from repro.partition.config import PartitionOptions
+from repro.utils.rng import as_rng
+
+
+def _neighbor_partition_weights(
+    graph: CSRGraph, part: np.ndarray, v: int
+) -> Dict[int, int]:
+    """Total edge weight from ``v`` into each adjacent partition."""
+    conn: Dict[int, int] = {}
+    nbrs = graph.neighbors(v)
+    wts = graph.edge_weights_of(v)
+    for u, w in zip(nbrs, wts):
+        p = int(part[u])
+        conn[p] = conn.get(p, 0) + int(w)
+    return conn
+
+
+def _make_tracker(
+    graph: CSRGraph,
+    part: np.ndarray,
+    k: int,
+    ubfactor: float,
+    fracs: Optional[np.ndarray],
+) -> BalanceTracker:
+    if fracs is None:
+        fracs = np.full(k, 1.0 / k)
+    targets = target_weights(graph.total_vwgt, fracs)
+    pwgts = partition_weights(graph, part, k)
+    return BalanceTracker(pwgts, targets, ubfactor)
+
+
+def greedy_kway_refine(
+    graph: CSRGraph,
+    part: np.ndarray,
+    k: int,
+    options: Optional[PartitionOptions] = None,
+    fracs: Optional[np.ndarray] = None,
+) -> np.ndarray:
+    """Refine a k-way partition in place; returns ``part``."""
+    options = options or PartitionOptions()
+    part = np.asarray(part, dtype=np.int64)
+    rng = as_rng(options.seed)
+    tracker = _make_tracker(graph, part, k, options.ubfactor, fracs)
+    vwgts = graph.vwgts.tolist()
+
+    for _pass in range(options.kway_passes):
+        moved = 0
+        bnd = boundary_vertices(graph, part)
+        rng.shuffle(bnd)
+        for v in bnd:
+            v = int(v)
+            src = int(part[v])
+            conn = _neighbor_partition_weights(graph, part, v)
+            own = conn.get(src, 0)
+            vw = vwgts[v]
+            best = None  # (gain, -delta, dst)
+            for dst, wgt in conn.items():
+                if dst == src:
+                    continue
+                gain = wgt - own
+                if gain < 0:
+                    continue
+                if not tracker.fits(dst, vw):
+                    continue
+                dv = tracker.delta_move(src, dst, vw)
+                if gain == 0 and dv >= -1e-12:
+                    continue  # zero-gain move must strictly help balance
+                key = (gain, -dv, dst)
+                if best is None or key > best:
+                    best = key
+            if best is not None:
+                dst = best[2]
+                part[v] = dst
+                tracker.apply_move(src, dst, vw)
+                moved += 1
+        if moved == 0:
+            break
+    return part
+
+
+def rebalance_kway(
+    graph: CSRGraph,
+    part: np.ndarray,
+    k: int,
+    options: Optional[PartitionOptions] = None,
+    fracs: Optional[np.ndarray] = None,
+    max_moves: Optional[int] = None,
+    sample_cap: int = 384,
+) -> Tuple[np.ndarray, int]:
+    """Drive a k-way partition toward feasibility with minimal cut loss.
+
+    Returns ``(part, n_moved)``. Terminates when feasible, when no
+    single move improves the violation, or after ``max_moves``. Each
+    move targets the worst (partition, constraint) excess; at most
+    ``sample_cap`` candidate vertices are scored per move to bound the
+    per-move cost on huge boundaries.
+    """
+    options = options or PartitionOptions()
+    part = np.asarray(part, dtype=np.int64)
+    tracker = _make_tracker(graph, part, k, options.ubfactor, fracs)
+    vwgts_arr = graph.vwgts
+    vwgts = vwgts_arr.tolist()
+    if max_moves is None:
+        max_moves = 4 * graph.num_vertices
+    rng = as_rng(options.seed)
+
+    n_moved = 0
+    stall = 0
+    while n_moved < max_moves and tracker.total > 1e-12 and stall < k + 2:
+        worst = tracker.worst()
+        if worst is None:
+            break
+        p_star, j_star = worst
+        bnd = boundary_vertices(graph, part)
+        cand = bnd[part[bnd] == p_star]
+        # the binding constraint only shrinks by exporting weight in it
+        cand = cand[vwgts_arr[cand, j_star] > 0]
+        if len(cand) == 0:
+            wide = np.nonzero(
+                (part == p_star) & (vwgts_arr[:, j_star] > 0)
+            )[0]
+            cand = wide
+        if len(cand) == 0:
+            stall += 1  # nothing movable carries this constraint
+            continue
+        if len(cand) > sample_cap:
+            cand = rng.choice(cand, size=sample_cap, replace=False)
+
+        best = None  # (delta, cut_loss, v, dst)
+        for v in cand:
+            v = int(v)
+            conn = _neighbor_partition_weights(graph, part, v)
+            own = conn.get(p_star, 0)
+            vw = vwgts[v]
+            # adjacent partitions first, but also any partition with
+            # spare capacity overall or slack in the binding constraint:
+            # when every neighbouring partition is itself overweight,
+            # balance can only be restored by a "teleport" move that a
+            # later refinement pass cleans up
+            dsts = set(conn)
+            for d in range(k):
+                if tracker.fits(d, vw) or (
+                    tracker.pw[d][j_star] < tracker.allowed[d][j_star]
+                ):
+                    dsts.add(d)
+            dsts.discard(p_star)
+            for dst in dsts:
+                dv = tracker.delta_move(p_star, dst, vw)
+                if dv >= -1e-12:
+                    continue
+                cut_loss = own - conn.get(dst, 0)
+                key = (dv, cut_loss, v, dst)
+                if best is None or key < best:
+                    best = key
+        if best is None:
+            stall += 1
+            continue
+        stall = 0
+        _, _, v, dst = best
+        part[v] = dst
+        tracker.apply_move(p_star, dst, vwgts[v])
+        n_moved += 1
+    return part, n_moved

@@ -1,0 +1,143 @@
+"""Priority-queue k-way FM refinement with hill climbing.
+
+:mod:`repro.partition.refine_kway`'s greedy loop only takes
+non-negative-gain moves, so it stalls in local minima that classic FM
+escapes by accepting a bounded run of negative-gain moves and rolling
+back to the best prefix. This module is the k-way analogue of
+:mod:`repro.partition.refine_fm`: one global max-priority queue over
+boundary vertices keyed by their best feasible move gain, incremental
+gain updates around each move, and prefix rollback per pass.
+
+Used as the per-level refiner of the direct multilevel k-way driver
+and as an optional stronger final polish for recursive bisection.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.graph.csr import CSRGraph
+from repro.graph.metrics import boundary_vertices, edge_cut, partition_weights
+from repro.partition.balance import BalanceTracker, target_weights
+from repro.partition.config import PartitionOptions
+from repro.partition.pqueue import MaxPQ
+from repro.utils.rng import as_rng
+
+
+def _conn_of(graph: CSRGraph, part: np.ndarray, v: int) -> Dict[int, int]:
+    conn: Dict[int, int] = {}
+    nbrs = graph.neighbors(v)
+    wts = graph.edge_weights_of(v)
+    for u, w in zip(nbrs, wts):
+        p = int(part[u])
+        conn[p] = conn.get(p, 0) + int(w)
+    return conn
+
+
+def _best_move(
+    graph: CSRGraph,
+    part: np.ndarray,
+    tracker: BalanceTracker,
+    vwgts: list,
+    v: int,
+) -> Optional[Tuple[int, int]]:
+    """Best feasible (gain, dst) for vertex ``v``, or None."""
+    src = int(part[v])
+    conn = _conn_of(graph, part, v)
+    own = conn.get(src, 0)
+    vw = vwgts[v]
+    best = None
+    for dst, wgt in conn.items():
+        if dst == src:
+            continue
+        if not tracker.fits(dst, vw):
+            continue
+        gain = wgt - own
+        if best is None or gain > best[0]:
+            best = (gain, dst)
+    return best
+
+
+def kway_fm_refine(
+    graph: CSRGraph,
+    part: np.ndarray,
+    k: int,
+    options: Optional[PartitionOptions] = None,
+    fracs: Optional[np.ndarray] = None,
+    passes: Optional[int] = None,
+) -> np.ndarray:
+    """FM-style k-way refinement in place; returns ``part``.
+
+    Requires a (near-)feasible input partition: moves never overload a
+    destination, so infeasible inputs should go through
+    :func:`repro.partition.refine_kway.rebalance_kway` first.
+    """
+    options = options or PartitionOptions()
+    part = np.asarray(part, dtype=np.int64)
+    if fracs is None:
+        fracs = np.full(k, 1.0 / k)
+    targets = target_weights(graph.total_vwgt, fracs)
+    vwgts = graph.vwgts.tolist()
+    n_passes = passes if passes is not None else options.kway_passes
+
+    for _pass in range(n_passes):
+        tracker = BalanceTracker(
+            partition_weights(graph, part, k), targets, options.ubfactor
+        )
+        pq = MaxPQ()
+        moved_to: Dict[int, Tuple[int, int]] = {}  # v -> (from, to)
+        locked = np.zeros(graph.num_vertices, dtype=bool)
+        for v in boundary_vertices(graph, part):
+            mv = _best_move(graph, part, tracker, vwgts, int(v))
+            if mv is not None:
+                pq.insert(int(v), float(mv[0]))
+
+        start_cut = cur_cut = edge_cut(graph, part)
+        best_cut = cur_cut
+        journal: list = []  # (v, src, dst)
+        best_len = 0
+        since_best = 0
+
+        while since_best < options.fm_neg_moves:
+            entry = pq.pop()
+            if entry is None:
+                break
+            v, _stale_gain = entry
+            if locked[v]:
+                continue
+            mv = _best_move(graph, part, tracker, vwgts, v)
+            if mv is None:
+                continue
+            gain, dst = mv
+            src = int(part[v])
+            # execute
+            part[v] = dst
+            tracker.apply_move(src, dst, vwgts[v])
+            locked[v] = True
+            cur_cut -= gain
+            journal.append((v, src, dst))
+            if cur_cut < best_cut:
+                best_cut = cur_cut
+                best_len = len(journal)
+                since_best = 0
+            else:
+                since_best += 1
+            # refresh unlocked neighbours
+            for u in graph.neighbors(v):
+                u = int(u)
+                if locked[u]:
+                    continue
+                mu = _best_move(graph, part, tracker, vwgts, u)
+                if mu is not None:
+                    pq.insert(u, float(mu[0]))
+                else:
+                    pq.remove(u)
+
+        # rollback past best prefix
+        for v, src, dst in reversed(journal[best_len:]):
+            part[v] = src
+        if best_cut >= start_cut:
+            break
+    return part

@@ -1,0 +1,23 @@
+"""Simulated SPMD runtime.
+
+The paper's evaluation reports communication *counts*, not wall-clock
+times, so the runtime is a deterministic single-process simulator: a
+rank-addressed communicator with mpi4py-style verbs whose every message
+is recorded in a :class:`~repro.runtime.ledger.CommLedger`. The
+contact-search exchange (each rank ships surface elements to the ranks
+its filter selects, then searches locally) runs on top of it, giving an
+executable parallel code path whose ledger totals *are* the NRemote /
+M2MComm numbers.
+"""
+
+from repro.runtime.ledger import CommLedger, PhaseTotals
+from repro.runtime.comm import RankContext, SimComm
+from repro.runtime.executor import spmd_run
+
+__all__ = [
+    "CommLedger",
+    "PhaseTotals",
+    "RankContext",
+    "SimComm",
+    "spmd_run",
+]

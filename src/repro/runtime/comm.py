@@ -1,0 +1,93 @@
+"""Simulated communicator with mpi4py-style verbs.
+
+Execution is bulk-synchronous: within a superstep every rank runs to
+completion, queuing sends; the barrier then delivers all queued
+messages into per-rank inboxes for the next superstep. This models
+exactly the communication structure of the paper's computation (halo
+exchange → contact element exchange → local search) while staying
+deterministic and single-process.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.runtime.ledger import CommLedger
+
+
+class SimComm:
+    """A k-rank simulated communicator."""
+
+    def __init__(self, size: int, ledger: Optional[CommLedger] = None):
+        if size < 1:
+            raise ValueError("communicator size must be >= 1")
+        self.size = size
+        self.ledger = ledger if ledger is not None else CommLedger()
+        self._pending: List[Tuple[int, int, Any]] = []
+        self._inbox: Dict[int, List[Tuple[int, Any]]] = defaultdict(list)
+
+    # ------------------------------------------------------------------
+    def send(
+        self, src: int, dst: int, payload: Any, phase: str, items: int
+    ) -> None:
+        """Queue a message for delivery at the next barrier.
+
+        ``items`` is the logical item count recorded in the ledger
+        (e.g. number of surface elements in the payload).
+        """
+        self._check_rank(src)
+        self._check_rank(dst)
+        self.ledger.record(phase, src, dst, items)
+        self._pending.append((src, dst, payload))
+
+    def alltoallv(
+        self,
+        payloads: Dict[int, Dict[int, Any]],
+        phase: str,
+        count_of: Any = len,
+    ) -> None:
+        """Queue a full personalised exchange: ``payloads[src][dst]``."""
+        for src, per_dst in payloads.items():
+            for dst, payload in per_dst.items():
+                self.send(src, dst, payload, phase, count_of(payload))
+
+    def barrier(self) -> None:
+        """Deliver all queued messages into the inboxes."""
+        for src, dst, payload in self._pending:
+            if src != dst:
+                self._inbox[dst].append((src, payload))
+        self._pending.clear()
+
+    def inbox(self, rank: int) -> List[Tuple[int, Any]]:
+        """Messages delivered to ``rank`` (consumed on read)."""
+        self._check_rank(rank)
+        msgs = self._inbox[rank]
+        self._inbox[rank] = []
+        return msgs
+
+    def _check_rank(self, rank: int) -> None:
+        if not 0 <= rank < self.size:
+            raise ValueError(f"rank {rank} out of range [0, {self.size})")
+
+
+@dataclass
+class RankContext:
+    """Per-rank view handed to SPMD functions."""
+
+    rank: int
+    comm: SimComm
+
+    @property
+    def size(self) -> int:
+        """Number of ranks in the communicator."""
+        return self.comm.size
+
+    def send(self, dst: int, payload: Any, phase: str, items: int) -> None:
+        """Queue a message from this rank (delivered at the barrier)."""
+        self.comm.send(self.rank, dst, payload, phase, items)
+
+    def inbox(self) -> List[Tuple[int, Any]]:
+        """Messages delivered to this rank (consumed on read)."""
+        return self.comm.inbox(self.rank)

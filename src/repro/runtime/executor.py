@@ -1,0 +1,38 @@
+"""Bulk-synchronous SPMD execution over the simulated communicator.
+
+``spmd_run`` executes a list of superstep functions; within each
+superstep every rank's function runs once (sequentially, in rank
+order), then the barrier delivers the queued messages. Return values
+are collected per superstep per rank, so drivers can fold local results
+into global answers — the simulated analogue of a gather.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, List, Optional, Sequence
+
+from repro.runtime.comm import RankContext, SimComm
+from repro.runtime.ledger import CommLedger
+
+SuperstepFn = Callable[[RankContext], Any]
+
+
+def spmd_run(
+    size: int,
+    supersteps: Sequence[SuperstepFn],
+    ledger: Optional[CommLedger] = None,
+) -> List[List[Any]]:
+    """Run ``supersteps`` on a ``size``-rank simulated machine.
+
+    Returns ``results[step][rank]``. All ranks execute superstep ``i``
+    before any executes ``i+1`` (messages sent in step ``i`` are
+    readable from the inbox in step ``i+1``).
+    """
+    comm = SimComm(size, ledger)
+    contexts = [RankContext(rank=r, comm=comm) for r in range(size)]
+    results: List[List[Any]] = []
+    for fn in supersteps:
+        step_results = [fn(ctx) for ctx in contexts]
+        comm.barrier()
+        results.append(step_results)
+    return results

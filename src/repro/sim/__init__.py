@@ -1,0 +1,33 @@
+"""Synthetic contact/impact simulation substrate.
+
+Substitutes for the proprietary EPIC projectile-through-two-plates
+dataset (paper §5): a rod projectile penetrates two plates, with
+rigid-body projectile motion, crater deformation of plate nodes, and
+element erosion carving the penetration channel. Each step yields a
+:class:`~repro.sim.sequence.ContactSnapshot` (deformed mesh, live
+elements, contact faces/nodes), and a run yields the 100-snapshot
+:class:`~repro.sim.sequence.MeshSequence` the evaluation replays.
+"""
+
+from repro.sim.motion import ProjectileKinematics
+from repro.sim.erosion import channel_erosion_mask
+from repro.sim.projectile import ImpactConfig, ImpactSimulator
+from repro.sim.impact2d import (
+    Impact2DConfig,
+    Impact2DSimulator,
+    simulate_impact_2d,
+)
+from repro.sim.sequence import ContactSnapshot, MeshSequence, simulate_impact
+
+__all__ = [
+    "ProjectileKinematics",
+    "channel_erosion_mask",
+    "ImpactConfig",
+    "ImpactSimulator",
+    "Impact2DConfig",
+    "Impact2DSimulator",
+    "simulate_impact_2d",
+    "ContactSnapshot",
+    "MeshSequence",
+    "simulate_impact",
+]

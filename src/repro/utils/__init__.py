@@ -1,0 +1,26 @@
+"""Shared low-level utilities: seeded RNG, validation, array helpers."""
+
+from repro.utils.rng import as_rng, spawn_rngs
+from repro.utils.validation import (
+    check_array,
+    check_in_range,
+    check_positive,
+    require,
+)
+from repro.utils.arrays import (
+    counts_per_label,
+    group_by_label,
+    relabel_contiguous,
+)
+
+__all__ = [
+    "as_rng",
+    "spawn_rngs",
+    "check_array",
+    "check_in_range",
+    "check_positive",
+    "require",
+    "counts_per_label",
+    "group_by_label",
+    "relabel_contiguous",
+]

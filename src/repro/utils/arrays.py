@@ -1,0 +1,44 @@
+"""Vectorised array helpers shared across subsystems."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+
+def counts_per_label(labels: np.ndarray, n_labels: int) -> np.ndarray:
+    """Count occurrences of each label in ``[0, n_labels)``.
+
+    Thin wrapper over :func:`numpy.bincount` that guarantees the result
+    length even when trailing labels are absent.
+    """
+    labels = np.asarray(labels)
+    if labels.size and (labels.min() < 0 or labels.max() >= n_labels):
+        raise ValueError(
+            f"labels must lie in [0, {n_labels}), got range "
+            f"[{labels.min()}, {labels.max()}]"
+        )
+    return np.bincount(labels, minlength=n_labels)
+
+
+def group_by_label(labels: np.ndarray, n_labels: int) -> List[np.ndarray]:
+    """Return, for each label, the (sorted) indices carrying that label.
+
+    Single ``argsort`` instead of ``n_labels`` boolean scans — the usual
+    O(n·k) → O(n log n) trick for building per-partition index lists.
+    """
+    labels = np.asarray(labels)
+    order = np.argsort(labels, kind="stable")
+    counts = counts_per_label(labels, n_labels)
+    bounds = np.concatenate(([0], np.cumsum(counts)))
+    return [order[bounds[i] : bounds[i + 1]] for i in range(n_labels)]
+
+
+def relabel_contiguous(labels: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    """Map arbitrary integer labels onto ``0..u-1`` preserving order.
+
+    Returns ``(new_labels, uniques)`` where ``uniques[new] == old``.
+    """
+    uniques, new = np.unique(np.asarray(labels), return_inverse=True)
+    return new.astype(np.int64), uniques

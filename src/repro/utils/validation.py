@@ -1,0 +1,69 @@
+"""Argument validation helpers.
+
+The partitioner and tree-induction code sit at the bottom of deep call
+stacks; failing fast with a precise message at the public boundary is
+much cheaper than debugging a shape error five levels down.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+
+def require(condition: bool, message: str) -> None:
+    """Raise :class:`ValueError` with ``message`` unless ``condition``."""
+    if not condition:
+        raise ValueError(message)
+
+
+def check_positive(name: str, value: float, strict: bool = True) -> None:
+    """Validate that a scalar parameter is positive (or non-negative)."""
+    if strict and value <= 0:
+        raise ValueError(f"{name} must be > 0, got {value}")
+    if not strict and value < 0:
+        raise ValueError(f"{name} must be >= 0, got {value}")
+
+
+def check_in_range(
+    name: str, value: float, lo: float, hi: float, inclusive: bool = True
+) -> None:
+    """Validate ``lo <= value <= hi`` (or strict when ``inclusive=False``)."""
+    ok = lo <= value <= hi if inclusive else lo < value < hi
+    if not ok:
+        op = "<=" if inclusive else "<"
+        raise ValueError(f"{name} must satisfy {lo} {op} {name} {op} {hi}, got {value}")
+
+
+def check_array(
+    name: str,
+    arr: np.ndarray,
+    ndim: Optional[int] = None,
+    shape: Optional[Tuple[Optional[int], ...]] = None,
+    dtype_kind: Optional[str] = None,
+) -> np.ndarray:
+    """Validate an ndarray's rank, shape, and dtype kind.
+
+    ``shape`` entries of ``None`` are wildcards. ``dtype_kind`` matches
+    ``arr.dtype.kind`` against any character in the string (e.g. ``"iu"``
+    for any integer type, ``"f"`` for floats).
+    """
+    arr = np.asarray(arr)
+    if ndim is not None and arr.ndim != ndim:
+        raise ValueError(f"{name} must have ndim={ndim}, got ndim={arr.ndim}")
+    if shape is not None:
+        if arr.ndim != len(shape):
+            raise ValueError(
+                f"{name} must have shape {shape}, got {arr.shape}"
+            )
+        for want, got in zip(shape, arr.shape):
+            if want is not None and want != got:
+                raise ValueError(
+                    f"{name} must have shape {shape}, got {arr.shape}"
+                )
+    if dtype_kind is not None and arr.dtype.kind not in dtype_kind:
+        raise ValueError(
+            f"{name} must have dtype kind in {dtype_kind!r}, got {arr.dtype}"
+        )
+    return arr

@@ -1,0 +1,56 @@
+"""Shared fixtures.
+
+Expensive artefacts (the snapshot sequence, fitted partitioners) are
+session-scoped; tests must not mutate them. Every stochastic component
+is seeded so the suite is deterministic.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.graph.build import grid_graph
+from repro.partition.config import PartitionOptions
+from repro.sim.projectile import ImpactConfig
+from repro.sim.sequence import simulate_impact
+
+
+@pytest.fixture(scope="session")
+def small_config():
+    """A coarse, fast impact scene (~1.5k nodes)."""
+    return ImpactConfig(n_steps=12, refine=0.6)
+
+
+@pytest.fixture(scope="session")
+def small_sequence(small_config):
+    """12 snapshots of the coarse scene."""
+    return simulate_impact(small_config)
+
+
+@pytest.fixture(scope="session")
+def mid_sequence():
+    """30 snapshots at default resolution (~5k nodes) — used by the
+    heavier integration tests."""
+    return simulate_impact(ImpactConfig(n_steps=30))
+
+
+@pytest.fixture()
+def options():
+    """Deterministic partitioner options."""
+    return PartitionOptions(seed=42)
+
+
+@pytest.fixture(scope="session")
+def grid_16():
+    return grid_graph(16, 16)
+
+
+@pytest.fixture(scope="session")
+def grid_3d():
+    return grid_graph(8, 8, 6)
+
+
+@pytest.fixture()
+def rng():
+    return np.random.default_rng(1234)

@@ -1,0 +1,121 @@
+"""Tests for the a-priori (§3 first-class) contact partitioner."""
+
+import numpy as np
+import pytest
+
+from repro.core.apriori import (
+    AprioriParams,
+    AprioriPartitioner,
+    build_apriori_graph,
+    predict_contact_pairs,
+)
+from repro.core.mcml_dt import MCMLDTParams, MCMLDTPartitioner
+from repro.core.weights import build_contact_graph
+from repro.graph.metrics import load_imbalance
+from repro.partition.config import PartitionOptions
+
+
+@pytest.fixture(scope="module")
+def touching_snapshot(mid_sequence):
+    """A snapshot where the projectile has reached the upper plate, so
+    cross-body proximity pairs exist."""
+    for snap in mid_sequence:
+        if snap.tip_z < 0.15:
+            return snap
+    pytest.skip("sequence never reaches the plate")
+
+
+class TestPredictContactPairs:
+    def test_pairs_cross_bodies(self, touching_snapshot):
+        snap = touching_snapshot
+        pairs = predict_contact_pairs(snap, radius=0.6)
+        assert len(pairs) > 0
+        body = snap.mesh.node_body_id()
+        assert (body[pairs[:, 0]] != body[pairs[:, 1]]).all()
+
+    def test_pairs_are_contact_nodes(self, touching_snapshot):
+        snap = touching_snapshot
+        pairs = predict_contact_pairs(snap, radius=0.6)
+        contact = set(snap.contact_nodes.tolist())
+        assert set(pairs.ravel().tolist()) <= contact
+
+    def test_radius_monotone(self, touching_snapshot):
+        snap = touching_snapshot
+        small = predict_contact_pairs(snap, radius=0.3)
+        large = predict_contact_pairs(snap, radius=0.8)
+        assert len(large) >= len(small)
+
+    def test_invalid_radius(self, touching_snapshot):
+        with pytest.raises(ValueError, match="radius"):
+            predict_contact_pairs(touching_snapshot, radius=0.0)
+
+
+class TestBuildAprioriGraph:
+    def test_adds_virtual_edges(self, touching_snapshot):
+        snap = touching_snapshot
+        pairs = predict_contact_pairs(snap, radius=0.6)
+        base = build_contact_graph(snap)
+        aug = build_apriori_graph(snap, pairs)
+        aug.validate()
+        assert aug.num_edges > base.num_edges
+
+    def test_virtual_weight_applied(self, touching_snapshot):
+        snap = touching_snapshot
+        pairs = predict_contact_pairs(snap, radius=0.6)
+        aug = build_apriori_graph(snap, pairs, virtual_edge_weight=10)
+        u, v = int(pairs[0, 0]), int(pairs[0, 1])
+        nbrs = aug.neighbors(u)
+        wts = aug.edge_weights_of(u)
+        assert wts[list(nbrs).index(v)] == 10
+
+    def test_empty_pairs_is_base_graph(self, touching_snapshot):
+        snap = touching_snapshot
+        aug = build_apriori_graph(snap, np.empty((0, 2), dtype=np.int64))
+        base = build_contact_graph(snap)
+        assert aug.num_edges == base.num_edges
+
+
+class TestAprioriPartitioner:
+    def test_colocates_predicted_pairs(self, touching_snapshot):
+        snap = touching_snapshot
+        k = 6
+        ap = AprioriPartitioner(
+            k, AprioriParams(options=PartitionOptions(seed=0))
+        ).fit(snap)
+        mc = MCMLDTPartitioner(
+            k, MCMLDTParams(options=PartitionOptions(seed=0))
+        ).fit(snap)
+        pairs = ap.predicted_pairs
+        mc_coloc = float(
+            (mc.part[pairs[:, 0]] == mc.part[pairs[:, 1]]).mean()
+        )
+        # the whole point of virtual edges: contacting pairs live
+        # together far more often than under the prediction-free scheme
+        assert ap.colocation_fraction() >= mc_coloc
+        assert ap.colocation_fraction() >= 0.6
+
+    def test_balance_maintained(self, touching_snapshot):
+        snap = touching_snapshot
+        k = 6
+        ap = AprioriPartitioner(
+            k, AprioriParams(options=PartitionOptions(seed=0))
+        ).fit(snap)
+        g = build_contact_graph(snap)
+        assert load_imbalance(g, ap.part, k).max() <= 1.20
+
+    def test_search_plan_runs(self, touching_snapshot):
+        snap = touching_snapshot
+        ap = AprioriPartitioner(
+            4, AprioriParams(options=PartitionOptions(seed=0))
+        ).fit(snap)
+        plan = ap.search_plan(snap)
+        assert plan.n_remote >= 0
+
+    def test_unfitted_raises(self, touching_snapshot):
+        ap = AprioriPartitioner(4)
+        with pytest.raises(RuntimeError, match="fit"):
+            ap.colocation_fraction()
+
+    def test_k_validation(self):
+        with pytest.raises(ValueError, match="k must be"):
+            AprioriPartitioner(0)

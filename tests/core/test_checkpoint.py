@@ -1,0 +1,97 @@
+"""Tests for checkpoint/restart."""
+
+import numpy as np
+import pytest
+
+from repro.core.checkpoint import load_driver, save_driver
+from repro.core.driver import ContactStepDriver
+from repro.core.mcml_dt import MCMLDTParams
+from repro.core.update import UpdateStrategy
+from repro.partition.config import PartitionOptions
+
+K = 4
+
+
+def params():
+    return MCMLDTParams(pad=0.2, options=PartitionOptions(seed=0))
+
+
+class TestCheckpoint:
+    def test_roundtrip_restores_partition(self, small_sequence, tmp_path):
+        driver = ContactStepDriver(K, params())
+        driver.initialize(small_sequence[0])
+        driver.step(small_sequence[0])
+        path = tmp_path / "ck.npz"
+        save_driver(path, driver)
+        restored = load_driver(path)
+        assert np.array_equal(
+            restored.partitioner.part, driver.partitioner.part
+        )
+        assert restored.k == K
+
+    def test_restored_driver_continues(self, small_sequence, tmp_path):
+        """A restarted driver steps on and produces the same metrics as
+        an uninterrupted one."""
+        a = ContactStepDriver(K, params())
+        a.initialize(small_sequence[0])
+        for snap in small_sequence.snapshots[:4]:
+            a.step(snap)
+        path = tmp_path / "mid.npz"
+        save_driver(path, a)
+        b = load_driver(path)
+        ra = [a.step(s) for s in small_sequence.snapshots[4:8]]
+        rb = [b.step(s) for s in small_sequence.snapshots[4:8]]
+        for x, y in zip(ra, rb):
+            assert x.nt_nodes == y.nt_nodes
+            assert x.n_remote == y.n_remote
+            assert x.fe_comm == y.fe_comm
+
+    def test_ledger_totals_carried(self, small_sequence, tmp_path):
+        driver = ContactStepDriver(K, params())
+        driver.initialize(small_sequence[0])
+        for snap in small_sequence.snapshots[:3]:
+            driver.step(snap)
+        before = driver.total_exchanged()
+        path = tmp_path / "led.npz"
+        save_driver(path, driver)
+        restored = load_driver(path)
+        assert restored.total_exchanged() == before
+
+    def test_strategy_and_phase_preserved(self, small_sequence, tmp_path):
+        driver = ContactStepDriver(
+            K, params(), strategy=UpdateStrategy.HYBRID,
+            repartition_period=5,
+        )
+        driver.initialize(small_sequence[0])
+        for snap in small_sequence.snapshots[:3]:
+            driver.step(snap)
+        path = tmp_path / "strategy.npz"
+        save_driver(path, driver)
+        restored = load_driver(path)
+        assert restored.strategy is UpdateStrategy.HYBRID
+        assert restored.repartition_period == 5
+        assert (
+            restored._steps_since_repartition
+            == driver._steps_since_repartition
+        )
+
+    def test_uninitialized_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="not initialized"):
+            save_driver(tmp_path / "x.npz", ContactStepDriver(K, params()))
+
+    def test_schema_checked(self, small_sequence, tmp_path):
+        import json
+
+        driver = ContactStepDriver(K, params())
+        driver.initialize(small_sequence[0])
+        path = tmp_path / "bad.npz"
+        save_driver(path, driver)
+        with np.load(path, allow_pickle=False) as data:
+            meta = json.loads(str(data["meta"]))
+            part = data["part"]
+        meta["schema"] = 99
+        np.savez_compressed(
+            path, part=part, meta=np.array(json.dumps(meta))
+        )
+        with pytest.raises(ValueError, match="schema"):
+            load_driver(path)

@@ -1,0 +1,54 @@
+"""Direct tests for the KD-tree candidate enumeration inside the
+serial contact search."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.contact_search import _candidates_kdtree
+
+
+class TestCandidatesKdtree:
+    def test_exact_containment(self):
+        pts = np.array([[0.5, 0.5], [2.0, 2.0], [0.9, 0.1]])
+        ids = np.array([7, 8, 9])
+        boxes = np.array([[[0.0, 0.0], [1.0, 1.0]]])
+        out = _candidates_kdtree(boxes, pts, ids)
+        assert sorted(out) == [(0, 7), (0, 9)]
+
+    def test_boundary_points_included(self):
+        pts = np.array([[1.0, 1.0]])
+        boxes = np.array([[[0.0, 0.0], [1.0, 1.0]]])
+        out = _candidates_kdtree(boxes, pts, np.array([3]))
+        assert out == [(0, 3)]
+
+    def test_empty_inputs(self):
+        assert _candidates_kdtree(
+            np.empty((0, 2, 2)), np.empty((0, 2)), np.empty(0, int)
+        ) == []
+        assert _candidates_kdtree(
+            np.zeros((1, 2, 2)), np.empty((0, 2)), np.empty(0, int)
+        ) == []
+
+    @given(st.integers(0, 10**6))
+    @settings(max_examples=40, deadline=None)
+    def test_property_matches_dense_containment(self, seed):
+        """The KD-tree path finds exactly the pairs dense containment
+        testing finds."""
+        rng = np.random.default_rng(seed)
+        n = int(rng.integers(1, 40))
+        m = int(rng.integers(1, 10))
+        pts = rng.random((n, 3))
+        ids = rng.permutation(1000)[:n]
+        lo = rng.random((m, 3)) - 0.2
+        boxes = np.stack((lo, lo + rng.random((m, 3))), axis=1)
+        got = set(_candidates_kdtree(boxes, pts, ids))
+        expect = set()
+        for b in range(m):
+            inside = (
+                (pts >= boxes[b, 0]) & (pts <= boxes[b, 1])
+            ).all(axis=1)
+            for pid in ids[inside]:
+                expect.add((b, int(pid)))
+        assert got == expect

@@ -1,0 +1,65 @@
+"""Tests for the two-constraint contact graph model."""
+
+import numpy as np
+import pytest
+
+from repro.core.weights import build_contact_graph
+
+
+class TestBuildContactGraph:
+    def test_shapes(self, small_sequence):
+        snap = small_sequence[0]
+        g = build_contact_graph(snap)
+        g.validate()
+        assert g.num_vertices == snap.mesh.num_nodes
+        assert g.ncon == 2
+
+    def test_w1_marks_used_nodes(self, small_sequence):
+        snap = small_sequence[-1]  # erosion has orphaned some nodes
+        g = build_contact_graph(snap)
+        used = np.zeros(snap.mesh.num_nodes, dtype=bool)
+        used[snap.mesh.used_nodes()] = True
+        assert (g.vwgts[used, 0] == 1).all()
+        assert (g.vwgts[~used, 0] == 0).all()
+
+    def test_w2_marks_contact_nodes(self, small_sequence):
+        snap = small_sequence[0]
+        g = build_contact_graph(snap)
+        is_contact = np.zeros(snap.mesh.num_nodes, dtype=bool)
+        is_contact[snap.contact_nodes] = True
+        assert (g.vwgts[is_contact, 1] == 1).all()
+        assert (g.vwgts[~is_contact, 1] == 0).all()
+
+    def test_contact_edges_weighted(self, small_sequence):
+        snap = small_sequence[0]
+        g = build_contact_graph(snap, contact_edge_weight=5)
+        is_contact = np.zeros(snap.mesh.num_nodes, dtype=bool)
+        is_contact[snap.contact_nodes] = True
+        src = np.repeat(np.arange(g.num_vertices), g.degrees())
+        both = is_contact[src] & is_contact[g.adjncy]
+        assert (g.adjwgt[both] == 5).all()
+        assert (g.adjwgt[~both] == 1).all()
+
+    def test_weight_one_uniform(self, small_sequence):
+        g = build_contact_graph(small_sequence[0], contact_edge_weight=1)
+        assert (g.adjwgt == 1).all()
+
+    def test_invalid_edge_weight(self, small_sequence):
+        with pytest.raises(ValueError, match="contact_edge_weight"):
+            build_contact_graph(small_sequence[0], contact_edge_weight=0)
+
+    def test_custom_work_vectors(self, small_sequence):
+        snap = small_sequence[0]
+        n = snap.mesh.num_nodes
+        fe = np.full(n, 3, dtype=np.int64)
+        sw = np.full(n, 7, dtype=np.int64)
+        g = build_contact_graph(snap, fe_work=fe, search_work=sw)
+        used = snap.mesh.used_nodes()
+        assert (g.vwgts[used, 0] == 3).all()
+        assert (g.vwgts[snap.contact_nodes, 1] == 7).all()
+
+    def test_custom_work_length_checked(self, small_sequence):
+        with pytest.raises(ValueError, match="one entry per node"):
+            build_contact_graph(
+                small_sequence[0], fe_work=np.ones(3, dtype=np.int64)
+            )

@@ -1,0 +1,201 @@
+"""Tests for tree induction: purity, bounded termination, and the
+paper's Figure 1 / Figure 2 behaviours."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dtree.induction import (
+    induce_bounded_tree,
+    induce_pure_tree,
+    suggested_bounds,
+)
+from repro.dtree.query import predict_partition
+
+
+def three_clusters(n_per=15, seed=0):
+    """Figure-1-like: 3 clusters of contact points, 45 total."""
+    rng = np.random.default_rng(seed)
+    pts = np.concatenate(
+        [
+            rng.random((n_per, 2)),
+            rng.random((n_per, 2)) + [2.0, 0.0],
+            rng.random((n_per, 2)) + [1.0, 2.0],
+        ]
+    )
+    labels = np.repeat(np.arange(3), n_per)
+    return pts, labels
+
+
+class TestPureTree:
+    def test_all_leaves_pure(self):
+        pts, labels = three_clusters()
+        tree, leaf_of = induce_pure_tree(pts, labels, 3)
+        for nd in tree.nodes:
+            if nd.is_leaf:
+                assert nd.is_pure
+
+    def test_classifies_training_points_exactly(self):
+        pts, labels = three_clusters()
+        tree, _ = induce_pure_tree(pts, labels, 3)
+        assert np.array_equal(predict_partition(tree, pts), labels)
+
+    def test_leaf_of_point_consistent(self):
+        pts, labels = three_clusters()
+        tree, leaf_of = induce_pure_tree(pts, labels, 3)
+        for i, leaf in enumerate(leaf_of):
+            assert tree.nodes[leaf].is_leaf
+            assert tree.nodes[leaf].label == labels[i]
+
+    def test_figure1_three_clusters_small_tree(self):
+        """Well-separated clusters need only a handful of rectangles."""
+        pts, labels = three_clusters()
+        tree, _ = induce_pure_tree(pts, labels, 3)
+        assert tree.n_leaves <= 6
+        assert tree.n_nodes <= 11
+
+    def test_figure2_diagonal_blowup(self):
+        """A diagonal boundary forces many axis-parallel cuts (Fig. 2):
+        the tree is dramatically larger than for an axis-aligned
+        boundary of the same point count."""
+        n = 28
+        t = np.linspace(0.0, 1.0, n)
+        rng = np.random.default_rng(0)
+        diag_pts = np.column_stack([t, t + 0.02 * rng.standard_normal(n)])
+        diag_labels = (diag_pts[:, 1] > diag_pts[:, 0]).astype(int)
+        diag_tree, _ = induce_pure_tree(diag_pts, diag_labels, 2)
+
+        axis_pts = rng.random((n, 2))
+        axis_labels = (axis_pts[:, 0] > 0.5).astype(int)
+        axis_tree, _ = induce_pure_tree(axis_pts, axis_labels, 2)
+
+        assert axis_tree.n_nodes == 3
+        assert diag_tree.n_nodes >= 4 * axis_tree.n_nodes
+
+    def test_single_class_is_single_leaf(self):
+        pts = np.random.default_rng(0).random((20, 2))
+        tree, _ = induce_pure_tree(pts, np.zeros(20, dtype=int), 1)
+        assert tree.n_nodes == 1
+
+    def test_coincident_mixed_points_terminate_impure(self):
+        pts = np.zeros((4, 2))
+        labels = np.array([0, 1, 0, 1])
+        tree, _ = induce_pure_tree(pts, labels, 2)
+        assert tree.n_nodes == 1
+        assert not tree.nodes[0].is_pure
+
+    def test_adjacent_float_coordinates(self):
+        """Coordinates one ULP apart: the midpoint rounds onto one of
+        them, which must terminate the node instead of recursing on an
+        empty side (regression)."""
+        a = 1.0
+        b = np.nextafter(a, 2.0)
+        pts = np.array([[a, 0.0], [b, 0.0], [a, 0.0], [b, 0.0]])
+        labels = np.array([0, 1, 0, 1])
+        tree, leaf_of = induce_pure_tree(pts, labels, 2)
+        tree.validate()
+        assert (leaf_of >= 0).all()
+
+    def test_max_depth_guard(self):
+        rng = np.random.default_rng(1)
+        pts = rng.random((200, 2))
+        labels = rng.integers(0, 2, 200)  # salt-and-pepper: deep tree
+        tree, _ = induce_pure_tree(pts, labels, 2, max_depth=3)
+        assert tree.depth() <= 3
+
+    def test_input_validation(self):
+        pts = np.random.default_rng(0).random((5, 2))
+        with pytest.raises(ValueError, match="lengths differ"):
+            induce_pure_tree(pts, np.zeros(4, dtype=int), 1)
+        with pytest.raises(ValueError, match="zero points"):
+            induce_pure_tree(np.empty((0, 2)), np.empty(0, dtype=int), 1)
+        with pytest.raises(ValueError, match="labels must lie"):
+            induce_pure_tree(pts, np.full(5, 7), 3)
+
+    @given(st.integers(0, 10**6), st.integers(1, 5))
+    @settings(max_examples=30, deadline=None)
+    def test_property_pure_tree_classifies_exactly(self, seed, k):
+        """For any point set with distinct coordinates, the pure tree
+        reproduces the labelling exactly."""
+        rng = np.random.default_rng(seed)
+        n = int(rng.integers(1, 60))
+        pts = rng.random((n, 2))  # distinct w.p. 1
+        labels = rng.integers(0, k, n)
+        tree, _ = induce_pure_tree(pts, labels, k)
+        tree.validate()
+        assert np.array_equal(predict_partition(tree, pts), labels)
+
+
+class TestBoundedTree:
+    def test_pure_nodes_split_down_to_max_p(self):
+        """A single-class set larger than max_p keeps splitting."""
+        pts = np.random.default_rng(0).random((64, 2))
+        labels = np.zeros(64, dtype=int)
+        tree, _ = induce_bounded_tree(pts, labels, 1, max_p=10, max_i=5)
+        for nd in tree.nodes:
+            if nd.is_leaf:
+                assert nd.n_points < 10
+
+    def test_impure_nodes_stop_below_max_i(self):
+        rng = np.random.default_rng(1)
+        pts = rng.random((100, 2))
+        labels = rng.integers(0, 2, 100)  # thoroughly mixed
+        tree, _ = induce_bounded_tree(pts, labels, 2, max_p=100, max_i=20)
+        for nd in tree.nodes:
+            if nd.is_leaf and not nd.is_pure:
+                assert nd.n_points < 20
+
+    def test_impure_nodes_above_max_i_are_split(self):
+        rng = np.random.default_rng(2)
+        pts = rng.random((200, 2))
+        labels = (pts[:, 0] > 0.5).astype(int)
+        tree, _ = induce_bounded_tree(pts, labels, 2, max_p=500, max_i=10)
+        # root was impure with 200 >= 10 points, so it must have split
+        assert not tree.nodes[tree.root].is_leaf
+
+    def test_smaller_bounds_give_bigger_trees(self):
+        rng = np.random.default_rng(3)
+        pts = rng.random((300, 2))
+        labels = (pts[:, 0] + pts[:, 1] > 1.0).astype(int)
+        coarse, _ = induce_bounded_tree(pts, labels, 2, max_p=150, max_i=40)
+        fine, _ = induce_bounded_tree(pts, labels, 2, max_p=20, max_i=5)
+        assert fine.n_nodes > coarse.n_nodes
+
+    def test_leaf_majority_labels_recorded(self):
+        pts = np.array([[0.0, 0], [0.1, 0], [0.2, 0], [5.0, 0], [5.1, 0]])
+        labels = np.array([0, 0, 1, 1, 1])
+        tree, leaf_of = induce_bounded_tree(pts, labels, 2, max_p=10, max_i=10)
+        # single leaf (5 < max_i); majority is class 1
+        assert tree.n_nodes == 1
+        assert tree.nodes[0].label == 1
+
+    def test_invalid_bounds(self):
+        pts = np.random.default_rng(0).random((5, 2))
+        with pytest.raises(ValueError, match="max_p and max_i"):
+            induce_bounded_tree(pts, np.zeros(5, int), 1, max_p=0, max_i=1)
+
+
+class TestSuggestedBounds:
+    def test_near_paper_windows(self):
+        """Defaults sit half a step below the paper's windows (see the
+        docstring); they must stay within a factor of k^0.25 of the
+        window's low end and below it."""
+        n, k = 100_000, 25
+        max_p, max_i = suggested_bounds(n, k)
+        assert n / k**2 <= max_p <= n / k**1.5
+        assert n / k**3 <= max_i <= n / k**2.5
+
+    def test_ordering(self):
+        """The paper notes max_i < max_p must hold."""
+        for k in (4, 25, 100):
+            max_p, max_i = suggested_bounds(50_000, k)
+            assert max_i < max_p
+
+    def test_minimum_one(self):
+        max_p, max_i = suggested_bounds(10, 100)
+        assert max_p >= 1 and max_i >= 1
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            suggested_bounds(0, 5)

@@ -1,0 +1,130 @@
+"""Tests for distributed tree induction on the simulated runtime."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dtree.parallel import parallel_induce_pure_tree
+from repro.dtree.query import predict_partition
+from repro.runtime.ledger import CommLedger
+
+
+def clustered(seed=0, n_per=40, k=3):
+    rng = np.random.default_rng(seed)
+    offsets = rng.random((k, 2)) * 8
+    pts = np.concatenate(
+        [rng.random((n_per, 2)) + off for off in offsets]
+    )
+    labels = np.repeat(np.arange(k), n_per)
+    return pts, labels
+
+
+class TestParallelInduction:
+    def test_classifies_exactly_like_serial(self):
+        pts, labels = clustered()
+        tree, ledger = parallel_induce_pure_tree(
+            pts, labels, 3, owner_rank=labels, n_ranks=3
+        )
+        tree.validate()
+        assert np.array_equal(predict_partition(tree, pts), labels)
+
+    def test_works_with_arbitrary_distribution(self):
+        """Ownership need not correlate with class."""
+        pts, labels = clustered(seed=1)
+        rng = np.random.default_rng(2)
+        owner = rng.integers(0, 4, len(pts))
+        tree, _ = parallel_induce_pure_tree(
+            pts, labels, 3, owner_rank=owner, n_ranks=4
+        )
+        assert np.array_equal(predict_partition(tree, pts), labels)
+
+    def test_single_rank_degenerates_gracefully(self):
+        pts, labels = clustered(seed=3)
+        tree, ledger = parallel_induce_pure_tree(
+            pts, labels, 3, owner_rank=np.zeros(len(pts), dtype=int),
+            n_ranks=1,
+        )
+        assert np.array_equal(predict_partition(tree, pts), labels)
+        # nothing to communicate on one rank
+        assert ledger.total_items() == 0
+
+    def test_communication_less_than_gathering(self):
+        """The point of the histogram protocol: total items moved are
+        far fewer than shipping every point to one rank (times the
+        dimensionality)."""
+        pts, labels = clustered(seed=4, n_per=400, k=4)
+        owner = (np.arange(len(pts)) % 8).astype(np.int64)
+        tree, ledger = parallel_induce_pure_tree(
+            pts, labels, 4, owner_rank=owner, n_ranks=8, n_bins=16
+        )
+        gather_cost = len(pts)
+        assert ledger.items("dtree-gather") < gather_cost / 2
+        assert np.array_equal(predict_partition(tree, pts), labels)
+
+    def test_ledger_phases_present(self):
+        pts, labels = clustered(seed=5)
+        _, ledger = parallel_induce_pure_tree(
+            pts, labels, 3, owner_rank=labels, n_ranks=3
+        )
+        assert ledger.items("dtree-hist") > 0
+        assert ledger.items("dtree-split") > 0
+
+    def test_mixed_coincident_points(self):
+        """Coincident mixed-label points are impure but unsplittable;
+        the gather fallback must terminate them as impure leaves."""
+        pts = np.concatenate([np.zeros((4, 2)), np.ones((4, 2))])
+        labels = np.array([0, 1, 0, 1, 0, 0, 0, 0])
+        tree, _ = parallel_induce_pure_tree(
+            pts, labels, 2, owner_rank=np.array([0, 1] * 4), n_ranks=2
+        )
+        tree.validate()
+        # the ones-cluster is pure, classified correctly
+        assert predict_partition(tree, np.array([[1.0, 1.0]]))[0] == 0
+
+    def test_input_validation(self):
+        pts, labels = clustered()
+        with pytest.raises(ValueError, match="owner_rank"):
+            parallel_induce_pure_tree(
+                pts, labels, 3, owner_rank=labels[:5], n_ranks=3
+            )
+        with pytest.raises(ValueError, match="out of range"):
+            parallel_induce_pure_tree(
+                pts, labels, 3, owner_rank=np.full(len(pts), 9), n_ranks=3
+            )
+        with pytest.raises(ValueError, match="zero points"):
+            parallel_induce_pure_tree(
+                np.empty((0, 2)), np.empty(0, dtype=int), 1,
+                owner_rank=np.empty(0, dtype=int), n_ranks=2,
+            )
+
+    @given(st.integers(0, 10**6), st.integers(1, 5))
+    @settings(max_examples=20, deadline=None)
+    def test_property_matches_serial_classification(self, seed, n_ranks):
+        rng = np.random.default_rng(seed)
+        n = int(rng.integers(4, 80))
+        pts = rng.random((n, 2))
+        k = int(rng.integers(1, 4))
+        labels = rng.integers(0, k, n)
+        owner = rng.integers(0, n_ranks, n)
+        tree, _ = parallel_induce_pure_tree(
+            pts, labels, k, owner_rank=owner, n_ranks=n_ranks,
+            n_bins=8,
+        )
+        tree.validate()
+        assert np.array_equal(predict_partition(tree, pts), labels)
+
+    def test_on_real_scene(self, small_sequence):
+        """End-to-end: distributed induction over the real contact
+        points, owners = MCML+DT partitions."""
+        from repro.core.mcml_dt import MCMLDTPartitioner
+
+        snap = small_sequence[0]
+        k = 4
+        pt = MCMLDTPartitioner(k).fit(snap)
+        coords = snap.mesh.nodes[snap.contact_nodes]
+        labels = pt.part[snap.contact_nodes]
+        tree, ledger = parallel_induce_pure_tree(
+            coords, labels, k, owner_rank=labels, n_ranks=k
+        )
+        assert np.array_equal(predict_partition(tree, coords), labels)

@@ -1,0 +1,76 @@
+"""Tests for the terminal descriptor renderer."""
+
+import numpy as np
+import pytest
+
+from repro.dtree.induction import induce_pure_tree
+from repro.dtree.render import render_descriptors, render_points, render_tree
+
+
+def simple_case():
+    pts = np.array(
+        [[0.0, 0.0], [1.0, 0.1], [0.2, 0.9], [9.0, 0.2], [9.5, 0.8]]
+    )
+    labels = np.array([0, 0, 0, 1, 1])
+    tree, _ = induce_pure_tree(pts, labels, 2)
+    return pts, labels, tree
+
+
+class TestRenderPoints:
+    def test_dimensions(self):
+        pts, labels, _ = simple_case()
+        out = render_points(pts, labels, width=30, height=10)
+        lines = out.splitlines()
+        assert len(lines) == 10
+        assert all(len(l) == 30 for l in lines)
+
+    def test_glyphs_present(self):
+        pts, labels, _ = simple_case()
+        out = render_points(pts, labels)
+        assert "o" in out and "^" in out
+
+    def test_point_count_preserved(self):
+        pts, labels, _ = simple_case()
+        out = render_points(pts, labels, width=80, height=40)
+        assert out.count("o") == 3
+        assert out.count("^") == 2
+
+    def test_3d_rejected(self):
+        with pytest.raises(ValueError, match="2D"):
+            render_points(np.zeros((3, 3)), np.zeros(3, dtype=int))
+
+
+class TestRenderDescriptors:
+    def test_draws_borders(self):
+        pts, labels, tree = simple_case()
+        out = render_descriptors(tree, pts, labels)
+        assert "|" in out and "-" in out
+        assert "o" in out and "^" in out
+
+    def test_grid_shape(self):
+        pts, labels, tree = simple_case()
+        lines = render_descriptors(
+            tree, pts, labels, width=40, height=12
+        ).splitlines()
+        assert len(lines) == 12
+        assert all(len(l) == 40 for l in lines)
+
+
+class TestRenderTree:
+    def test_mentions_splits_and_leaves(self):
+        pts, labels, tree = simple_case()
+        out = render_tree(tree)
+        assert "x <=" in out
+        assert "partition 0" in out
+        assert "partition 1" in out
+
+    def test_single_leaf(self):
+        pts = np.random.default_rng(0).random((4, 2))
+        tree, _ = induce_pure_tree(pts, np.zeros(4, dtype=int), 1)
+        out = render_tree(tree)
+        assert out.startswith("leaf: partition 0")
+
+    def test_impure_flagged(self):
+        pts = np.zeros((4, 2))
+        tree, _ = induce_pure_tree(pts, np.array([0, 1, 0, 1]), 2)
+        assert "(impure)" in render_tree(tree)

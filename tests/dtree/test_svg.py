@@ -1,0 +1,84 @@
+"""Tests for SVG descriptor rendering."""
+
+import numpy as np
+import pytest
+
+from repro.dtree.induction import induce_pure_tree
+from repro.dtree.svg import (
+    descriptors_svg,
+    project_2d,
+    save_descriptors_svg,
+)
+
+
+def case():
+    rng = np.random.default_rng(0)
+    pts = np.concatenate(
+        [rng.random((12, 2)), rng.random((12, 2)) + [3.0, 0.0]]
+    )
+    labels = np.repeat([0, 1], 12)
+    tree, _ = induce_pure_tree(pts, labels, 2)
+    return tree, pts, labels
+
+
+class TestProject2D:
+    def test_2d_passthrough(self):
+        pts = np.random.default_rng(0).random((5, 2))
+        assert np.array_equal(project_2d(pts), pts)
+
+    def test_3d_drops_narrowest_axis(self):
+        rng = np.random.default_rng(1)
+        pts = np.column_stack(
+            (rng.random(20) * 10, rng.random(20) * 5, rng.random(20) * 0.1)
+        )
+        out = project_2d(pts)
+        assert out.shape == (20, 2)
+        assert np.array_equal(out, pts[:, :2])
+
+
+class TestDescriptorsSvg:
+    def test_wellformed_document(self):
+        tree, pts, labels = case()
+        svg = descriptors_svg(tree, pts, labels, title="demo")
+        assert svg.startswith("<svg")
+        assert svg.endswith("</svg>")
+        assert "demo" in svg
+
+    def test_one_region_rect_per_leaf(self):
+        tree, pts, labels = case()
+        svg = descriptors_svg(tree, pts, labels)
+        # region rectangles are the translucent ones (markers for the
+        # "square" class are opaque rects)
+        assert svg.count("fill-opacity") == tree.n_leaves
+
+    def test_one_marker_per_point(self):
+        tree, pts, labels = case()
+        svg = descriptors_svg(tree, pts, labels)
+        markers = (
+            svg.count("<circle") + svg.count("<polygon")
+            + (svg.count("<rect") - 1 - tree.n_leaves)
+        )
+        assert markers == len(pts)
+
+    def test_length_mismatch(self):
+        tree, pts, labels = case()
+        with pytest.raises(ValueError, match="lengths differ"):
+            descriptors_svg(tree, pts, labels[:-1])
+
+    def test_save(self, tmp_path):
+        tree, pts, labels = case()
+        path = tmp_path / "fig1.svg"
+        save_descriptors_svg(path, tree, pts, labels)
+        assert path.read_text().startswith("<svg")
+
+    def test_3d_scene_renders(self, small_sequence):
+        from repro.core.mcml_dt import MCMLDTPartitioner
+
+        snap = small_sequence[0]
+        pt = MCMLDTPartitioner(3).fit(snap)
+        coords = snap.mesh.nodes[snap.contact_nodes]
+        labels = pt.part[snap.contact_nodes]
+        pts2d = project_2d(coords)
+        tree, _ = induce_pure_tree(pts2d, labels, 3)
+        svg = descriptors_svg(tree, coords, labels)
+        assert "<svg" in svg

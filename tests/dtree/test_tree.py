@@ -1,0 +1,80 @@
+"""Tests for the DecisionTree structure."""
+
+import numpy as np
+import pytest
+
+from repro.dtree.induction import induce_pure_tree
+from repro.dtree.tree import DecisionTree, TreeNode
+
+
+def small_tree():
+    """Hand-built: root splits x at 0.5; leaves labelled 0, 1."""
+    tree = DecisionTree(k=2)
+    tree.nodes = [
+        TreeNode(n_points=4, dim=0, threshold=0.5, left=1, right=2),
+        TreeNode(n_points=2, label=0, is_pure=True),
+        TreeNode(n_points=2, label=1, is_pure=True),
+    ]
+    return tree
+
+
+class TestStructure:
+    def test_counts(self):
+        t = small_tree()
+        assert t.n_nodes == 3
+        assert t.n_leaves == 2
+        assert t.depth() == 1
+
+    def test_leaf_ids_and_labels(self):
+        t = small_tree()
+        assert t.leaf_ids().tolist() == [1, 2]
+        assert t.leaf_labels().tolist() == [0, 1]
+        assert t.partitions_present().tolist() == [0, 1]
+
+    def test_single_leaf_tree(self):
+        t = DecisionTree(k=1)
+        t.nodes = [TreeNode(n_points=5, label=0, is_pure=True)]
+        assert t.depth() == 0
+        assert t.n_leaves == 1
+        t.validate()
+
+
+class TestValidate:
+    def test_valid_tree_passes(self):
+        small_tree().validate()
+
+    def test_point_count_mismatch(self):
+        t = small_tree()
+        t.nodes[1].n_points = 3
+        with pytest.raises(ValueError, match="point count"):
+            t.validate()
+
+    def test_missing_child(self):
+        t = small_tree()
+        t.nodes[0].right = -1  # interior node with one child looks leafy
+        # it now reads as a leaf with dim set but also has unreachable node 2
+        with pytest.raises(ValueError):
+            t.validate()
+
+    def test_label_out_of_range(self):
+        t = small_tree()
+        t.nodes[2].label = 7
+        with pytest.raises(ValueError, match="label"):
+            t.validate()
+
+    def test_unreachable_node(self):
+        t = small_tree()
+        t.nodes.append(TreeNode(n_points=1, label=0))
+        with pytest.raises(ValueError, match="unreachable"):
+            t.validate()
+
+    def test_induced_trees_always_valid(self):
+        rng = np.random.default_rng(0)
+        for trial in range(5):
+            pts = rng.random((50, 2))
+            labels = rng.integers(0, 4, 50)
+            tree, _ = induce_pure_tree(pts, labels, 4)
+            tree.validate()
+
+    def test_repr_mentions_size(self):
+        assert "nodes=3" in repr(small_tree())

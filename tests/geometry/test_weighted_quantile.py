@@ -1,0 +1,54 @@
+"""Direct tests for RCB's weighted-quantile threshold selection."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geometry.rcb import _weighted_quantile
+
+
+class TestWeightedQuantile:
+    def test_median_of_uniform(self):
+        vals = np.arange(10, dtype=float)
+        w = np.ones(10)
+        t = _weighted_quantile(vals, w, 0.5)
+        below = (vals <= t).sum()
+        assert below == 5
+
+    def test_threshold_between_points(self):
+        vals = np.array([0.0, 1.0, 2.0, 3.0])
+        t = _weighted_quantile(vals, np.ones(4), 0.5)
+        assert 1.0 < t < 2.0  # midpoint, not on a point
+
+    def test_respects_weights(self):
+        vals = np.array([0.0, 1.0, 2.0, 3.0])
+        w = np.array([10.0, 1.0, 1.0, 1.0])
+        t = _weighted_quantile(vals, w, 0.5)
+        # the first point alone carries >50% of the weight
+        assert t < 1.0
+
+    def test_zero_total_weight(self):
+        vals = np.array([5.0, 6.0, 7.0])
+        t = _weighted_quantile(vals, np.zeros(3), 0.5)
+        assert t in vals  # falls back to a middle element
+
+    def test_unsorted_input(self):
+        vals = np.array([3.0, 0.0, 2.0, 1.0])
+        t = _weighted_quantile(vals, np.ones(4), 0.5)
+        assert 1.0 < t < 2.0
+
+    @given(st.integers(0, 10**6), st.floats(0.1, 0.9))
+    @settings(max_examples=60, deadline=None)
+    def test_property_weight_split_near_target(self, seed, q):
+        """The weight on the <= side lands within one max point-weight
+        of the target fraction."""
+        rng = np.random.default_rng(seed)
+        n = int(rng.integers(2, 80))
+        vals = rng.random(n)
+        w = rng.random(n) + 0.05
+        t = _weighted_quantile(vals, w, q)
+        total = w.sum()
+        below = w[vals <= t].sum()
+        assert below >= q * total - w.max() - 1e-9
+        assert below <= q * total + w.max() + 1e-9

@@ -1,0 +1,135 @@
+"""Tests for graph construction."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph.build import (
+    from_edge_list,
+    grid_coords,
+    grid_graph,
+    random_geometric_graph,
+    to_networkx,
+)
+
+
+class TestFromEdgeList:
+    def test_dedupes_and_sums(self):
+        g = from_edge_list(
+            3,
+            np.array([[0, 1], [1, 0], [1, 2]]),
+            weights=np.array([2, 3, 1]),
+        )
+        assert g.num_edges == 2
+        i = list(g.neighbors(0)).index(1)
+        assert g.edge_weights_of(0)[i] == 5
+
+    def test_combine_max(self):
+        g = from_edge_list(
+            2, np.array([[0, 1], [0, 1]]), weights=np.array([2, 7]),
+            combine="max",
+        )
+        assert g.edge_weights_of(0)[0] == 7
+
+    def test_combine_first(self):
+        g = from_edge_list(
+            2, np.array([[0, 1], [0, 1]]), weights=np.array([2, 7]),
+            combine="first",
+        )
+        assert g.edge_weights_of(0)[0] == 2
+
+    def test_unknown_combine(self):
+        with pytest.raises(ValueError, match="combine"):
+            from_edge_list(2, np.array([[0, 1]]), combine="median")
+
+    def test_self_loops_dropped(self):
+        g = from_edge_list(2, np.array([[0, 0], [0, 1]]))
+        assert g.num_edges == 1
+        g.validate()
+
+    def test_empty_graph(self):
+        g = from_edge_list(4, np.empty((0, 2)))
+        assert g.num_vertices == 4
+        assert g.num_edges == 0
+        g.validate()
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError, match="out of range"):
+            from_edge_list(2, np.array([[0, 2]]))
+
+    def test_weight_length_mismatch(self):
+        with pytest.raises(ValueError, match="length"):
+            from_edge_list(3, np.array([[0, 1]]), weights=np.array([1, 2]))
+
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 9), st.integers(0, 9)),
+            max_size=60,
+        )
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_property_always_valid_and_symmetric(self, pairs):
+        edges = np.array(pairs, dtype=np.int64).reshape(-1, 2)
+        g = from_edge_list(10, edges)
+        g.validate()  # includes symmetry check
+        # no duplicate neighbours per vertex
+        for v in range(10):
+            nbrs = g.neighbors(v).tolist()
+            assert len(nbrs) == len(set(nbrs))
+
+
+class TestGridGraph:
+    def test_2d_edge_count(self):
+        g = grid_graph(4, 5)
+        assert g.num_vertices == 20
+        assert g.num_edges == 3 * 5 + 4 * 4  # (nx-1)*ny + nx*(ny-1)
+
+    def test_3d_edge_count(self):
+        g = grid_graph(3, 3, 3)
+        assert g.num_edges == 3 * (2 * 3 * 3)
+
+    def test_single_vertex(self):
+        g = grid_graph(1, 1)
+        assert g.num_vertices == 1
+        assert g.num_edges == 0
+
+    def test_coords_align(self):
+        pts = grid_coords(3, 2)
+        assert pts.shape == (6, 2)
+        g = grid_graph(3, 2)
+        # neighbours in the graph are at unit distance
+        for u, v, _ in g.iter_edges():
+            assert np.isclose(np.linalg.norm(pts[u] - pts[v]), 1.0)
+
+    def test_coords_3d(self):
+        assert grid_coords(2, 2, 2).shape == (8, 3)
+
+
+class TestRandomGeometric:
+    def test_edges_respect_radius(self):
+        g, pts = random_geometric_graph(80, 0.2, seed=0)
+        for u, v, _ in g.iter_edges():
+            assert np.linalg.norm(pts[u] - pts[v]) <= 0.2 + 1e-12
+
+    def test_all_close_pairs_connected(self):
+        g, pts = random_geometric_graph(60, 0.25, seed=1)
+        d2 = ((pts[:, None] - pts[None, :]) ** 2).sum(-1)
+        expect = {(i, j) for i in range(60) for j in range(i + 1, 60)
+                  if d2[i, j] <= 0.25**2}
+        got = {(u, v) for u, v, _ in g.iter_edges()}
+        assert got == expect
+
+    def test_deterministic_seed(self):
+        g1, p1 = random_geometric_graph(40, 0.3, seed=5)
+        g2, p2 = random_geometric_graph(40, 0.3, seed=5)
+        assert np.array_equal(p1, p2)
+        assert g1.num_edges == g2.num_edges
+
+
+class TestToNetworkx:
+    def test_roundtrip_counts(self):
+        g = grid_graph(4, 4)
+        nxg = to_networkx(g)
+        assert nxg.number_of_nodes() == 16
+        assert nxg.number_of_edges() == g.num_edges

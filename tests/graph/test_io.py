@@ -1,0 +1,107 @@
+"""Tests for METIS graph-file interoperability."""
+
+import numpy as np
+import pytest
+
+from repro.graph.build import from_edge_list, grid_graph
+from repro.graph.io import (
+    read_metis_graph,
+    read_metis_partition,
+    write_metis_graph,
+    write_metis_partition,
+)
+
+
+class TestGraphRoundtrip:
+    def test_plain_graph(self, tmp_path):
+        g = grid_graph(5, 4)
+        path = tmp_path / "g.graph"
+        write_metis_graph(path, g)
+        loaded = read_metis_graph(path)
+        assert loaded.num_vertices == g.num_vertices
+        assert loaded.num_edges == g.num_edges
+        for v in range(g.num_vertices):
+            assert sorted(loaded.neighbors(v)) == sorted(
+                g.neighbors(v).tolist()
+            )
+
+    def test_edge_weights(self, tmp_path):
+        g = from_edge_list(
+            3, np.array([[0, 1], [1, 2]]), weights=np.array([5, 7])
+        )
+        path = tmp_path / "w.graph"
+        write_metis_graph(path, g)
+        loaded = read_metis_graph(path)
+        i = list(loaded.neighbors(1)).index(2)
+        assert loaded.edge_weights_of(1)[i] == 7
+
+    def test_multi_constraint_weights(self, tmp_path):
+        g = grid_graph(3, 3)
+        vw = np.column_stack(
+            (np.arange(1, 10), (np.arange(9) % 2) + 1)
+        ).astype(np.int64)
+        g = g.with_vwgts(vw)
+        path = tmp_path / "mc.graph"
+        write_metis_graph(path, g)
+        loaded = read_metis_graph(path)
+        assert loaded.ncon == 2
+        assert np.array_equal(loaded.vwgts, vw)
+
+    def test_contact_graph_roundtrip(self, small_sequence, tmp_path):
+        """The paper's §4.2 graph survives the METIS format — meaning a
+        user could hand it to real METIS for comparison."""
+        from repro.core.weights import build_contact_graph
+
+        g = build_contact_graph(small_sequence[0])
+        path = tmp_path / "contact.graph"
+        write_metis_graph(path, g)
+        loaded = read_metis_graph(path)
+        assert np.array_equal(loaded.vwgts, g.vwgts)
+        assert loaded.num_edges == g.num_edges
+
+
+class TestHeaderHandling:
+    def test_comments_skipped(self, tmp_path):
+        path = tmp_path / "c.graph"
+        path.write_text("% a comment\n2 1\n2\n1\n")
+        g = read_metis_graph(path)
+        assert g.num_vertices == 2
+        assert g.num_edges == 1
+
+    def test_vertex_sizes_rejected(self, tmp_path):
+        path = tmp_path / "s.graph"
+        path.write_text("2 1 100\n1 2\n1 1\n")
+        with pytest.raises(ValueError, match="vertex sizes"):
+            read_metis_graph(path)
+
+    def test_edge_count_mismatch(self, tmp_path):
+        path = tmp_path / "bad.graph"
+        path.write_text("2 5\n2\n1\n")
+        with pytest.raises(ValueError, match="half-edges"):
+            read_metis_graph(path)
+
+    def test_out_of_range_neighbor(self, tmp_path):
+        path = tmp_path / "oor.graph"
+        path.write_text("2 1\n9\n1\n")
+        with pytest.raises(ValueError, match="out of range"):
+            read_metis_graph(path)
+
+    def test_empty_file(self, tmp_path):
+        path = tmp_path / "empty.graph"
+        path.write_text("")
+        with pytest.raises(ValueError, match="empty"):
+            read_metis_graph(path)
+
+    def test_wrong_line_count(self, tmp_path):
+        path = tmp_path / "short.graph"
+        path.write_text("3 1\n2\n1\n")
+        with pytest.raises(ValueError, match="vertex lines"):
+            read_metis_graph(path)
+
+
+class TestPartitionFile:
+    def test_roundtrip(self, tmp_path):
+        part = np.array([0, 2, 1, 1, 0])
+        path = tmp_path / "p.part"
+        write_metis_partition(path, part)
+        assert np.array_equal(read_metis_partition(path), part)

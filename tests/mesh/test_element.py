@@ -1,0 +1,58 @@
+"""Tests for element reference tables."""
+
+import numpy as np
+import pytest
+
+from repro.mesh.element import (
+    ELEMENT_DIM,
+    ELEMENT_EDGES,
+    ELEMENT_FACES,
+    ELEMENT_NODES,
+    check_element_type,
+)
+
+
+class TestTables:
+    def test_counts(self):
+        assert ELEMENT_FACES["tri"].shape == (3, 2)
+        assert ELEMENT_FACES["quad"].shape == (4, 2)
+        assert ELEMENT_FACES["tet"].shape == (4, 3)
+        assert ELEMENT_FACES["hex"].shape == (6, 4)
+        assert ELEMENT_EDGES["tet"].shape == (6, 2)
+        assert ELEMENT_EDGES["hex"].shape == (12, 2)
+
+    def test_local_indices_in_range(self):
+        for etype, faces in ELEMENT_FACES.items():
+            assert faces.min() >= 0
+            assert faces.max() < ELEMENT_NODES[etype]
+        for etype, edges in ELEMENT_EDGES.items():
+            assert edges.min() >= 0
+            assert edges.max() < ELEMENT_NODES[etype]
+
+    def test_hex_faces_cover_all_corners(self):
+        assert set(ELEMENT_FACES["hex"].ravel()) == set(range(8))
+
+    def test_hex_each_corner_on_three_faces(self):
+        counts = np.bincount(ELEMENT_FACES["hex"].ravel())
+        assert (counts == 3).all()
+
+    def test_hex_edges_each_corner_degree_three(self):
+        counts = np.bincount(ELEMENT_EDGES["hex"].ravel())
+        assert (counts == 3).all()
+
+    def test_tet_edges_complete_graph(self):
+        edges = {tuple(sorted(e)) for e in ELEMENT_EDGES["tet"].tolist()}
+        assert len(edges) == 6  # K4
+
+    def test_dims(self):
+        assert ELEMENT_DIM["quad"] == 2
+        assert ELEMENT_DIM["hex"] == 3
+
+
+class TestCheckElementType:
+    def test_accepts_known(self):
+        assert check_element_type("hex") == "hex"
+
+    def test_rejects_unknown(self):
+        with pytest.raises(ValueError, match="unknown element type"):
+            check_element_type("pyramid")

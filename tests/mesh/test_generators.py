@@ -1,0 +1,79 @@
+"""Tests for mesh generators."""
+
+import numpy as np
+import pytest
+
+from repro.mesh.generators import (
+    merge_meshes,
+    structured_box_mesh,
+    structured_quad_mesh,
+)
+from repro.mesh.quality import element_measures
+
+
+class TestStructuredBox:
+    def test_counts(self):
+        m = structured_box_mesh(3, 4, 5)
+        assert m.num_elements == 60
+        assert m.num_nodes == 4 * 5 * 6
+
+    def test_geometry(self):
+        m = structured_box_mesh(2, 2, 2, origin=(1, 2, 3), size=(4, 4, 4))
+        assert np.allclose(m.nodes.min(axis=0), [1, 2, 3])
+        assert np.allclose(m.nodes.max(axis=0), [5, 6, 7])
+
+    def test_volume_tiles_exactly(self):
+        m = structured_box_mesh(3, 2, 4, size=(3.0, 1.0, 2.0))
+        assert element_measures(m).sum() == pytest.approx(6.0)
+
+    def test_elements_positive_volume(self):
+        m = structured_box_mesh(2, 3, 2)
+        assert (element_measures(m) > 0).all()
+
+    def test_invalid_counts(self):
+        with pytest.raises(ValueError):
+            structured_box_mesh(0, 1, 1)
+
+
+class TestStructuredQuad:
+    def test_counts_and_area(self):
+        m = structured_quad_mesh(5, 4, size=(5, 4))
+        assert m.num_elements == 20
+        assert element_measures(m).sum() == pytest.approx(20.0)
+
+    def test_origin(self):
+        m = structured_quad_mesh(1, 1, origin=(-2, -2), size=(1, 1))
+        assert np.allclose(m.nodes.min(axis=0), [-2, -2])
+
+
+class TestMergeMeshes:
+    def test_node_offsets(self):
+        a = structured_quad_mesh(1, 1)
+        b = structured_quad_mesh(1, 1, origin=(5, 0))
+        m = merge_meshes([a, b])
+        assert m.num_nodes == 8
+        assert m.num_elements == 2
+        assert m.elements[1].min() >= 4  # b's connectivity offset
+
+    def test_body_ids_assigned(self):
+        a = structured_quad_mesh(2, 1)
+        b = structured_quad_mesh(1, 1, origin=(5, 0))
+        m = merge_meshes([a, b])
+        assert m.body_id.tolist() == [0, 0, 1]
+
+    def test_no_shared_nodes(self):
+        """Contact bodies must not share nodes even when touching."""
+        a = structured_quad_mesh(1, 1)
+        b = structured_quad_mesh(1, 1, origin=(1, 0))  # geometrically abut
+        m = merge_meshes([a, b])
+        assert len(np.unique(m.elements)) == 8
+
+    def test_type_mismatch_rejected(self):
+        a = structured_quad_mesh(1, 1)
+        b = structured_box_mesh(1, 1, 1)
+        with pytest.raises(ValueError, match="element type"):
+            merge_meshes([a, b])
+
+    def test_empty_list_rejected(self):
+        with pytest.raises(ValueError, match="at least one"):
+            merge_meshes([])

@@ -1,0 +1,159 @@
+"""Tests for Gmsh MSH 2.2 import/export."""
+
+import numpy as np
+import pytest
+
+from repro.mesh.generators import merge_meshes, structured_box_mesh, structured_quad_mesh
+from repro.mesh.gmsh import read_gmsh_mesh, write_gmsh_mesh
+from repro.mesh.quality import element_measures
+
+
+class TestRoundtrip:
+    def test_hex_mesh(self, tmp_path):
+        m = structured_box_mesh(3, 2, 2, size=(3, 2, 2))
+        path = tmp_path / "m.msh"
+        write_gmsh_mesh(path, m)
+        loaded = read_gmsh_mesh(path)
+        assert loaded.elem_type == "hex"
+        assert loaded.num_elements == m.num_elements
+        assert element_measures(loaded).sum() == pytest.approx(12.0)
+
+    def test_quad_mesh_2d(self, tmp_path):
+        m = structured_quad_mesh(4, 3, size=(4, 3))
+        path = tmp_path / "q.msh"
+        write_gmsh_mesh(path, m)
+        loaded = read_gmsh_mesh(path)
+        assert loaded.elem_type == "quad"
+        assert loaded.dim == 2
+        assert element_measures(loaded).sum() == pytest.approx(12.0)
+
+    def test_body_ids_roundtrip(self, tmp_path):
+        a = structured_box_mesh(1, 1, 1)
+        b = structured_box_mesh(1, 1, 1, origin=(5, 0, 0))
+        m = merge_meshes([a, b])
+        path = tmp_path / "bodies.msh"
+        write_gmsh_mesh(path, m)
+        loaded = read_gmsh_mesh(path)
+        assert len(np.unique(loaded.body_id)) == 2
+
+    def test_pipeline_on_imported_mesh(self, tmp_path):
+        """An imported mesh drives the partitioner directly."""
+        from repro.mesh.nodal_graph import nodal_graph
+        from repro.partition import PartitionOptions, partition_kway
+
+        m = structured_box_mesh(4, 4, 2)
+        path = tmp_path / "p.msh"
+        write_gmsh_mesh(path, m)
+        loaded = read_gmsh_mesh(path)
+        g = nodal_graph(loaded)
+        g.validate()
+        part = partition_kway(g, 4, PartitionOptions(seed=0))
+        assert len(np.unique(part)) == 4
+
+
+class TestParsing:
+    def _file(self, tmp_path, body):
+        path = tmp_path / "x.msh"
+        path.write_text(body)
+        return path
+
+    def test_mixed_elements_auto_picks_majority(self, tmp_path):
+        # 2 triangles + 1 line element (skipped)
+        body = """$MeshFormat
+2.2 0 8
+$EndMeshFormat
+$Nodes
+4
+1 0 0 0
+2 1 0 0
+3 1 1 0
+4 0 1 0
+$EndNodes
+$Elements
+3
+1 1 2 0 0 1 2
+2 2 2 7 7 1 2 3
+3 2 2 7 7 1 3 4
+$EndElements
+"""
+        m = read_gmsh_mesh(self._file(tmp_path, body))
+        assert m.elem_type == "tri"
+        assert m.num_elements == 2
+
+    def test_explicit_type_selection(self, tmp_path):
+        body = """$MeshFormat
+2.2 0 8
+$EndMeshFormat
+$Nodes
+4
+1 0 0 0
+2 1 0 0
+3 1 1 0
+4 0 1 0
+$EndNodes
+$Elements
+2
+1 2 2 0 0 1 2 3
+2 3 2 0 0 1 2 3 4
+$EndElements
+"""
+        m = read_gmsh_mesh(self._file(tmp_path, body), elem_type="quad")
+        assert m.elem_type == "quad"
+        with pytest.raises(ValueError, match="no 'hex'"):
+            read_gmsh_mesh(self._file(tmp_path, body), elem_type="hex")
+
+    def test_version_3_rejected(self, tmp_path):
+        body = "$MeshFormat\n4.1 0 8\n$EndMeshFormat\n"
+        with pytest.raises(ValueError, match="2.x"):
+            read_gmsh_mesh(self._file(tmp_path, body))
+
+    def test_binary_rejected(self, tmp_path):
+        body = "$MeshFormat\n2.2 1 8\n$EndMeshFormat\n"
+        with pytest.raises(ValueError, match="binary"):
+            read_gmsh_mesh(self._file(tmp_path, body))
+
+    def test_missing_sections(self, tmp_path):
+        with pytest.raises(ValueError, match="MeshFormat"):
+            read_gmsh_mesh(self._file(tmp_path, "$Nodes\n0\n$EndNodes\n"))
+
+    def test_unclosed_section(self, tmp_path):
+        body = "$MeshFormat\n2.2 0 8\n"
+        with pytest.raises(ValueError, match="not closed"):
+            read_gmsh_mesh(self._file(tmp_path, body))
+
+    def test_no_supported_elements(self, tmp_path):
+        body = """$MeshFormat
+2.2 0 8
+$EndMeshFormat
+$Nodes
+2
+1 0 0 0
+2 1 0 0
+$EndNodes
+$Elements
+1
+1 1 2 0 0 1 2
+$EndElements
+"""
+        with pytest.raises(ValueError, match="no supported"):
+            read_gmsh_mesh(self._file(tmp_path, body))
+
+    def test_unused_nodes_compacted(self, tmp_path):
+        body = """$MeshFormat
+2.2 0 8
+$EndMeshFormat
+$Nodes
+5
+1 0 0 0
+2 1 0 0
+3 1 1 0
+7 9 9 9
+9 0 1 0
+$EndNodes
+$Elements
+1
+1 2 2 0 0 1 2 3
+$EndElements
+"""
+        m = read_gmsh_mesh(self._file(tmp_path, body))
+        assert m.num_nodes == 3  # nodes 7 and 9 unused -> dropped

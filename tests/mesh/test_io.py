@@ -1,0 +1,35 @@
+"""Tests for mesh persistence."""
+
+import numpy as np
+import pytest
+
+from repro.mesh.generators import structured_box_mesh
+from repro.mesh.io import load_mesh, save_mesh
+from repro.mesh.mesh import Mesh
+
+
+class TestRoundtrip:
+    def test_mesh_roundtrip(self, tmp_path):
+        m = structured_box_mesh(2, 3, 2)
+        m = Mesh(m.nodes, m.elements, m.elem_type,
+                 body_id=np.arange(m.num_elements) % 2)
+        path = tmp_path / "mesh.npz"
+        save_mesh(path, m)
+        loaded = load_mesh(path)
+        assert np.array_equal(loaded.nodes, m.nodes)
+        assert np.array_equal(loaded.elements, m.elements)
+        assert loaded.elem_type == m.elem_type
+        assert np.array_equal(loaded.body_id, m.body_id)
+
+    def test_loaded_mesh_is_usable(self, tmp_path):
+        from repro.mesh.nodal_graph import nodal_graph
+
+        m = structured_box_mesh(2, 2, 2)
+        path = tmp_path / "m.npz"
+        save_mesh(path, m)
+        g = nodal_graph(load_mesh(path))
+        g.validate()
+
+    def test_missing_file_raises(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_mesh(tmp_path / "nope.npz")

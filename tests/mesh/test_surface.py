@@ -1,0 +1,89 @@
+"""Tests for surface extraction."""
+
+import numpy as np
+import pytest
+
+from repro.mesh.generators import structured_box_mesh, structured_quad_mesh
+from repro.mesh.surface import (
+    boundary_faces,
+    face_nodes,
+    interior_face_pairs,
+    surface_nodes,
+)
+
+
+class TestFaceNodes:
+    def test_counts(self):
+        m = structured_box_mesh(2, 2, 2)
+        faces, owner, local = face_nodes(m)
+        assert len(faces) == 8 * 6
+        assert owner.max() == 7
+        assert set(local.tolist()) == set(range(6))
+
+
+class TestBoundaryFaces:
+    def test_box_face_count(self):
+        m = structured_box_mesh(3, 2, 2)
+        faces, owner = boundary_faces(m)
+        expect = 2 * (3 * 2 + 3 * 2 + 2 * 2)
+        assert len(faces) == expect
+
+    def test_quad_boundary_edges(self):
+        m = structured_quad_mesh(4, 3)
+        faces, _ = boundary_faces(m)
+        assert len(faces) == 2 * (4 + 3)
+
+    def test_owner_elements_touch_boundary(self):
+        m = structured_box_mesh(3, 3, 3)
+        faces, owner = boundary_faces(m)
+        # the single interior element (1,1,1) owns no boundary face
+        interior = 1 * 9 + 1 * 3 + 1  # element index for (1,1,1)
+        assert interior not in owner
+
+    def test_erosion_exposes_new_faces(self):
+        """Deleting an interior element turns its faces into boundary —
+        the mechanism growing the contact surface in penetration."""
+        m = structured_box_mesh(3, 3, 3)
+        before, _ = boundary_faces(m)
+        centroids = m.centroids()
+        centre = np.argmin(
+            np.linalg.norm(centroids - centroids.mean(axis=0), axis=1)
+        )
+        keep = np.ones(27, dtype=bool)
+        keep[centre] = False
+        after, _ = boundary_faces(m.with_elements(keep))
+        assert len(after) == len(before) + 6
+
+    def test_empty_mesh(self):
+        m = structured_quad_mesh(1, 1)
+        empty = m.with_elements(np.array([], dtype=np.int64))
+        faces, owner = boundary_faces(empty)
+        assert len(faces) == 0
+
+
+class TestSurfaceNodes:
+    def test_box_surface_node_count(self):
+        m = structured_box_mesh(4, 4, 4)
+        sn = surface_nodes(m)
+        assert len(sn) == 5**3 - 3**3
+
+    def test_single_element_all_nodes_on_surface(self):
+        m = structured_box_mesh(1, 1, 1)
+        assert len(surface_nodes(m)) == 8
+
+
+class TestInteriorFacePairs:
+    def test_pair_count(self):
+        m = structured_box_mesh(3, 2, 2)
+        pairs = interior_face_pairs(m)
+        expect = 2 * 2 * 2 + 3 * 1 * 2 + 3 * 2 * 1
+        assert len(pairs) == expect
+
+    def test_pairs_are_adjacent_elements(self):
+        m = structured_box_mesh(2, 2, 2)
+        centroids = m.centroids()
+        for a, b in interior_face_pairs(m):
+            # face-adjacent hexes in this mesh are at unit spacing
+            assert np.isclose(
+                np.linalg.norm(centroids[a] - centroids[b]), 0.5
+            )

@@ -1,0 +1,94 @@
+"""Tests for the hex→tet decomposition and tet-mesh simulation."""
+
+import numpy as np
+import pytest
+
+from repro.mesh.generators import (
+    hex_to_tet_mesh,
+    merge_meshes,
+    structured_box_mesh,
+    structured_quad_mesh,
+)
+from repro.mesh.quality import element_measures
+from repro.mesh.surface import boundary_faces, surface_nodes
+
+
+class TestHexToTet:
+    def test_six_tets_per_hex(self):
+        m = structured_box_mesh(2, 2, 2)
+        t = hex_to_tet_mesh(m)
+        assert t.elem_type == "tet"
+        assert t.num_elements == 6 * m.num_elements
+        assert t.num_nodes == m.num_nodes
+
+    def test_volume_preserved(self):
+        m = structured_box_mesh(3, 2, 4, size=(1.5, 1.0, 2.0))
+        t = hex_to_tet_mesh(m)
+        assert element_measures(t).sum() == pytest.approx(
+            element_measures(m).sum()
+        )
+
+    def test_all_tets_positive_volume(self):
+        t = hex_to_tet_mesh(structured_box_mesh(2, 3, 2))
+        assert (element_measures(t) > 1e-12).all()
+
+    def test_decomposition_conforming(self):
+        """Interior faces pair up exactly: boundary tri count is twice
+        the hex boundary quad count and the surface node set matches."""
+        m = structured_box_mesh(3, 3, 3)
+        t = hex_to_tet_mesh(m)
+        quads, _ = boundary_faces(m)
+        tris, _ = boundary_faces(t)
+        assert len(tris) == 2 * len(quads)
+        assert np.array_equal(surface_nodes(t), surface_nodes(m))
+
+    def test_body_ids_propagate(self):
+        a = structured_box_mesh(1, 1, 1)
+        b = structured_box_mesh(1, 1, 1, origin=(5, 0, 0))
+        t = hex_to_tet_mesh(merge_meshes([a, b]))
+        assert np.array_equal(t.body_id, np.repeat([0, 1], 6))
+
+    def test_rejects_non_hex(self):
+        with pytest.raises(ValueError, match="hex"):
+            hex_to_tet_mesh(structured_quad_mesh(2, 2))
+
+
+class TestTetSimulation:
+    def test_tet_sequence_runs(self):
+        from repro.sim.projectile import ImpactConfig
+        from repro.sim.sequence import simulate_impact
+
+        seq = simulate_impact(ImpactConfig(n_steps=6, refine=0.5, tet=True))
+        s = seq[0]
+        assert s.mesh.elem_type == "tet"
+        assert s.contact_faces.shape[1] == 3  # triangle faces
+        assert s.num_contact_nodes > 0
+
+    def test_tet_pipeline_end_to_end(self):
+        """MCML+DT + search + local search on the tet workload."""
+        from repro.core.contact_search import serial_candidate_pairs
+        from repro.core.local_search import resolve_candidates
+        from repro.core.mcml_dt import MCMLDTPartitioner
+        from repro.geometry.bbox import element_bboxes
+        from repro.sim.projectile import ImpactConfig
+        from repro.sim.sequence import simulate_impact
+
+        seq = simulate_impact(
+            ImpactConfig(n_steps=10, refine=0.5, tet=True)
+        )
+        snap = seq[9]
+        pt = MCMLDTPartitioner(4).fit(snap)
+        tree, _ = pt.build_descriptors(snap)
+        plan = pt.search_plan(snap, tree)
+        assert plan.n_remote >= 0
+        boxes = element_bboxes(snap.mesh.nodes, snap.contact_faces)
+        boxes[:, 0] -= 0.2
+        boxes[:, 1] += 0.2
+        pairs = serial_candidate_pairs(
+            boxes, snap.contact_faces,
+            snap.mesh.nodes[snap.contact_nodes], snap.contact_nodes,
+        )
+        res = resolve_candidates(
+            snap.mesh.nodes, snap.contact_faces, sorted(pairs)
+        )
+        assert np.isfinite(res.gap).all()

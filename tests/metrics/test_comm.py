@@ -1,0 +1,19 @@
+"""Tests for the FEComm wrapper."""
+
+import numpy as np
+
+from repro.graph.build import grid_graph
+from repro.graph.metrics import total_comm_volume
+from repro.metrics.comm import fe_comm
+
+
+class TestFeComm:
+    def test_delegates_to_comm_volume(self):
+        g = grid_graph(6, 6)
+        rng = np.random.default_rng(0)
+        part = rng.integers(0, 3, 36)
+        assert fe_comm(g, part) == total_comm_volume(g, part)
+
+    def test_zero_for_single_partition(self):
+        g = grid_graph(4, 4)
+        assert fe_comm(g, np.zeros(16, dtype=int)) == 0

@@ -1,0 +1,93 @@
+"""Tests for M2MComm / UpdComm mapping metrics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.metrics.mapping import (
+    m2m_comm,
+    optimal_relabel,
+    overlap_matrix,
+    update_comm,
+)
+
+
+class TestOverlapMatrix:
+    def test_basic(self):
+        a = np.array([0, 0, 1, 1])
+        b = np.array([1, 1, 0, 1])
+        m = overlap_matrix(a, b, 2)
+        assert m.tolist() == [[0, 2], [1, 1]]
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError, match="equal length"):
+            overlap_matrix(np.array([0]), np.array([0, 1]), 2)
+
+
+class TestOptimalRelabel:
+    def test_identity_when_aligned(self):
+        a = np.array([0, 1, 2, 0, 1, 2])
+        perm = optimal_relabel(a, a, 3)
+        assert perm.tolist() == [0, 1, 2]
+
+    def test_recovers_permutation(self):
+        a = np.array([0, 0, 1, 1, 2, 2])
+        b = np.array([2, 2, 0, 0, 1, 1])  # b = a relabelled by p: 0->2,1->0,2->1
+        perm = optimal_relabel(a, b, 3)
+        assert np.array_equal(perm[b], a)
+
+
+class TestM2MComm:
+    def test_zero_when_permuted_copy(self):
+        a = np.array([0, 1, 2, 0, 1, 2])
+        b = (a + 1) % 3
+        assert m2m_comm(a, b, 3) == 0
+
+    def test_counts_true_disagreements(self):
+        a = np.array([0, 0, 0, 1, 1, 1])
+        b = np.array([0, 0, 1, 1, 1, 1])
+        # optimal relabel is identity; one point disagrees
+        assert m2m_comm(a, b, 2) == 1
+
+    def test_upper_bound(self):
+        rng = np.random.default_rng(0)
+        a = rng.integers(0, 4, 100)
+        b = rng.integers(0, 4, 100)
+        assert 0 <= m2m_comm(a, b, 4) <= 100
+
+    @given(st.integers(0, 10**6), st.integers(2, 6))
+    @settings(max_examples=40, deadline=None)
+    def test_property_relabel_no_worse_than_identity(self, seed, k):
+        """Optimal relabelling never disagrees more than the identity
+        labelling does."""
+        rng = np.random.default_rng(seed)
+        n = 60
+        a = rng.integers(0, k, n)
+        b = rng.integers(0, k, n)
+        identity_diff = int(np.count_nonzero(a != b))
+        assert m2m_comm(a, b, k) <= identity_diff
+
+
+class TestUpdateComm:
+    def test_common_ids_compared(self):
+        prev_ids = np.array([1, 2, 3, 4])
+        new_ids = np.array([2, 3, 4, 5])
+        prev_l = np.array([0, 0, 1, 1])  # labels of ids 1,2,3,4
+        new_l = np.array([0, 0, 0, 9])  # labels of ids 2,3,4,5
+        # common ids 2,3,4: prev (0,1,1) vs new (0,0,0) -> 2 moved
+        assert update_comm(prev_l, new_l, prev_ids, new_ids) == 2
+
+    def test_disjoint_ids_zero(self):
+        assert (
+            update_comm(
+                np.array([0]), np.array([1]),
+                np.array([1]), np.array([2]),
+            )
+            == 0
+        )
+
+    def test_identical_zero(self):
+        ids = np.array([5, 6, 7])
+        labels = np.array([0, 1, 2])
+        assert update_comm(labels, labels, ids, ids) == 0

@@ -1,0 +1,44 @@
+"""Tests for table formatting."""
+
+import pytest
+
+from repro.metrics.report import MetricTable, format_table
+
+
+class TestMetricTable:
+    def test_render_contains_values(self):
+        t = MetricTable("Demo", ["a", "b"])
+        t.add_row("row1", [1, 22222])
+        out = t.render()
+        assert "Demo" in out
+        assert "row1" in out
+        assert "22,222" in out
+
+    def test_row_length_checked(self):
+        t = MetricTable("Demo", ["a", "b"])
+        with pytest.raises(ValueError, match="2 columns"):
+            t.add_row("bad", [1])
+
+    def test_floats_formatted(self):
+        t = MetricTable("Demo", ["x"])
+        t.add_row("r", [3.14159])
+        assert "3.1" in t.render()
+
+    def test_integral_floats_rendered_as_ints(self):
+        t = MetricTable("Demo", ["x"])
+        t.add_row("r", [5.0])
+        assert "5" in t.render()
+        assert "5.0" not in t.render()
+
+    def test_columns_aligned(self):
+        out = format_table(
+            "T", ["col"], {"a": [1], "bbbb": [100000]}
+        )
+        lines = out.splitlines()
+        # all data lines equal length
+        data = [l for l in lines[2:] if l and not set(l) <= {"-", "="}]
+        assert len({len(l) for l in data}) == 1
+
+    def test_empty_rows(self):
+        out = format_table("T", ["c1", "c2"], {})
+        assert "c1" in out

@@ -1,0 +1,132 @@
+"""Tests for balance bookkeeping, including BalanceTracker equivalence."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.partition.balance import (
+    BalanceTracker,
+    is_feasible,
+    max_allowed,
+    move_keeps_feasible,
+    target_weights,
+    violation,
+    violation_delta,
+)
+
+
+class TestTargets:
+    def test_even_split(self):
+        t = target_weights(np.array([100, 10]), np.array([0.5, 0.5]))
+        assert t.tolist() == [[50, 5], [50, 5]]
+
+    def test_proportional_split(self):
+        t = target_weights(np.array([100]), np.array([0.6, 0.4]))
+        assert t[:, 0].tolist() == [60, 40]
+
+    def test_fracs_must_sum_to_one(self):
+        with pytest.raises(ValueError, match="sum to 1"):
+            target_weights(np.array([10]), np.array([0.5, 0.6]))
+
+
+class TestViolation:
+    def test_feasible_is_zero(self):
+        targets = target_weights(np.array([100]), np.array([0.5, 0.5]))
+        assert violation(np.array([[50], [50]]), targets, 1.05) == 0.0
+
+    def test_tolerance_respected(self):
+        targets = target_weights(np.array([100]), np.array([0.5, 0.5]))
+        # 52 < 50*1.05 = 52.5 -> still fine
+        assert violation(np.array([[52], [48]]), targets, 1.05) == 0.0
+        assert violation(np.array([[54], [46]]), targets, 1.05) > 0.0
+
+    def test_zero_total_constraint_ignored(self):
+        targets = np.array([[50.0, 0.0], [50.0, 0.0]])
+        v = violation(np.array([[50, 3], [50, 0]]), targets, 1.05)
+        assert v == 0.0
+
+    def test_is_feasible_consistent(self):
+        targets = target_weights(np.array([100]), np.array([0.5, 0.5]))
+        assert is_feasible(np.array([[50], [50]]), targets, 1.05)
+        assert not is_feasible(np.array([[90], [10]]), targets, 1.05)
+
+
+class TestMoveChecks:
+    def test_move_keeps_feasible(self):
+        targets = target_weights(np.array([100]), np.array([0.5, 0.5]))
+        pw = np.array([[50], [50]])
+        assert move_keeps_feasible(pw, np.array([2]), 0, 1, targets, 1.05)
+        assert not move_keeps_feasible(pw, np.array([5]), 0, 1, targets, 1.05)
+
+    def test_violation_delta_sign(self):
+        targets = target_weights(np.array([100]), np.array([0.5, 0.5]))
+        pw = np.array([[70], [30]])
+        # moving weight off the overweight side improves
+        assert violation_delta(pw, np.array([10]), 0, 1, targets, 1.05) < 0
+        # moving onto it worsens
+        assert violation_delta(pw, np.array([10]), 1, 0, targets, 1.05) > 0
+
+
+class TestBalanceTracker:
+    def _random_case(self, seed, k=4, ncon=2):
+        rng = np.random.default_rng(seed)
+        pwgts = rng.integers(0, 50, size=(k, ncon)).astype(float)
+        totals = pwgts.sum(axis=0)
+        totals[totals == 0] = 1
+        targets = target_weights(totals, np.full(k, 1.0 / k))
+        return pwgts, targets
+
+    @given(st.integers(0, 10**6))
+    @settings(max_examples=60, deadline=None)
+    def test_property_total_matches_violation(self, seed):
+        pwgts, targets = self._random_case(seed)
+        tracker = BalanceTracker(pwgts, targets, 1.05)
+        assert tracker.total == pytest.approx(
+            violation(pwgts, targets, 1.05), abs=1e-9
+        )
+
+    @given(st.integers(0, 10**6))
+    @settings(max_examples=60, deadline=None)
+    def test_property_delta_matches_violation_delta(self, seed):
+        pwgts, targets = self._random_case(seed)
+        tracker = BalanceTracker(pwgts, targets, 1.05)
+        rng = np.random.default_rng(seed + 1)
+        src, dst = rng.choice(4, size=2, replace=False)
+        vwgt = rng.integers(0, 10, size=2).astype(float)
+        expected = violation_delta(pwgts, vwgt, src, dst, targets, 1.05)
+        assert tracker.delta_move(src, dst, vwgt.tolist()) == pytest.approx(
+            expected, abs=1e-9
+        )
+
+    @given(st.integers(0, 10**6))
+    @settings(max_examples=40, deadline=None)
+    def test_property_apply_move_keeps_cache_consistent(self, seed):
+        pwgts, targets = self._random_case(seed)
+        tracker = BalanceTracker(pwgts, targets, 1.05)
+        rng = np.random.default_rng(seed + 2)
+        for _ in range(5):
+            src, dst = rng.choice(4, size=2, replace=False)
+            vwgt = rng.integers(0, 5, size=2).astype(float).tolist()
+            tracker.apply_move(src, dst, vwgt)
+        fresh = BalanceTracker(
+            tracker.pwgts_array(), targets, 1.05
+        )
+        assert tracker.total == pytest.approx(fresh.total, abs=1e-9)
+
+    def test_worst_identifies_binding_constraint(self):
+        targets = np.array([[10.0, 10.0], [10.0, 10.0]])
+        pwgts = np.array([[10.0, 18.0], [10.0, 2.0]])
+        tracker = BalanceTracker(pwgts, targets, 1.05)
+        assert tracker.worst() == (0, 1)
+
+    def test_worst_none_when_feasible(self):
+        targets = np.array([[10.0], [10.0]])
+        tracker = BalanceTracker(np.array([[10.0], [10.0]]), targets, 1.05)
+        assert tracker.worst() is None
+
+    def test_fits(self):
+        targets = np.array([[10.0], [10.0]])
+        tracker = BalanceTracker(np.array([[10.0], [10.0]]), targets, 1.05)
+        assert tracker.fits(0, [0.4])
+        assert not tracker.fits(0, [2.0])

@@ -1,0 +1,90 @@
+"""Tests for geometry-seeded multi-constraint partitioning."""
+
+import numpy as np
+import pytest
+
+from repro.graph.build import grid_coords, grid_graph
+from repro.graph.metrics import edge_cut, load_imbalance
+from repro.partition.config import PartitionOptions
+from repro.partition.geometric import geometric_seed_partition
+
+
+class TestGeometricSeedPartition:
+    def test_balanced_on_grid(self):
+        g = grid_graph(16, 16)
+        coords = grid_coords(16, 16)
+        part = geometric_seed_partition(
+            g, coords, 4, PartitionOptions(seed=0)
+        )
+        assert set(np.unique(part)) == set(range(4))
+        assert load_imbalance(g, part, 4).max() <= 1.08
+
+    def test_cut_competitive_with_ideal(self):
+        g = grid_graph(20, 20)
+        coords = grid_coords(20, 20)
+        part = geometric_seed_partition(
+            g, coords, 4, PartitionOptions(seed=0)
+        )
+        # ideal 2x2 tiling cuts 2*20 = 40
+        assert edge_cut(g, part) <= 80
+
+    def test_two_constraints(self, small_sequence):
+        from repro.core.weights import build_contact_graph
+
+        snap = small_sequence[0]
+        g = build_contact_graph(snap)
+        part = geometric_seed_partition(
+            g, snap.mesh.nodes, 4,
+            PartitionOptions(seed=0, ubfactor=1.10),
+        )
+        imb = load_imbalance(g, part, 4)
+        assert imb[0] <= 1.12
+        assert imb[1] <= 1.30
+
+    def test_unrefined_matches_rcb_geometry(self):
+        """With refine=False, subdomains remain (nearly) RCB boxes:
+        each pair separated along some axis up to rebalance moves."""
+        g = grid_graph(12, 12)
+        coords = grid_coords(12, 12)
+        part = geometric_seed_partition(
+            g, coords, 2, PartitionOptions(seed=0), refine=False
+        )
+        lo0, hi0 = (
+            coords[part == 0].min(0), coords[part == 0].max(0)
+        )
+        lo1, hi1 = (
+            coords[part == 1].min(0), coords[part == 1].max(0)
+        )
+        overlap = np.minimum(hi0, hi1) - np.maximum(lo0, lo1)
+        # at most a thin band of overlap from rebalance moves
+        assert (overlap <= 1.0 + 1e-9).any()
+
+    def test_k_one(self):
+        g = grid_graph(4, 4)
+        part = geometric_seed_partition(g, grid_coords(4, 4), 1)
+        assert (part == 0).all()
+
+    def test_coords_length_checked(self):
+        g = grid_graph(4, 4)
+        with pytest.raises(ValueError, match="align"):
+            geometric_seed_partition(g, np.zeros((3, 2)), 2)
+
+    def test_yields_small_descriptor_trees(self, small_sequence):
+        """The §6 motivation: geometry-seeded partitions should induce
+        compact contact-point trees without any reshaping step."""
+        from repro.core.weights import build_contact_graph
+        from repro.dtree.induction import induce_pure_tree
+        from repro.partition.kway import partition_kway
+
+        snap = small_sequence[0]
+        g = build_contact_graph(snap)
+        k = 4
+        geo = geometric_seed_partition(
+            g, snap.mesh.nodes, k, PartitionOptions(seed=0)
+        )
+        graphic = partition_kway(g, k, PartitionOptions(seed=0))
+        cn = snap.contact_nodes
+        coords = snap.mesh.nodes[cn]
+        t_geo, _ = induce_pure_tree(coords, geo[cn], k)
+        t_gra, _ = induce_pure_tree(coords, graphic[cn], k)
+        assert t_geo.n_nodes <= 1.5 * t_gra.n_nodes

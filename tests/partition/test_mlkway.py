@@ -1,0 +1,57 @@
+"""Tests for the direct multilevel k-way driver."""
+
+import numpy as np
+import pytest
+
+from repro.graph.build import grid_graph
+from repro.graph.metrics import edge_cut, load_imbalance
+from repro.partition.config import PartitionOptions
+from repro.partition.mlkway import multilevel_kway
+
+
+class TestMultilevelKway:
+    @pytest.mark.parametrize("k", [2, 5, 8])
+    def test_valid_balanced_partition(self, k):
+        g = grid_graph(16, 16)
+        part = multilevel_kway(g, k, PartitionOptions(seed=0))
+        assert set(np.unique(part)) == set(range(k))
+        assert load_imbalance(g, part, k).max() <= 1.10
+
+    def test_two_constraints(self):
+        g = grid_graph(14, 14)
+        vw = np.ones((196, 2), dtype=np.int64)
+        vw[:, 1] = (np.arange(196) % 5 == 0).astype(np.int64)
+        g = g.with_vwgts(vw)
+        part = multilevel_kway(g, 4, PartitionOptions(seed=0, ubfactor=1.15))
+        imb = load_imbalance(g, part, 4)
+        assert imb[0] <= 1.17
+        assert imb[1] <= 1.45
+
+    def test_cut_quality_sane(self):
+        g = grid_graph(20, 20)
+        part = multilevel_kway(g, 4, PartitionOptions(seed=0))
+        # ideal 4-way tiling cuts ~80; anything within 3x is structured
+        assert edge_cut(g, part) <= 240
+
+    def test_k_one(self):
+        g = grid_graph(4, 4)
+        assert (multilevel_kway(g, 1) == 0).all()
+
+    def test_k_exceeds_vertices(self):
+        with pytest.raises(ValueError, match="exceeds"):
+            multilevel_kway(grid_graph(2, 2), 9)
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError, match="k must be"):
+            multilevel_kway(grid_graph(2, 2), 0)
+
+    def test_deterministic(self):
+        g = grid_graph(10, 10)
+        a = multilevel_kway(g, 4, PartitionOptions(seed=5))
+        b = multilevel_kway(g, 4, PartitionOptions(seed=5))
+        assert np.array_equal(a, b)
+
+    def test_tiny_graph(self):
+        g = grid_graph(3, 1)
+        part = multilevel_kway(g, 3, PartitionOptions(seed=0))
+        assert sorted(part.tolist()) == [0, 1, 2]

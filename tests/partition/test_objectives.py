@@ -1,0 +1,124 @@
+"""Tests for multi-objective edge weights."""
+
+import numpy as np
+import pytest
+
+from repro.graph.build import from_edge_list, grid_graph
+from repro.partition.config import PartitionOptions
+from repro.partition.objectives import (
+    EdgeObjectives,
+    build_contact_objectives,
+    multi_objective_partition,
+    per_objective_cuts,
+    scalarize,
+)
+
+
+def two_objective_path():
+    """Path 0-1-2-3; objective 0 on all edges, objective 1 only on the
+    middle edge."""
+    g = from_edge_list(4, np.array([[0, 1], [1, 2], [2, 3]]))
+    src = np.repeat(np.arange(4), g.degrees())
+    mid = ((src == 1) & (g.adjncy == 2)) | ((src == 2) & (g.adjncy == 1))
+    values = np.column_stack(
+        (np.ones(len(g.adjncy), dtype=int), mid.astype(int))
+    )
+    return EdgeObjectives(graph=g, values=values)
+
+
+class TestEdgeObjectives:
+    def test_alignment_checked(self):
+        g = grid_graph(3, 3)
+        with pytest.raises(ValueError, match="align"):
+            EdgeObjectives(graph=g, values=np.ones((3, 2), dtype=int))
+
+    def test_symmetry_validation(self):
+        obj = two_objective_path()
+        obj.validate_symmetry()
+        bad = EdgeObjectives(
+            graph=obj.graph, values=obj.values.copy()
+        )
+        bad.values[0, 1] = 5  # one direction altered
+        with pytest.raises(ValueError, match="not symmetric"):
+            bad.validate_symmetry()
+
+
+class TestPerObjectiveCuts:
+    def test_hand_example(self):
+        obj = two_objective_path()
+        # cut the middle edge: objective 0 cut = 1, objective 1 cut = 1
+        cuts = per_objective_cuts(obj, np.array([0, 0, 1, 1]))
+        assert cuts.tolist() == [1, 1]
+        # cut the first edge: objective 1 untouched
+        cuts = per_objective_cuts(obj, np.array([0, 1, 1, 1]))
+        assert cuts.tolist() == [1, 0]
+
+
+class TestScalarize:
+    def test_coefficients_applied(self):
+        obj = two_objective_path()
+        g = scalarize(obj, [1.0, 4.0])
+        # middle edge weight = 1 + 4 = 5, others 1
+        src = np.repeat(np.arange(4), g.degrees())
+        mid = ((src == 1) & (g.adjncy == 2))
+        assert (g.adjwgt[mid] == 5).all()
+        assert (g.adjwgt[~mid & (src < g.adjncy)] == 1).all()
+
+    def test_validation(self):
+        obj = two_objective_path()
+        with pytest.raises(ValueError, match="coefficients"):
+            scalarize(obj, [1.0])
+        with pytest.raises(ValueError, match="non-negative"):
+            scalarize(obj, [1.0, -2.0])
+
+    def test_minimum_weight_one(self):
+        obj = two_objective_path()
+        g = scalarize(obj, [0.0, 0.0])
+        assert (g.adjwgt >= 1).all()
+
+
+class TestContactObjectives:
+    def test_matches_weight_model(self, small_sequence):
+        """Scalarising the contact objectives with (1, w-1) reproduces
+        the §4.2 weight-w graph exactly."""
+        from repro.core.weights import build_contact_graph
+
+        snap = small_sequence[0]
+        obj = build_contact_objectives(snap)
+        obj.validate_symmetry()
+        g5 = scalarize(obj, [1.0, 4.0])
+        ref = build_contact_graph(snap, contact_edge_weight=5)
+        assert np.array_equal(g5.adjwgt, ref.adjwgt)
+
+    def test_objective1_is_contact_edges(self, small_sequence):
+        snap = small_sequence[0]
+        obj = build_contact_objectives(snap)
+        is_contact = np.zeros(obj.graph.num_vertices, dtype=bool)
+        is_contact[snap.contact_nodes] = True
+        src = np.repeat(
+            np.arange(obj.graph.num_vertices), obj.graph.degrees()
+        )
+        both = is_contact[src] & is_contact[obj.graph.adjncy]
+        assert np.array_equal(obj.values[:, 1].astype(bool), both)
+
+
+class TestMultiObjectivePartition:
+    def test_tradeoff_direction(self, small_sequence):
+        """Raising the contact coefficient cannot increase the contact
+        cut relative to the FE-only scalarisation (Pareto trade-off)."""
+        snap = small_sequence[0]
+        obj = build_contact_objectives(snap)
+        opts = PartitionOptions(seed=0)
+        _, cuts_fe_only = multi_objective_partition(obj, 4, [1.0, 0.0], opts)
+        _, cuts_contact = multi_objective_partition(obj, 4, [1.0, 9.0], opts)
+        assert cuts_contact[1] <= cuts_fe_only[1]
+
+    def test_partition_valid(self, small_sequence):
+        snap = small_sequence[0]
+        obj = build_contact_objectives(snap)
+        part, cuts = multi_objective_partition(
+            obj, 4, [1.0, 4.0], PartitionOptions(seed=0)
+        )
+        assert len(part) == obj.graph.num_vertices
+        assert len(cuts) == 2
+        assert (cuts >= 0).all()

@@ -1,0 +1,112 @@
+"""Tests for the coarse-grain distributed multilevel partitioner."""
+
+import numpy as np
+import pytest
+
+from repro.graph.build import grid_graph
+from repro.graph.metrics import edge_cut, load_imbalance
+from repro.partition.config import PartitionOptions
+from repro.partition.kway import partition_kway
+from repro.partition.parallel_kway import parallel_partition_kway
+
+
+class TestParallelKway:
+    def test_valid_partition(self):
+        g = grid_graph(20, 20)
+        res = parallel_partition_kway(
+            g, 4, n_ranks=4, options=PartitionOptions(seed=0)
+        )
+        assert len(res.part) == 400
+        assert set(np.unique(res.part)) == set(range(4))
+
+    def test_balance_within_tolerance(self):
+        g = grid_graph(24, 24)
+        res = parallel_partition_kway(
+            g, 6, n_ranks=4, options=PartitionOptions(seed=0)
+        )
+        assert load_imbalance(g, res.part, 6).max() <= 1.12
+
+    def test_cut_within_factor_of_serial(self):
+        """Local matching and quota-throttled refinement cost quality;
+        the gap must stay bounded."""
+        g = grid_graph(24, 24)
+        opts = PartitionOptions(seed=0)
+        serial = partition_kway(g, 4, opts)
+        par = parallel_partition_kway(g, 4, n_ranks=4, options=opts)
+        assert edge_cut(g, par.part) <= 2.0 * edge_cut(g, serial) + 20
+
+    def test_communication_accounted(self):
+        g = grid_graph(20, 20)
+        res = parallel_partition_kway(
+            g, 4, n_ranks=4, options=PartitionOptions(seed=0)
+        )
+        led = res.ledger
+        assert led.items("pk-halo") > 0  # ghost exchanges happened
+        assert led.items("pk-gather") > 0  # coarsest graph gathered
+        assert led.items("pk-scatter") > 0  # labels scattered back
+        # the gathered coarse graph is far smaller than the input
+        assert led.items("pk-gather") < g.num_vertices + 2 * g.num_edges
+
+    def test_coarsening_happened(self):
+        g = grid_graph(24, 24)
+        res = parallel_partition_kway(
+            g, 4, n_ranks=4,
+            options=PartitionOptions(seed=0), coarsen_to=100,
+        )
+        assert res.levels >= 1
+
+    def test_single_rank_no_halo(self):
+        g = grid_graph(12, 12)
+        res = parallel_partition_kway(
+            g, 4, n_ranks=1, options=PartitionOptions(seed=0)
+        )
+        assert res.ledger.items("pk-halo") == 0
+        assert load_imbalance(g, res.part, 4).max() <= 1.12
+
+    def test_custom_owner_layout(self):
+        g = grid_graph(16, 16)
+        rng = np.random.default_rng(0)
+        owner = rng.integers(0, 3, 256)
+        res = parallel_partition_kway(
+            g, 4, n_ranks=3, owner=owner,
+            options=PartitionOptions(seed=0),
+        )
+        assert set(np.unique(res.part)) == set(range(4))
+
+    def test_two_constraints(self, small_sequence):
+        from repro.core.weights import build_contact_graph
+
+        snap = small_sequence[0]
+        g = build_contact_graph(snap)
+        res = parallel_partition_kway(
+            g, 4, n_ranks=4,
+            options=PartitionOptions(seed=0, ubfactor=1.15),
+        )
+        imb = load_imbalance(g, res.part, 4)
+        assert imb[0] <= 1.25
+        assert imb[1] <= 1.5
+
+    def test_validation(self):
+        g = grid_graph(4, 4)
+        with pytest.raises(ValueError, match="k must be"):
+            parallel_partition_kway(g, 0, n_ranks=2)
+        with pytest.raises(ValueError, match="n_ranks"):
+            parallel_partition_kway(g, 2, n_ranks=0)
+        with pytest.raises(ValueError, match="align"):
+            parallel_partition_kway(
+                g, 2, n_ranks=2, owner=np.zeros(3, dtype=int)
+            )
+        with pytest.raises(ValueError, match="out of range"):
+            parallel_partition_kway(
+                g, 2, n_ranks=2, owner=np.full(16, 7)
+            )
+
+    def test_deterministic(self):
+        g = grid_graph(14, 14)
+        a = parallel_partition_kway(
+            g, 4, n_ranks=3, options=PartitionOptions(seed=9)
+        )
+        b = parallel_partition_kway(
+            g, 4, n_ranks=3, options=PartitionOptions(seed=9)
+        )
+        assert np.array_equal(a.part, b.part)

@@ -1,0 +1,56 @@
+"""Tests for diffusion repartitioning."""
+
+import numpy as np
+import pytest
+
+from repro.graph.build import grid_graph
+from repro.graph.metrics import edge_cut, load_imbalance
+from repro.partition.config import PartitionOptions
+from repro.partition.kway import partition_kway
+from repro.partition.repartition import diffusion_repartition
+
+
+class TestDiffusionRepartition:
+    def test_restores_balance_with_small_movement(self):
+        g = grid_graph(12, 12)
+        part = partition_kway(g, 4, PartitionOptions(seed=0))
+        # perturb weights: a band of vertices doubles its load
+        vw = np.ones((144, 1), dtype=np.int64)
+        vw[:36, 0] = 3
+        g2 = g.with_vwgts(vw)
+        res = diffusion_repartition(g2, part, 4, PartitionOptions(seed=0))
+        assert load_imbalance(g2, res.part, 4).max() <= 1.10
+        # far fewer vertices moved than a from-scratch repartition
+        assert res.n_moved < 72
+
+    def test_noop_when_balanced(self):
+        g = grid_graph(10, 10)
+        part = (np.arange(100) // 25).astype(np.int64)
+        res = diffusion_repartition(g, part, 4, PartitionOptions(seed=0))
+        assert load_imbalance(g, res.part, 4).max() <= 1.05 + 1e-9
+        # refinement may polish the cut but should not shuffle wholesale
+        assert res.n_moved <= 30
+
+    def test_n_moved_counts_changes(self):
+        g = grid_graph(8, 8)
+        part = np.zeros(64, dtype=np.int64)
+        part[:8] = 1
+        res = diffusion_repartition(g, part, 2, PartitionOptions(seed=0))
+        assert res.n_moved == int(np.count_nonzero(res.part != part))
+
+    def test_rejects_bad_inputs(self):
+        g = grid_graph(4, 4)
+        with pytest.raises(ValueError, match="length"):
+            diffusion_repartition(g, np.zeros(3, dtype=int), 2)
+        with pytest.raises(ValueError, match="out of range"):
+            diffusion_repartition(g, np.full(16, 5), 2)
+
+    def test_cut_not_catastrophically_worse(self):
+        g = grid_graph(14, 14)
+        part = partition_kway(g, 4, PartitionOptions(seed=0))
+        base_cut = edge_cut(g, part)
+        vw = np.ones((196, 1), dtype=np.int64)
+        vw[:49, 0] = 2
+        g2 = g.with_vwgts(vw)
+        res = diffusion_repartition(g2, part, 4, PartitionOptions(seed=0))
+        assert edge_cut(g2, res.part) <= 3 * base_cut + 10

@@ -1,0 +1,61 @@
+"""Tests for the simulated communicator."""
+
+import pytest
+
+from repro.runtime.comm import RankContext, SimComm
+from repro.runtime.ledger import CommLedger
+
+
+class TestSimComm:
+    def test_messages_delivered_after_barrier(self):
+        comm = SimComm(3)
+        comm.send(0, 2, "hello", phase="p", items=1)
+        assert comm.inbox(2) == []  # nothing before the barrier
+        comm.barrier()
+        assert comm.inbox(2) == [(0, "hello")]
+
+    def test_inbox_consumed_on_read(self):
+        comm = SimComm(2)
+        comm.send(0, 1, "x", phase="p", items=1)
+        comm.barrier()
+        assert comm.inbox(1) == [(0, "x")]
+        assert comm.inbox(1) == []
+
+    def test_ledger_records(self):
+        led = CommLedger()
+        comm = SimComm(2, led)
+        comm.send(0, 1, [1, 2, 3], phase="contact", items=3)
+        assert led.items("contact") == 3
+
+    def test_rank_bounds_checked(self):
+        comm = SimComm(2)
+        with pytest.raises(ValueError, match="rank"):
+            comm.send(0, 5, "x", phase="p", items=1)
+        with pytest.raises(ValueError, match="rank"):
+            comm.inbox(9)
+
+    def test_size_validated(self):
+        with pytest.raises(ValueError, match="size"):
+            SimComm(0)
+
+    def test_alltoallv(self):
+        led = CommLedger()
+        comm = SimComm(3, led)
+        comm.alltoallv(
+            {0: {1: [1, 2], 2: [3]}, 1: {0: [4, 5, 6]}}, phase="a2a"
+        )
+        comm.barrier()
+        assert comm.inbox(1) == [(0, [1, 2])]
+        assert led.items("a2a") == 6
+        assert led.messages("a2a") == 3
+
+
+class TestRankContext:
+    def test_context_routes_through_comm(self):
+        comm = SimComm(2)
+        ctx0 = RankContext(rank=0, comm=comm)
+        ctx1 = RankContext(rank=1, comm=comm)
+        ctx0.send(1, "payload", phase="p", items=1)
+        comm.barrier()
+        assert ctx1.inbox() == [(0, "payload")]
+        assert ctx0.size == 2

@@ -1,0 +1,57 @@
+"""Tests for communication accounting."""
+
+import pytest
+
+from repro.runtime.ledger import CommLedger
+
+
+class TestCommLedger:
+    def test_record_and_totals(self):
+        led = CommLedger()
+        led.record("fe", 0, 1, 10)
+        led.record("fe", 1, 0, 5)
+        led.record("contact", 0, 2, 3)
+        assert led.items("fe") == 15
+        assert led.messages("fe") == 2
+        assert led.items("contact") == 3
+        assert led.total_items() == 18
+
+    def test_self_sends_not_counted(self):
+        led = CommLedger()
+        led.record("fe", 2, 2, 100)
+        assert led.total_items() == 0
+        assert led.messages("fe") == 0
+
+    def test_unknown_phase_zero(self):
+        led = CommLedger()
+        assert led.items("nope") == 0
+        assert led.messages("nope") == 0
+
+    def test_per_rank_accounting_symmetric(self):
+        led = CommLedger()
+        led.record("x", 0, 1, 7)
+        led.record("x", 1, 2, 3)
+        sent = sum(led.sent_by_rank[("x", r)] for r in range(3))
+        recv = sum(led.received_by_rank[("x", r)] for r in range(3))
+        assert sent == recv == 10
+
+    def test_max_rank_send(self):
+        led = CommLedger()
+        led.record("x", 0, 1, 7)
+        led.record("x", 0, 2, 2)
+        led.record("x", 1, 0, 4)
+        assert led.max_rank_send("x", 3) == 9
+
+    def test_max_rank_send_empty(self):
+        assert CommLedger().max_rank_send("x", 4) == 0
+
+    def test_negative_items_rejected(self):
+        with pytest.raises(ValueError, match=">= 0"):
+            CommLedger().record("x", 0, 1, -1)
+
+    def test_summary(self):
+        led = CommLedger()
+        led.record("b", 0, 1, 2)
+        led.record("a", 0, 1, 1)
+        assert list(led.summary()) == ["a", "b"]
+        assert led.summary()["b"] == (1, 2)

@@ -1,0 +1,79 @@
+"""Property tests for the runtime protocols' conservation invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.runtime.comm import SimComm
+from repro.runtime.executor import spmd_run
+from repro.runtime.ledger import CommLedger
+
+
+@given(
+    st.lists(
+        st.tuples(
+            st.integers(0, 5),  # src
+            st.integers(0, 5),  # dst
+            st.integers(0, 50),  # items
+        ),
+        max_size=60,
+    )
+)
+@settings(max_examples=60, deadline=None)
+def test_property_ledger_conservation(messages):
+    """For any message trace: per-phase, total sent == total received ==
+    phase items, and self-sends vanish."""
+    led = CommLedger()
+    comm = SimComm(6, led)
+    expected = 0
+    for src, dst, items in messages:
+        comm.send(src, dst, None, phase="p", items=items)
+        if src != dst:
+            expected += items
+    comm.barrier()
+    sent = sum(led.sent_by_rank[("p", r)] for r in range(6))
+    recv = sum(led.received_by_rank[("p", r)] for r in range(6))
+    assert sent == recv == led.items("p") == expected
+
+
+@given(
+    st.integers(2, 6),
+    st.lists(st.integers(0, 30), min_size=2, max_size=6),
+)
+@settings(max_examples=40, deadline=None)
+def test_property_inbox_delivers_everything_once(size, payloads):
+    """Every queued message is delivered exactly once, to the right
+    rank, after exactly one barrier."""
+    comm = SimComm(size)
+    sent = []
+    for i, p in enumerate(payloads):
+        src = i % size
+        dst = (i + 1) % size
+        comm.send(src, dst, ("msg", i, p), phase="x", items=1)
+        if src != dst:
+            sent.append((dst, ("msg", i, p)))
+    comm.barrier()
+    received = []
+    for r in range(size):
+        for src, payload in comm.inbox(r):
+            received.append((r, payload))
+        assert comm.inbox(r) == []  # consumed
+    assert sorted(received) == sorted(sent)
+
+
+def test_supersteps_are_strictly_ordered():
+    """No rank observes a later superstep's sends early."""
+    trace = []
+
+    def first(ctx):
+        trace.append(("first", ctx.rank))
+        ctx.send((ctx.rank + 1) % ctx.size, "a", "p", 1)
+
+    def second(ctx):
+        trace.append(("second", ctx.rank))
+        assert len(ctx.inbox()) == 1
+
+    spmd_run(3, [first, second])
+    names = [t[0] for t in trace]
+    assert names == ["first"] * 3 + ["second"] * 3

@@ -1,0 +1,105 @@
+"""Tests for erosion and crater deformation."""
+
+import numpy as np
+import pytest
+
+from repro.sim.erosion import channel_erosion_mask, crater_displacement
+
+
+class TestErosionMask:
+    def _centroids(self):
+        # 3x3 column of centroids at z = 0, lateral spread
+        xs = np.array([-1.0, 0.0, 1.0])
+        cx, cy = np.meshgrid(xs, xs, indexing="ij")
+        return np.column_stack(
+            (cx.ravel(), cy.ravel(), np.zeros(9))
+        )
+
+    def test_radius_respected(self):
+        c = self._centroids()
+        mask = channel_erosion_mask(
+            c, np.zeros(2), tip_z=-1.0, radius=0.5,
+            body_id=np.ones(9, dtype=int), erodible_bodies=np.array([1]),
+        )
+        assert mask.sum() == 1  # only the centre column
+
+    def test_tip_gates_erosion(self):
+        c = self._centroids()
+        # nose hasn't reached the elements yet (tip above centroids)
+        mask = channel_erosion_mask(
+            c, np.zeros(2), tip_z=0.5, radius=10.0,
+            body_id=np.ones(9, dtype=int), erodible_bodies=np.array([1]),
+        )
+        assert mask.sum() == 0
+
+    def test_projectile_never_erodes(self):
+        c = self._centroids()
+        mask = channel_erosion_mask(
+            c, np.zeros(2), tip_z=-1.0, radius=10.0,
+            body_id=np.zeros(9, dtype=int), erodible_bodies=np.array([1]),
+        )
+        assert mask.sum() == 0
+
+    def test_off_axis_channel(self):
+        c = self._centroids()
+        mask = channel_erosion_mask(
+            c, np.array([1.0, 1.0]), tip_z=-1.0, radius=0.5,
+            body_id=np.ones(9, dtype=int), erodible_bodies=np.array([1]),
+        )
+        assert mask.sum() == 1
+        assert mask.reshape(3, 3)[2, 2]
+
+    def test_negative_radius_rejected(self):
+        with pytest.raises(ValueError, match="radius"):
+            channel_erosion_mask(
+                self._centroids(), np.zeros(2), 0.0, -1.0,
+                np.ones(9, dtype=int), np.array([1]),
+            )
+
+
+class TestCraterDisplacement:
+    def _nodes(self):
+        xs = np.linspace(-4, 4, 9)
+        cx, cy = np.meshgrid(xs, xs, indexing="ij")
+        return np.column_stack((cx.ravel(), cy.ravel(), np.zeros(81)))
+
+    def test_decays_with_distance(self):
+        nodes = self._nodes()
+        disp = crater_displacement(
+            nodes, np.zeros(2), tip_z=-1.0, channel_radius=0.5,
+            amplitude=0.2, decay=1.0,
+        )
+        r = np.linalg.norm(nodes[:, :2], axis=1)
+        mag = np.linalg.norm(disp, axis=1)
+        near = mag[np.argsort(r)[:5]].mean()
+        far = mag[np.argsort(r)[-5:]].mean()
+        assert near > 3 * far
+
+    def test_points_above_tip_unaffected(self):
+        nodes = self._nodes()
+        nodes[:, 2] = -5.0  # all below where the nose has reached
+        disp = crater_displacement(
+            nodes, np.zeros(2), tip_z=-1.0, channel_radius=0.5,
+            amplitude=0.2, decay=1.0,
+        )
+        assert np.allclose(disp, 0.0)
+
+    def test_radially_outward(self):
+        nodes = self._nodes()
+        disp = crater_displacement(
+            nodes, np.zeros(2), tip_z=-1.0, channel_radius=0.5,
+            amplitude=0.2, decay=1.0,
+        )
+        lateral = nodes[:, :2]
+        r = np.linalg.norm(lateral, axis=1)
+        nz = r > 1e-9
+        dots = (disp[nz, :2] * lateral[nz]).sum(axis=1)
+        assert (dots >= -1e-12).all()  # never pushed inward
+
+    def test_axial_dishing_downward(self):
+        nodes = self._nodes()
+        disp = crater_displacement(
+            nodes, np.zeros(2), tip_z=-1.0, channel_radius=0.5,
+            amplitude=0.2, decay=1.0,
+        )
+        assert (disp[:, 2] <= 1e-12).all()

@@ -1,0 +1,138 @@
+"""Tests for the 2D punch scene and the 2D end-to-end pipeline."""
+
+import numpy as np
+import pytest
+
+from repro.sim.impact2d import (
+    Impact2DConfig,
+    Impact2DSimulator,
+    simulate_impact_2d,
+)
+
+
+@pytest.fixture(scope="module")
+def seq2d():
+    return simulate_impact_2d(Impact2DConfig(n_steps=25))
+
+
+class TestScene2D:
+    def test_three_bodies(self):
+        sim = Impact2DSimulator(Impact2DConfig())
+        assert set(np.unique(sim.reference.body_id)) == {0, 1, 2}
+        assert sim.reference.dim == 2
+
+    def test_punch_above_bars(self):
+        sim = Impact2DSimulator(Impact2DConfig())
+        y = sim.reference.nodes[:, 1]
+        punch = sim.node_body == 0
+        assert y[punch].min() >= y[~punch].max() - 1e-9
+
+    def test_erosion_monotone_and_confined(self):
+        sim = Impact2DSimulator(Impact2DConfig())
+        prev = None
+        for t in (0.0, 30.0, 60.0, 99.0):
+            _, alive, _ = sim.state_at(t)
+            if prev is not None:
+                assert not (alive & ~prev).any()
+            prev = alive
+        dead = ~prev
+        if dead.any():
+            cx = sim.reference.centroids()[dead, 0]
+            assert np.abs(cx).max() <= sim.channel_halfwidth + 1e-9
+
+    def test_negative_time_rejected(self):
+        sim = Impact2DSimulator(Impact2DConfig())
+        with pytest.raises(ValueError, match="time"):
+            sim.state_at(-0.5)
+
+
+class TestSequence2D:
+    def test_snapshot_structure(self, seq2d):
+        s = seq2d[0]
+        assert s.mesh.elem_type == "quad"
+        assert s.contact_faces.shape[1] == 2  # edges
+        assert s.num_contact_nodes > 0
+        assert np.array_equal(s.contact_nodes, np.unique(s.contact_faces))
+
+    def test_tip_descends_and_erodes(self, seq2d):
+        tips = [s.tip_z for s in seq2d]
+        assert all(a > b for a, b in zip(tips, tips[1:]))
+        elems = [s.mesh.num_elements for s in seq2d]
+        assert elems[-1] <= elems[0]
+
+    def test_zero_snapshots_rejected(self):
+        with pytest.raises(ValueError, match="at least one"):
+            simulate_impact_2d(Impact2DConfig(n_steps=5), n_snapshots=0)
+
+
+class TestPipeline2D:
+    def test_mcml_dt_on_2d(self, seq2d):
+        """The full algorithm runs unchanged on the 2D workload."""
+        from repro.core.mcml_dt import MCMLDTPartitioner
+        from repro.core.weights import build_contact_graph
+        from repro.graph.metrics import load_imbalance
+
+        snap = seq2d[0]
+        k = 4
+        pt = MCMLDTPartitioner(k).fit(snap)
+        g = build_contact_graph(snap)
+        imb = load_imbalance(g, pt.part, k)
+        assert imb[0] <= 1.15
+        tree, _ = pt.build_descriptors(snap)
+        plan = pt.search_plan(snap, tree)
+        assert plan.n_remote >= 0
+
+    def test_ml_rcb_on_2d(self, seq2d):
+        from repro.core.ml_rcb import MLRCBPartitioner
+
+        pt = MLRCBPartitioner(4).fit(seq2d[0])
+        for snap in seq2d.snapshots[1:5]:
+            pt.update(snap)
+        assert pt.m2m_comm_now() >= 0
+        plan = pt.search_plan(seq2d[4])
+        assert plan.n_remote >= 0
+
+    def test_search_equivalence_2d(self, seq2d):
+        """Serial == parallel candidate sets in 2D too."""
+        from repro.core.contact_search import (
+            parallel_contact_search,
+            serial_candidate_pairs,
+        )
+        from repro.core.mcml_dt import MCMLDTParams, MCMLDTPartitioner
+        from repro.geometry.bbox import element_bboxes
+
+        snap = seq2d[15]
+        k = 4
+        pad = 0.25
+        pt = MCMLDTPartitioner(k, MCMLDTParams(pad=pad)).fit(snap)
+        plan = pt.search_plan(snap)
+        boxes = element_bboxes(snap.mesh.nodes, snap.contact_faces)
+        boxes[:, 0] -= pad
+        boxes[:, 1] += pad
+        coords = snap.mesh.nodes[snap.contact_nodes]
+        serial = serial_candidate_pairs(
+            boxes, snap.contact_faces, coords, snap.contact_nodes
+        )
+        parallel, _ = parallel_contact_search(
+            plan, boxes, snap.contact_faces, coords,
+            snap.contact_nodes, pt.part[snap.contact_nodes], k,
+        )
+        assert parallel == serial
+
+    def test_local_search_2d(self, seq2d):
+        from repro.core.contact_search import serial_candidate_pairs
+        from repro.core.local_search import resolve_candidates
+        from repro.geometry.bbox import element_bboxes
+
+        snap = seq2d[20]
+        boxes = element_bboxes(snap.mesh.nodes, snap.contact_faces)
+        boxes[:, 0] -= 0.25
+        boxes[:, 1] += 0.25
+        pairs = serial_candidate_pairs(
+            boxes, snap.contact_faces,
+            snap.mesh.nodes[snap.contact_nodes], snap.contact_nodes,
+        )
+        res = resolve_candidates(
+            snap.mesh.nodes, snap.contact_faces, sorted(pairs)
+        )
+        assert np.isfinite(res.gap).all()

@@ -1,0 +1,45 @@
+"""Tests for the CLI entry point."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestCli:
+    def test_stages(self, capsys):
+        assert main(["--steps", "5", "--refine", "0.5", "stages"]) == 0
+        out = capsys.readouterr().out
+        assert "Simulation stages" in out
+        assert "step 0" in out
+
+    def test_table1(self, capsys):
+        assert main(
+            ["--steps", "3", "--refine", "0.5", "table1", "--k", "2"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "2-way MCML+DT" in out
+        assert "2-way ML+RCB" in out
+
+    def test_ablation_update(self, capsys):
+        assert main(
+            [
+                "--steps", "4", "--refine", "0.5",
+                "ablation-update", "--k", "2", "--period", "2",
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "descriptor-only" in out
+        assert "repartition" in out
+        assert "hybrid" in out
+
+    def test_figure1(self, capsys):
+        assert main(
+            ["--steps", "2", "--refine", "0.5", "figure1", "--k", "2"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "Figure-1 style" in out
+        assert "Decision tree" in out
+
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            main(["--steps", "3"])

@@ -1,0 +1,56 @@
+"""Smoke tests for the example scripts.
+
+Each example must at least compile; the cheap ones also run end-to-end
+with their default configuration (heavier ones are exercised through
+the library calls they are built from, which the rest of the suite
+covers).
+"""
+
+import pathlib
+import py_compile
+import runpy
+import sys
+
+import pytest
+
+EXAMPLES = sorted(
+    (pathlib.Path(__file__).parent.parent / "examples").glob("*.py")
+)
+
+
+@pytest.mark.parametrize("path", EXAMPLES, ids=lambda p: p.name)
+def test_example_compiles(path):
+    py_compile.compile(str(path), doraise=True)
+
+
+def test_examples_present():
+    names = {p.name for p in EXAMPLES}
+    assert {
+        "quickstart.py",
+        "projectile_impact.py",
+        "crash_box.py",
+        "partitioner_tour.py",
+        "figure1_descriptors.py",
+        "full_contact_step.py",
+    } <= names
+
+
+def test_figure1_example_runs(capsys, tmp_path, monkeypatch):
+    """The cheapest example runs in-process end to end (in a temp
+    directory: it writes SVG files to the cwd)."""
+    monkeypatch.chdir(tmp_path)
+    path = [p for p in EXAMPLES if p.name == "figure1_descriptors.py"][0]
+    runpy.run_path(str(path), run_name="__main__")
+    out = capsys.readouterr().out
+    assert "Figure 1(b)" in out
+    assert "Figure 2" in out
+    assert (tmp_path / "figure1.svg").exists()
+    assert (tmp_path / "figure2.svg").exists()
+
+
+def test_quickstart_example_runs(capsys):
+    path = [p for p in EXAMPLES if p.name == "quickstart.py"][0]
+    runpy.run_path(str(path), run_name="__main__")
+    out = capsys.readouterr().out
+    assert "NRemote" in out
+    assert "descriptor overlap volume" in out

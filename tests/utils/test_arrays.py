@@ -1,0 +1,76 @@
+"""Tests for repro.utils.arrays (including hypothesis properties)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.utils.arrays import (
+    counts_per_label,
+    group_by_label,
+    relabel_contiguous,
+)
+
+
+class TestCountsPerLabel:
+    def test_basic(self):
+        out = counts_per_label(np.array([0, 1, 1, 3]), 5)
+        assert out.tolist() == [1, 2, 0, 1, 0]
+
+    def test_empty(self):
+        assert counts_per_label(np.array([], dtype=int), 3).tolist() == [
+            0, 0, 0,
+        ]
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError, match="labels must lie"):
+            counts_per_label(np.array([0, 5]), 3)
+        with pytest.raises(ValueError, match="labels must lie"):
+            counts_per_label(np.array([-1]), 3)
+
+
+class TestGroupByLabel:
+    def test_partition_of_indices(self):
+        labels = np.array([2, 0, 1, 0, 2, 2])
+        groups = group_by_label(labels, 3)
+        assert groups[0].tolist() == [1, 3]
+        assert groups[1].tolist() == [2]
+        assert groups[2].tolist() == [0, 4, 5]
+
+    def test_empty_groups_present(self):
+        groups = group_by_label(np.array([0, 0]), 4)
+        assert [len(g) for g in groups] == [2, 0, 0, 0]
+
+    @given(
+        st.lists(st.integers(min_value=0, max_value=6), max_size=80),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_property_groups_cover_exactly(self, labels):
+        labels = np.asarray(labels, dtype=np.int64)
+        groups = group_by_label(labels, 7)
+        # every index appears in exactly one group, with correct label
+        seen = np.concatenate([g for g in groups]) if len(labels) else []
+        assert sorted(seen) == list(range(len(labels)))
+        for lab, g in enumerate(groups):
+            assert (labels[g] == lab).all()
+
+
+class TestRelabelContiguous:
+    def test_roundtrip(self):
+        labels = np.array([10, 3, 10, 7])
+        new, uniq = relabel_contiguous(labels)
+        assert np.array_equal(uniq[new], labels)
+
+    def test_dense_range(self):
+        new, uniq = relabel_contiguous(np.array([5, 5, 9]))
+        assert set(new.tolist()) == {0, 1}
+        assert uniq.tolist() == [5, 9]
+
+    @given(st.lists(st.integers(-50, 50), min_size=1, max_size=60))
+    @settings(max_examples=50, deadline=None)
+    def test_property_inverse(self, labels):
+        labels = np.asarray(labels)
+        new, uniq = relabel_contiguous(labels)
+        assert np.array_equal(uniq[new], labels)
+        assert new.min() == 0
+        assert new.max() == len(uniq) - 1

@@ -1,0 +1,48 @@
+"""Tests for repro.utils.rng."""
+
+import numpy as np
+import pytest
+
+from repro.utils.rng import as_rng, spawn_rngs
+
+
+class TestAsRng:
+    def test_int_seed_is_deterministic(self):
+        a = as_rng(7).integers(0, 1000, size=10)
+        b = as_rng(7).integers(0, 1000, size=10)
+        assert np.array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        a = as_rng(1).integers(0, 10**9, size=8)
+        b = as_rng(2).integers(0, 10**9, size=8)
+        assert not np.array_equal(a, b)
+
+    def test_generator_passthrough(self):
+        gen = np.random.default_rng(3)
+        assert as_rng(gen) is gen
+
+    def test_none_gives_generator(self):
+        assert isinstance(as_rng(None), np.random.Generator)
+
+
+class TestSpawnRngs:
+    def test_count(self):
+        assert len(spawn_rngs(0, 5)) == 5
+
+    def test_children_are_independent_streams(self):
+        children = spawn_rngs(0, 3)
+        draws = [c.integers(0, 10**9, size=4) for c in children]
+        assert not np.array_equal(draws[0], draws[1])
+        assert not np.array_equal(draws[1], draws[2])
+
+    def test_deterministic_in_root_seed(self):
+        a = [c.integers(0, 10**6) for c in spawn_rngs(11, 4)]
+        b = [c.integers(0, 10**6) for c in spawn_rngs(11, 4)]
+        assert a == b
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            spawn_rngs(0, -1)
+
+    def test_zero_count(self):
+        assert spawn_rngs(0, 0) == []

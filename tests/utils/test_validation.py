@@ -1,0 +1,77 @@
+"""Tests for repro.utils.validation."""
+
+import numpy as np
+import pytest
+
+from repro.utils.validation import (
+    check_array,
+    check_in_range,
+    check_positive,
+    require,
+)
+
+
+class TestRequire:
+    def test_passes_silently(self):
+        require(True, "never raised")
+
+    def test_raises_with_message(self):
+        with pytest.raises(ValueError, match="broken invariant"):
+            require(False, "broken invariant")
+
+
+class TestCheckPositive:
+    def test_strict_accepts_positive(self):
+        check_positive("x", 0.5)
+
+    def test_strict_rejects_zero(self):
+        with pytest.raises(ValueError, match="x must be > 0"):
+            check_positive("x", 0)
+
+    def test_non_strict_accepts_zero(self):
+        check_positive("x", 0, strict=False)
+
+    def test_non_strict_rejects_negative(self):
+        with pytest.raises(ValueError, match=">= 0"):
+            check_positive("x", -1, strict=False)
+
+
+class TestCheckInRange:
+    def test_inclusive_bounds_accepted(self):
+        check_in_range("f", 0.0, 0.0, 1.0)
+        check_in_range("f", 1.0, 0.0, 1.0)
+
+    def test_exclusive_bounds_rejected(self):
+        with pytest.raises(ValueError):
+            check_in_range("f", 0.0, 0.0, 1.0, inclusive=False)
+
+    def test_out_of_range(self):
+        with pytest.raises(ValueError, match="f must satisfy"):
+            check_in_range("f", 1.5, 0.0, 1.0)
+
+
+class TestCheckArray:
+    def test_ndim_mismatch(self):
+        with pytest.raises(ValueError, match="ndim=2"):
+            check_array("a", np.zeros(3), ndim=2)
+
+    def test_shape_wildcards(self):
+        out = check_array("a", np.zeros((4, 2)), shape=(None, 2))
+        assert out.shape == (4, 2)
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError, match="shape"):
+            check_array("a", np.zeros((4, 3)), shape=(None, 2))
+
+    def test_shape_rank_mismatch(self):
+        with pytest.raises(ValueError, match="shape"):
+            check_array("a", np.zeros(4), shape=(None, 2))
+
+    def test_dtype_kind(self):
+        check_array("a", np.zeros(3, dtype=np.int64), dtype_kind="iu")
+        with pytest.raises(ValueError, match="dtype kind"):
+            check_array("a", np.zeros(3), dtype_kind="iu")
+
+    def test_coerces_lists(self):
+        out = check_array("a", [[1, 2], [3, 4]], ndim=2)
+        assert isinstance(out, np.ndarray)
