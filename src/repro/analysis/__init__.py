@@ -1,0 +1,36 @@
+"""Static analysis for the partitioning core (``repro-lint``).
+
+The reproduction's correctness rests on a handful of *array contracts*
+that Python never checks for us: CSR arrays must be contiguous
+``int64``, randomness must flow through :mod:`repro.utils.rng`, public
+entry points must validate their inputs, and hot paths must stay
+vectorised.  This package machine-checks those contracts with a small
+AST-walking lint engine so they cannot silently rot as the system
+grows (see ``docs/STATIC_ANALYSIS.md`` for the rule catalogue).
+
+Run it as ``repro-lint src/repro`` or ``repro-contact lint``.
+"""
+
+from repro.analysis.engine import (
+    Diagnostic,
+    FileContext,
+    LintEngine,
+    LintRule,
+    all_rules,
+    get_rule,
+    register_rule,
+)
+from repro.analysis.reporters import format_human, format_json
+from repro.analysis import rules as _rules  # noqa: F401  (registers rules)
+
+__all__ = [
+    "Diagnostic",
+    "FileContext",
+    "LintEngine",
+    "LintRule",
+    "all_rules",
+    "get_rule",
+    "register_rule",
+    "format_human",
+    "format_json",
+]

@@ -1,0 +1,304 @@
+"""Pluggable AST lint engine.
+
+A :class:`LintRule` inspects one parsed file (a :class:`FileContext`)
+and yields :class:`Diagnostic` records.  Rules register themselves in a
+module-level registry via :func:`register_rule`; the
+:class:`LintEngine` parses each target file once, runs every selected
+rule over it, and filters out diagnostics silenced by
+``# repro-lint: disable=CODE`` comments.
+
+Suppression grammar (comments only — strings never suppress):
+
+``# repro-lint: disable=ARR001`` on the flagged line silences the
+named rule(s) for that line; ``# repro-lint: disable-file=ARR001``
+anywhere in a file silences them for the whole file.  ``disable=all``
+is accepted in both forms.
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import (
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+    Type,
+    Union,
+)
+
+_SUPPRESS_RE = re.compile(
+    r"#\s*repro-lint:\s*(disable|disable-file)\s*=\s*"
+    r"(all|[A-Z]+[0-9]+(?:\s*,\s*[A-Z]+[0-9]+)*)"
+)
+
+#: Diagnostic code reported for files the ``ast`` module cannot parse.
+SYNTAX_ERROR_CODE = "E999"
+
+
+@dataclass(frozen=True, order=True)
+class Diagnostic:
+    """One lint finding, sortable into (path, line, col, code) order."""
+
+    path: str
+    line: int
+    col: int
+    code: str
+    message: str
+
+    def as_dict(self) -> Dict[str, Union[str, int]]:
+        """JSON-serialisable form (see ``docs/STATIC_ANALYSIS.md``)."""
+        return {
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "code": self.code,
+            "message": self.message,
+        }
+
+    def render(self) -> str:
+        """``path:line:col: CODE message`` — the human reporter line."""
+        return f"{self.path}:{self.line}:{self.col}: {self.code} {self.message}"
+
+
+@dataclass
+class FileContext:
+    """Everything a rule may inspect about one target file."""
+
+    path: str
+    module: str
+    source: str
+    tree: ast.Module
+    #: line → set of codes disabled on that line ({"all"} disables all)
+    line_suppressions: Dict[int, Set[str]] = field(default_factory=dict)
+    #: codes disabled for the entire file ({"all"} disables all)
+    file_suppressions: Set[str] = field(default_factory=set)
+
+    def is_suppressed(self, line: int, code: str) -> bool:
+        """True when ``code`` is silenced at ``line`` by a comment."""
+        for scope in (self.file_suppressions, self.line_suppressions.get(line, set())):
+            if "all" in scope or code in scope:
+                return True
+        return False
+
+
+class LintRule:
+    """Base class for lint rules.
+
+    Subclasses set ``code`` (e.g. ``"ARR001"``), ``name`` and
+    ``description`` and implement :meth:`check`.  ``modules`` optionally
+    restricts the rule to dotted-module prefixes (empty = every file).
+    """
+
+    code: str = ""
+    name: str = ""
+    description: str = ""
+    #: dotted module-name prefixes this rule applies to ((), = all files)
+    modules: Tuple[str, ...] = ()
+
+    def applies_to(self, ctx: FileContext) -> bool:
+        """Whether this rule should run on ``ctx`` (module scoping)."""
+        if not self.modules:
+            return True
+        return any(
+            ctx.module == m or ctx.module.startswith(m + ".")
+            for m in self.modules
+        )
+
+    def check(self, ctx: FileContext) -> Iterable[Diagnostic]:
+        """Yield diagnostics for ``ctx``; override in subclasses."""
+        raise NotImplementedError
+
+    def diag(
+        self, ctx: FileContext, node: ast.AST, message: Optional[str] = None
+    ) -> Diagnostic:
+        """Build a diagnostic anchored at ``node``."""
+        return Diagnostic(
+            path=ctx.path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0),
+            code=self.code,
+            message=message if message is not None else self.description,
+        )
+
+
+_REGISTRY: Dict[str, LintRule] = {}
+
+
+def register_rule(cls: Type[LintRule]) -> Type[LintRule]:
+    """Class decorator: instantiate and add ``cls`` to the registry."""
+    if not cls.code:
+        raise ValueError(f"{cls.__name__} must define a non-empty code")
+    if cls.code in _REGISTRY and type(_REGISTRY[cls.code]) is not cls:
+        raise ValueError(f"duplicate rule code {cls.code}")
+    _REGISTRY[cls.code] = cls()
+    return cls
+
+
+def all_rules() -> List[LintRule]:
+    """Registered rules sorted by code."""
+    return [_REGISTRY[code] for code in sorted(_REGISTRY)]
+
+
+def get_rule(code: str) -> LintRule:
+    """Look up one rule by its code; raises ``KeyError`` when unknown."""
+    return _REGISTRY[code]
+
+
+def module_name_for(path: Union[str, Path]) -> str:
+    """Infer the dotted module name of ``path``.
+
+    The name is rooted at the last ``repro``/``src`` component so both
+    source checkouts (``src/repro/graph/csr.py``) and test fixtures
+    mimicking the package layout (``fixtures/repro/graph/bad.py``)
+    resolve to ``repro.graph.…`` and trigger module-scoped rules.
+    """
+    parts = list(Path(path).with_suffix("").parts)
+    if parts and parts[-1] == "__init__":
+        parts = parts[:-1]
+    for anchor in ("repro", "src"):
+        if anchor in parts:
+            idx = len(parts) - 1 - parts[::-1].index(anchor)
+            if anchor == "src":
+                idx += 1
+            return ".".join(parts[idx:])
+    return ".".join(parts[-1:])
+
+
+def _collect_suppressions(
+    source: str,
+) -> Tuple[Dict[int, Set[str]], Set[str]]:
+    """Extract line- and file-level suppressions from comment tokens."""
+    per_line: Dict[int, Set[str]] = {}
+    per_file: Set[str] = set()
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+        for tok in tokens:
+            if tok.type != tokenize.COMMENT:
+                continue
+            m = _SUPPRESS_RE.search(tok.string)
+            if not m:
+                continue
+            kind, codes_str = m.groups()
+            codes = {c.strip() for c in codes_str.split(",")}
+            if kind == "disable-file":
+                per_file |= codes
+            else:
+                per_line.setdefault(tok.start[0], set()).update(codes)
+    except tokenize.TokenError:  # pragma: no cover - truncated input
+        pass
+    return per_line, per_file
+
+
+class LintEngine:
+    """Run a set of rules over files, directories, or raw source.
+
+    ``select``/``ignore`` narrow the rule set by code; by default every
+    registered rule runs.
+    """
+
+    def __init__(
+        self,
+        rules: Optional[Sequence[LintRule]] = None,
+        select: Optional[Iterable[str]] = None,
+        ignore: Optional[Iterable[str]] = None,
+    ) -> None:
+        chosen = list(rules) if rules is not None else all_rules()
+        if select is not None:
+            wanted = set(select)
+            unknown = wanted - {r.code for r in chosen}
+            if unknown:
+                raise KeyError(f"unknown rule code(s): {sorted(unknown)}")
+            chosen = [r for r in chosen if r.code in wanted]
+        if ignore is not None:
+            dropped = set(ignore)
+            chosen = [r for r in chosen if r.code not in dropped]
+        self.rules: List[LintRule] = chosen
+
+    # ------------------------------------------------------------------
+    # entry points
+    # ------------------------------------------------------------------
+    def lint_source(
+        self,
+        source: str,
+        module: str = "<string>",
+        path: str = "<string>",
+    ) -> List[Diagnostic]:
+        """Lint a source string (unit-test friendly)."""
+        try:
+            tree = ast.parse(source)
+        except SyntaxError as exc:
+            return [
+                Diagnostic(
+                    path=path,
+                    line=exc.lineno or 1,
+                    col=(exc.offset or 1) - 1,
+                    code=SYNTAX_ERROR_CODE,
+                    message=f"syntax error: {exc.msg}",
+                )
+            ]
+        per_line, per_file = _collect_suppressions(source)
+        ctx = FileContext(
+            path=path,
+            module=module,
+            source=source,
+            tree=tree,
+            line_suppressions=per_line,
+            file_suppressions=per_file,
+        )
+        found: List[Diagnostic] = []
+        for rule in self.rules:
+            if not rule.applies_to(ctx):
+                continue
+            for d in rule.check(ctx):
+                if not ctx.is_suppressed(d.line, d.code):
+                    found.append(d)
+        return sorted(found)
+
+    def lint_file(
+        self, path: Union[str, Path], module: Optional[str] = None
+    ) -> List[Diagnostic]:
+        """Lint one file; ``module`` overrides the inferred name."""
+        p = Path(path)
+        source = p.read_text(encoding="utf-8")
+        return self.lint_source(
+            source,
+            module=module if module is not None else module_name_for(p),
+            path=str(p),
+        )
+
+    def lint_paths(
+        self, paths: Iterable[Union[str, Path]]
+    ) -> List[Diagnostic]:
+        """Lint files and (recursively) directories; returns sorted
+        diagnostics.  Missing paths raise ``FileNotFoundError``."""
+        found: List[Diagnostic] = []
+        for f in self._iter_target_files(paths):
+            found.extend(self.lint_file(f))
+        return sorted(found)
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _iter_target_files(
+        paths: Iterable[Union[str, Path]]
+    ) -> Iterator[Path]:
+        for raw in paths:
+            p = Path(raw)
+            if p.is_dir():
+                for f in sorted(p.rglob("*.py")):
+                    if any(part.startswith(".") for part in f.parts):
+                        continue
+                    yield f
+            elif p.is_file():
+                yield p
+            else:
+                raise FileNotFoundError(f"no such file or directory: {p}")

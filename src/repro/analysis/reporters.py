@@ -1,0 +1,60 @@
+"""Render lint diagnostics for humans and machines.
+
+The JSON schema (version 1) is::
+
+    {
+      "version": 1,
+      "count": <int>,
+      "summary": {"<code>": <int>, ...},
+      "diagnostics": [
+        {"path": str, "line": int, "col": int,
+         "code": str, "message": str},
+        ...
+      ]
+    }
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from typing import Any, Dict, List, Sequence
+
+from repro.analysis.engine import Diagnostic
+
+JSON_SCHEMA_VERSION = 1
+
+
+def format_human(diagnostics: Sequence[Diagnostic]) -> str:
+    """``path:line:col: CODE message`` lines plus a per-code summary."""
+    if not diagnostics:
+        return "repro-lint: no issues found"
+    lines: List[str] = [d.render() for d in diagnostics]
+    counts = Counter(d.code for d in diagnostics)
+    total = len(diagnostics)
+    breakdown = ", ".join(
+        f"{code}: {n}" for code, n in sorted(counts.items())
+    )
+    lines.append(
+        f"repro-lint: {total} issue{'s' if total != 1 else ''} "
+        f"({breakdown})"
+    )
+    return "\n".join(lines)
+
+
+def as_json_payload(
+    diagnostics: Sequence[Diagnostic],
+) -> Dict[str, Any]:
+    """The JSON reporter's payload as a plain dict (schema above)."""
+    counts = Counter(d.code for d in diagnostics)
+    return {
+        "version": JSON_SCHEMA_VERSION,
+        "count": len(diagnostics),
+        "summary": dict(sorted(counts.items())),
+        "diagnostics": [d.as_dict() for d in diagnostics],
+    }
+
+
+def format_json(diagnostics: Sequence[Diagnostic]) -> str:
+    """Serialise :func:`as_json_payload` (stable key order)."""
+    return json.dumps(as_json_payload(diagnostics), indent=2, sort_keys=True)

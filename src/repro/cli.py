@@ -3,7 +3,9 @@
 ``repro-contact table1`` regenerates the paper's Table 1 on the
 synthetic sequence; ``repro-contact stages`` prints the Figure-3-style
 per-snapshot simulation statistics; ``repro-contact ablation-update``
-compares the §4.3 update strategies.
+compares the §4.3 update strategies; ``repro-contact lint`` runs the
+``repro-lint`` static analyser (see ``docs/STATIC_ANALYSIS.md``);
+``repro-contact selfcheck`` runs the installation self-check.
 """
 
 from __future__ import annotations
@@ -57,12 +59,52 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     fig.add_argument("--k", type=int, default=4)
     fig.add_argument("--snapshot", type=int, default=0)
+
+    lint = sub.add_parser(
+        "lint",
+        help="run the repro-lint invariant linter (docs/STATIC_ANALYSIS.md)",
+    )
+    lint.add_argument(
+        "lint_args",
+        nargs=argparse.REMAINDER,
+        help=(
+            "arguments forwarded to repro-lint (default: lint the "
+            "installed repro package)"
+        ),
+    )
+
+    sub.add_parser(
+        "selfcheck", help="run the installation self-check pipeline"
+    )
     return parser
+
+
+def _run_lint(lint_args: List[str]) -> int:
+    """Forward to repro-lint (which defaults to the installed package
+    when no path argument is given)."""
+    from repro.analysis.cli import main as lint_main
+
+    return lint_main(lint_args)
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     """Parse arguments and run the selected experiment command."""
+    argv = list(sys.argv[1:] if argv is None else argv)
+
+    # `lint` forwards its tail verbatim to repro-lint, bypassing
+    # argparse (REMAINDER mis-parses forwarded options like --format)
+    if argv and argv[0] == "lint":
+        return _run_lint(argv[1:])
+
     args = _build_parser().parse_args(argv)
+
+    if args.command == "lint":  # reached via global options before `lint`
+        return _run_lint(list(args.lint_args))
+    if args.command == "selfcheck":
+        from repro.selfcheck import main as selfcheck_main
+
+        return selfcheck_main()
+
     config = ImpactConfig(n_steps=args.steps, refine=args.refine)
 
     # imports deferred so `--help` stays instant

@@ -23,7 +23,7 @@ import numpy as np
 
 from repro.dtree.splitter import SplitResult, best_split, median_split
 from repro.dtree.tree import DecisionTree, TreeNode
-from repro.utils.validation import check_array
+from repro.utils.validation import check_array, check_labels, check_positive
 
 
 def _majority_label(labels: np.ndarray) -> int:
@@ -114,6 +114,12 @@ def induce_pure_tree(
     it (or by coincident mixed-label points) are impure and flagged
     ``is_pure=False`` so the search can treat them conservatively.
     """
+    check_positive("k", k)
+    points = check_array("points", points, ndim=2)
+    labels = np.asarray(labels, dtype=np.int64)
+    if len(points) != len(labels):
+        raise ValueError("points and labels lengths differ")
+    labels = check_labels("labels", labels, k)
     return _induce(
         points,
         labels,
@@ -141,6 +147,12 @@ def induce_bounded_tree(
     """
     if max_p < 1 or max_i < 1:
         raise ValueError("max_p and max_i must be >= 1")
+    check_positive("k", k)
+    points = check_array("points", points, ndim=2)
+    labels = np.asarray(labels, dtype=np.int64)
+    if len(points) != len(labels):
+        raise ValueError("points and labels lengths differ")
+    labels = check_labels("labels", labels, k)
     return _induce(
         points,
         labels,

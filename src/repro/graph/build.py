@@ -8,7 +8,7 @@ sub-second range.
 
 from __future__ import annotations
 
-from typing import Optional, Tuple
+from typing import Any, Optional, Tuple
 
 import numpy as np
 
@@ -185,8 +185,11 @@ def random_geometric_graph(
     return from_edge_list(n, edges), pts
 
 
-def to_networkx(graph: CSRGraph):
-    """Convert to a :mod:`networkx` graph (testing/visualisation only)."""
+def to_networkx(graph: CSRGraph) -> "Any":
+    """Convert to a :mod:`networkx` graph (testing/visualisation only).
+
+    Typed ``Any`` because networkx is an optional test dependency.
+    """
     import networkx as nx
 
     g = nx.Graph()

@@ -9,7 +9,7 @@ column is one balance constraint.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterator, Optional
+from typing import Iterator, Tuple
 
 import numpy as np
 
@@ -89,10 +89,15 @@ class CSRGraph:
         :meth:`neighbors`."""
         return self.adjwgt[self.xadj[v] : self.xadj[v + 1]]
 
-    def iter_edges(self) -> Iterator[tuple]:
-        """Yield each undirected edge once as ``(u, v, w)`` with ``u < v``."""
+    def iter_edges(self) -> Iterator[Tuple[int, int, int]]:
+        """Yield each undirected edge once as ``(u, v, w)`` with ``u < v``.
+
+        Deliberately lazy (debug/export helper); hot paths must use the
+        vectorised :meth:`edge_array` instead.
+        """
         for u in range(self.num_vertices):
-            for idx in range(self.xadj[u], self.xadj[u + 1]):
+            # lazy by design, not a hot path
+            for idx in range(self.xadj[u], self.xadj[u + 1]):  # repro-lint: disable=LOOP001
                 v = self.adjncy[idx]
                 if u < v:
                     yield u, int(v), int(self.adjwgt[idx])
@@ -101,7 +106,7 @@ class CSRGraph:
         """All undirected edges once, as an ``(m, 3)`` array of
         ``(u, v, w)`` rows with ``u < v``. Vectorised counterpart of
         :meth:`iter_edges`."""
-        src = np.repeat(np.arange(self.num_vertices), self.degrees())
+        src = np.repeat(np.arange(self.num_vertices, dtype=np.int64), self.degrees())
         mask = src < self.adjncy
         return np.column_stack(
             (src[mask], self.adjncy[mask], self.adjwgt[mask])
@@ -134,7 +139,7 @@ class CSRGraph:
         if len(self.adjncy):
             if self.adjncy.min() < 0 or self.adjncy.max() >= n:
                 raise ValueError("adjncy contains out-of-range vertex ids")
-        src = np.repeat(np.arange(n), self.degrees())
+        src = np.repeat(np.arange(n, dtype=np.int64), self.degrees())
         if np.any(src == self.adjncy):
             raise ValueError("graph contains self-loops")
         # symmetry: the multiset of (u,v,w) equals the multiset of (v,u,w)

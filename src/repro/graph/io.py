@@ -117,7 +117,10 @@ def read_metis_graph(path: PathLike) -> CSRGraph:
             f"header declares {m} edges but {len(adjncy)} half-edges found"
         )
     graph = CSRGraph(
-        np.asarray(xadj), np.asarray(adjncy), np.asarray(adjwgt), vwgts
+        np.ascontiguousarray(xadj),
+        np.ascontiguousarray(adjncy),
+        np.ascontiguousarray(adjwgt),
+        vwgts,
     )
     graph.validate()
     return graph

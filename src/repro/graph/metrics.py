@@ -26,7 +26,7 @@ def partition_weights(graph: CSRGraph, part: np.ndarray, k: int) -> np.ndarray:
 def edge_cut(graph: CSRGraph, part: np.ndarray) -> int:
     """Total weight of cut edges, each undirected edge counted once."""
     part = np.asarray(part, dtype=np.int64)
-    src = np.repeat(np.arange(graph.num_vertices), graph.degrees())
+    src = np.repeat(np.arange(graph.num_vertices, dtype=np.int64), graph.degrees())
     cut = part[src] != part[graph.adjncy]
     return int(graph.adjwgt[cut].sum() // 2)
 
@@ -42,7 +42,7 @@ def total_comm_volume(graph: CSRGraph, part: np.ndarray) -> int:
     """
     part = np.asarray(part, dtype=np.int64)
     n = graph.num_vertices
-    src = np.repeat(np.arange(n), graph.degrees())
+    src = np.repeat(np.arange(n, dtype=np.int64), graph.degrees())
     nbr_part = part[graph.adjncy]
     remote = nbr_part != part[src]
     pairs = np.column_stack((src[remote], nbr_part[remote]))
@@ -63,7 +63,7 @@ def load_imbalance(
     """
     weights = partition_weights(graph, part, k).astype(float)
     totals = graph.total_vwgt.astype(float)
-    out = np.ones(graph.ncon)
+    out = np.ones(graph.ncon, dtype=np.float64)
     for j in range(graph.ncon):
         if totals[j] > 0:
             out[j] = weights[:, j].max() / (totals[j] / k)
@@ -78,6 +78,6 @@ def max_load_imbalance(graph: CSRGraph, part: np.ndarray, k: int) -> float:
 def boundary_vertices(graph: CSRGraph, part: np.ndarray) -> np.ndarray:
     """Vertices with at least one neighbour in another partition."""
     part = np.asarray(part, dtype=np.int64)
-    src = np.repeat(np.arange(graph.num_vertices), graph.degrees())
+    src = np.repeat(np.arange(graph.num_vertices, dtype=np.int64), graph.degrees())
     cut = part[src] != part[graph.adjncy]
     return np.unique(src[cut])

@@ -34,7 +34,7 @@ def contract(graph: CSRGraph, cmap: np.ndarray, n_coarse: int) -> CSRGraph:
     np.add.at(cvw, cmap, graph.vwgts)
 
     # coarse edges
-    src = cmap[np.repeat(np.arange(graph.num_vertices), graph.degrees())]
+    src = cmap[np.repeat(np.arange(graph.num_vertices, dtype=np.int64), graph.degrees())]
     dst = cmap[graph.adjncy]
     keep = src != dst
     src, dst, wgt = src[keep], dst[keep], graph.adjwgt[keep]
@@ -70,9 +70,9 @@ def induced_subgraph(
     vertices = np.asarray(vertices, dtype=np.int64)
     n = graph.num_vertices
     local = np.full(n, -1, dtype=np.int64)
-    local[vertices] = np.arange(len(vertices))
+    local[vertices] = np.arange(len(vertices), dtype=np.int64)
 
-    src = np.repeat(np.arange(n), graph.degrees())
+    src = np.repeat(np.arange(n, dtype=np.int64), graph.degrees())
     keep = (local[src] >= 0) & (local[graph.adjncy] >= 0)
     s, d, w = local[src[keep]], local[graph.adjncy[keep]], graph.adjwgt[keep]
     xadj = np.zeros(len(vertices) + 1, dtype=np.int64)

@@ -70,7 +70,7 @@ def absorb_fragments(
     options = options or PartitionOptions()
     part = np.asarray(part, dtype=np.int64)
     if fracs is None:
-        fracs = np.full(k, 1.0 / k)
+        fracs = np.full(k, 1.0 / k, dtype=np.float64)
     targets = target_weights(graph.total_vwgt, fracs)
     mean_target = targets.mean(axis=0)
     tracker = BalanceTracker(

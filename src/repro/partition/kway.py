@@ -18,6 +18,7 @@ from repro.partition.fragments import absorb_fragments
 from repro.partition.recursive import recursive_bisection
 from repro.partition.refine_kway import greedy_kway_refine, rebalance_kway
 from repro.partition.refine_kway_fm import kway_fm_refine
+from repro.utils.validation import check_csr_arrays
 
 
 def partition_kway(
@@ -38,6 +39,7 @@ def partition_kway(
         raise ValueError(
             f"k={k} exceeds number of vertices {graph.num_vertices}"
         )
+    check_csr_arrays(graph)
     options = options or PartitionOptions()
     part = recursive_bisection(graph, k, options)
     if k > 1:

@@ -30,7 +30,7 @@ def _propose(
     Returns ``proposal[n]`` with -1 where no candidate exists.
     """
     n = graph.num_vertices
-    src = np.repeat(np.arange(n), graph.degrees())
+    src = np.repeat(np.arange(n, dtype=np.int64), graph.degrees())
     dst = graph.adjncy
     ok = (match[src] < 0) & (match[dst] < 0)
     proposal = np.full(n, -1, dtype=np.int64)
@@ -63,7 +63,7 @@ def heavy_edge_matching(
     for _ in range(rounds):
         prio = rng.random(n)
         proposal = _propose(graph, match, prio)
-        v = np.arange(n)
+        v = np.arange(n, dtype=np.int64)
         mutual = (
             (proposal >= 0)
             & (proposal[np.clip(proposal, 0, n - 1)] == v)
@@ -76,10 +76,10 @@ def heavy_edge_matching(
         match[us] = vs
         match[vs] = us
     # assign dense coarse ids: pair takes the id slot of its lower vertex
-    is_rep = (match < 0) | (np.arange(n) < match)
+    is_rep = (match < 0) | (np.arange(n, dtype=np.int64) < match)
     cmap = np.full(n, -1, dtype=np.int64)
     reps = np.nonzero(is_rep)[0]
-    cmap[reps] = np.arange(len(reps))
+    cmap[reps] = np.arange(len(reps), dtype=np.int64)
     partner_of_rep = match[reps]
     has_partner = partner_of_rep >= 0
     cmap[partner_of_rep[has_partner]] = cmap[reps[has_partner]]

@@ -25,6 +25,7 @@ from repro.partition.recursive import recursive_bisection
 from repro.partition.refine_kway import greedy_kway_refine, rebalance_kway
 from repro.partition.refine_kway_fm import kway_fm_refine
 from repro.utils.rng import spawn_rngs
+from repro.utils.validation import check_csr_arrays
 
 
 def multilevel_kway(
@@ -36,6 +37,7 @@ def multilevel_kway(
     k-way V-cycle. Returns ``int64[n]`` labels."""
     if k < 1:
         raise ValueError(f"k must be >= 1, got {k}")
+    check_csr_arrays(graph)
     options = options or PartitionOptions()
     n = graph.num_vertices
     if k == 1 or n == 0:

@@ -23,7 +23,7 @@ from repro.partition.refine_fm import (
     fm_refine_bisection,
 )
 from repro.utils.rng import as_rng
-from repro.utils.validation import check_in_range
+from repro.utils.validation import check_csr_arrays, check_in_range
 
 
 def multilevel_bisection(
@@ -39,6 +39,7 @@ def multilevel_bisection(
     very lumpy coarse vertices).
     """
     check_in_range("frac0", frac0, 0.0, 1.0, inclusive=False)
+    check_csr_arrays(graph)
     options = options or PartitionOptions()
     n = graph.num_vertices
     if n == 0:

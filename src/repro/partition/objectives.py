@@ -58,7 +58,7 @@ class EdgeObjectives:
         """Both copies of every undirected edge must agree."""
         g = self.graph
         n = g.num_vertices
-        src = np.repeat(np.arange(n), g.degrees())
+        src = np.repeat(np.arange(n, dtype=np.int64), g.degrees())
         order_fwd = np.lexsort((g.adjncy, src))
         order_rev = np.lexsort((src, g.adjncy))
         if not np.array_equal(
@@ -85,7 +85,7 @@ def build_contact_objectives(
     n = graph.num_vertices
     is_contact = np.zeros(n, dtype=bool)
     is_contact[snapshot.contact_nodes] = True
-    src = np.repeat(np.arange(n), graph.degrees())
+    src = np.repeat(np.arange(n, dtype=np.int64), graph.degrees())
     both = is_contact[src] & is_contact[graph.adjncy]
     values = np.column_stack(
         (np.ones(len(graph.adjncy), dtype=np.int64), both.astype(np.int64))
@@ -117,7 +117,7 @@ def per_objective_cuts(
     """Cut value of each objective separately, shape ``(r,)``."""
     part = np.asarray(part, dtype=np.int64)
     g = objectives.graph
-    src = np.repeat(np.arange(g.num_vertices), g.degrees())
+    src = np.repeat(np.arange(g.num_vertices, dtype=np.int64), g.degrees())
     cut = part[src] != part[g.adjncy]
     return objectives.values[cut].sum(axis=0) // 2
 

@@ -62,7 +62,7 @@ def _local_matching(
     """
     n = graph.num_vertices
     match = np.full(n, -1, dtype=np.int64)
-    src_all = np.repeat(np.arange(n), graph.degrees())
+    src_all = np.repeat(np.arange(n, dtype=np.int64), graph.degrees())
     same_rank = owner[src_all] == owner[graph.adjncy]
     for _round in range(3):
         prio = rng.random(n)
@@ -80,7 +80,7 @@ def _local_matching(
             s, d = s[order], d[order]
             last = np.nonzero(np.diff(s, append=np.int64(-1)))[0]
             proposal[s[last]] = d[last]
-        v = np.arange(n)
+        v = np.arange(n, dtype=np.int64)
         mutual = (
             (proposal >= 0)
             & (proposal[np.clip(proposal, 0, n - 1)] == v)
@@ -91,10 +91,10 @@ def _local_matching(
             break
         match[us] = proposal[us]
         match[proposal[us]] = us
-    is_rep = (match < 0) | (np.arange(n) < match)
+    is_rep = (match < 0) | (np.arange(n, dtype=np.int64) < match)
     cmap = np.full(n, -1, dtype=np.int64)
     reps = np.nonzero(is_rep)[0]
-    cmap[reps] = np.arange(len(reps))
+    cmap[reps] = np.arange(len(reps), dtype=np.int64)
     partner = match[reps]
     has = partner >= 0
     cmap[partner[has]] = cmap[reps[has]]
@@ -105,7 +105,7 @@ def _halo_items(graph: CSRGraph, owner: np.ndarray) -> Dict[Tuple[int, int], int
     """Ghost-exchange volume: for each (src_rank, dst_rank) pair, how
     many boundary vertex values src must ship to dst."""
     n = graph.num_vertices
-    src = np.repeat(np.arange(n), graph.degrees())
+    src = np.repeat(np.arange(n, dtype=np.int64), graph.degrees())
     cross = owner[src] != owner[graph.adjncy]
     if not cross.any():
         return {}
@@ -158,7 +158,7 @@ def parallel_partition_kway(
         raise ValueError(f"k={k} exceeds number of vertices {n}")
     if owner is None:
         owner = np.minimum(
-            np.arange(n) * n_ranks // max(n, 1), n_ranks - 1
+            np.arange(n, dtype=np.int64) * n_ranks // max(n, 1), n_ranks - 1
         ).astype(np.int64)
     else:
         owner = np.asarray(owner, dtype=np.int64)
@@ -195,7 +195,7 @@ def parallel_partition_kway(
                 r, 0, None, phase="pk-gather",
                 items=local_vertices + int(
                     (cur_owner[np.repeat(
-                        np.arange(cur_graph.num_vertices),
+                        np.arange(cur_graph.num_vertices, dtype=np.int64),
                         cur_graph.degrees(),
                     )] == r).sum()
                 ),
@@ -212,7 +212,7 @@ def parallel_partition_kway(
         comm.inbox(r)
 
     # ------------------------------------------------ uncoarsening
-    targets = target_weights(graph.total_vwgt, np.full(k, 1.0 / k))
+    targets = target_weights(graph.total_vwgt, np.full(k, 1.0 / k, dtype=np.float64))
     for lvl_graph, cmap, lvl_owner in reversed(levels):
         part = part[cmap]
         # each refinement round: halo exchange of neighbour partitions,
@@ -233,7 +233,7 @@ def parallel_partition_kway(
             comm.barrier()
             for r in range(n_ranks):
                 comm.inbox(r)
-            quota = np.zeros((n_ranks, k))
+            quota = np.zeros((n_ranks, k), dtype=np.float64)
             allowed = targets * options.ubfactor
             pw = tracker.pwgts_array()
             slack = np.maximum(0.0, allowed[:, 0] - pw[:, 0])
@@ -242,7 +242,7 @@ def parallel_partition_kway(
 
             moved = 0
             src_all = np.repeat(
-                np.arange(lvl_graph.num_vertices), lvl_graph.degrees()
+                np.arange(lvl_graph.num_vertices, dtype=np.int64), lvl_graph.degrees()
             )
             cut_edge = part[src_all] != part[lvl_graph.adjncy]
             boundary = np.unique(src_all[cut_edge])

@@ -51,7 +51,7 @@ def _quotient_adjacency(
     graph: CSRGraph, part: np.ndarray, k: int
 ) -> np.ndarray:
     """Boolean k×k adjacency of the partition quotient graph."""
-    src = np.repeat(np.arange(graph.num_vertices), graph.degrees())
+    src = np.repeat(np.arange(graph.num_vertices, dtype=np.int64), graph.degrees())
     a = part[src]
     b = part[graph.adjncy]
     adj = np.zeros((k, k), dtype=bool)
@@ -123,7 +123,7 @@ def parallel_diffusion_repartition(
     comm = SimComm(k, ledger)
     ledger = comm.ledger
     targets = target_weights(
-        graph.total_vwgt, np.full(k, 1.0 / k)
+        graph.total_vwgt, np.full(k, 1.0 / k, dtype=np.float64)
     )
     allowed = targets * options.ubfactor
     vwgts = graph.vwgts

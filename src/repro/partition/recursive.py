@@ -18,6 +18,7 @@ from repro.graph.ops import induced_subgraph
 from repro.partition.config import PartitionOptions
 from repro.partition.multilevel import multilevel_bisection
 from repro.utils.rng import spawn_rngs
+from repro.utils.validation import check_csr_arrays
 
 
 def recursive_bisection(
@@ -29,9 +30,10 @@ def recursive_bisection(
     in ``[0, k)``."""
     if k < 1:
         raise ValueError(f"k must be >= 1, got {k}")
+    check_csr_arrays(graph)
     options = options or PartitionOptions()
     part = np.zeros(graph.num_vertices, dtype=np.int64)
-    _recurse(graph, k, 0, options, part, np.arange(graph.num_vertices))
+    _recurse(graph, k, 0, options, part, np.arange(graph.num_vertices, dtype=np.int64))
     return part
 
 

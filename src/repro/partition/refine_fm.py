@@ -36,7 +36,7 @@ from repro.partition.pqueue import MaxPQ
 def gain_vector(graph: CSRGraph, part: np.ndarray) -> np.ndarray:
     """FM gains for all vertices: external minus internal edge weight."""
     n = graph.num_vertices
-    src = np.repeat(np.arange(n), graph.degrees())
+    src = np.repeat(np.arange(n, dtype=np.int64), graph.degrees())
     same = part[src] == part[graph.adjncy]
     contrib = np.where(same, -graph.adjwgt, graph.adjwgt)
     gains = np.zeros(n, dtype=np.int64)
@@ -46,7 +46,7 @@ def gain_vector(graph: CSRGraph, part: np.ndarray) -> np.ndarray:
 
 def _boundary_mask(graph: CSRGraph, part: np.ndarray) -> np.ndarray:
     n = graph.num_vertices
-    src = np.repeat(np.arange(n), graph.degrees())
+    src = np.repeat(np.arange(n, dtype=np.int64), graph.degrees())
     cut = part[src] != part[graph.adjncy]
     mask = np.zeros(n, dtype=bool)
     mask[src[cut]] = True

@@ -57,7 +57,7 @@ def _make_tracker(
     fracs: Optional[np.ndarray],
 ) -> BalanceTracker:
     if fracs is None:
-        fracs = np.full(k, 1.0 / k)
+        fracs = np.full(k, 1.0 / k, dtype=np.float64)
     targets = target_weights(graph.total_vwgt, fracs)
     pwgts = partition_weights(graph, part, k)
     return BalanceTracker(pwgts, targets, ubfactor)

@@ -77,7 +77,7 @@ def kway_fm_refine(
     options = options or PartitionOptions()
     part = np.asarray(part, dtype=np.int64)
     if fracs is None:
-        fracs = np.full(k, 1.0 / k)
+        fracs = np.full(k, 1.0 / k, dtype=np.float64)
     targets = target_weights(graph.total_vwgt, fracs)
     vwgts = graph.vwgts.tolist()
     n_passes = passes if passes is not None else options.kway_passes

@@ -28,13 +28,28 @@ def run_selfcheck(verbose: bool = True) -> bool:
             return fn
         return wrap
 
+    @stage("static invariants (repro-lint) clean")
+    def _lint(s):
+        from pathlib import Path
+
+        import repro
+        from repro.analysis.engine import LintEngine
+
+        diags = LintEngine().lint_paths([Path(repro.__file__).parent])
+        if diags:
+            preview = "; ".join(d.render() for d in diags[:3])
+            raise RuntimeError(
+                f"repro-lint found {len(diags)} issue(s): {preview}"
+            )
+
     @stage("simulate impact scene")
     def _sim(s):
         from repro.sim.projectile import ImpactConfig
         from repro.sim.sequence import simulate_impact
 
         seq = simulate_impact(ImpactConfig(n_steps=6, refine=0.6))
-        assert seq[0].num_contact_nodes > 0
+        if seq[0].num_contact_nodes <= 0:
+            raise RuntimeError("simulated scene has no contact nodes")
         s["seq"] = seq
 
     @stage("multi-constraint partition + reshape")
@@ -50,7 +65,8 @@ def run_selfcheck(verbose: bool = True) -> bool:
         ).fit(snap)
         g = build_contact_graph(snap)
         imb = load_imbalance(g, pt.part, 4)
-        assert imb.max() < 1.6, f"imbalance {imb}"
+        if imb.max() >= 1.6:
+            raise RuntimeError(f"partition imbalance too high: {imb}")
         s["pt"] = pt
 
     @stage("descriptor tree classifies exactly")
@@ -61,10 +77,13 @@ def run_selfcheck(verbose: bool = True) -> bool:
         pt = s["pt"]
         tree, _ = pt.build_descriptors(snap)
         coords = snap.mesh.nodes[snap.contact_nodes]
-        assert np.array_equal(
+        if not np.array_equal(
             predict_partition(tree, coords),
             pt.part[snap.contact_nodes],
-        )
+        ):
+            raise RuntimeError(
+                "descriptor tree misclassifies contact nodes"
+            )
         s["tree"] = tree
 
     @stage("parallel search == serial search")
@@ -89,9 +108,11 @@ def run_selfcheck(verbose: bool = True) -> bool:
             plan, boxes, snap.contact_faces, coords,
             snap.contact_nodes, pt.part[snap.contact_nodes], 4,
         )
-        assert parallel == serial, (
-            f"{len(parallel)} parallel vs {len(serial)} serial"
-        )
+        if parallel != serial:
+            raise RuntimeError(
+                f"search mismatch: {len(parallel)} parallel vs "
+                f"{len(serial)} serial candidate pairs"
+            )
         s["pairs"] = serial
         s["snap5"] = snap
 
@@ -103,7 +124,8 @@ def run_selfcheck(verbose: bool = True) -> bool:
         res = resolve_candidates(
             snap.mesh.nodes, snap.contact_faces, sorted(s["pairs"])
         )
-        assert np.isfinite(res.gap).all()
+        if not np.isfinite(res.gap).all():
+            raise RuntimeError("local search produced non-finite gaps")
 
     @stage("distributed protocols agree with serial")
     def _parallel(s):
@@ -117,7 +139,10 @@ def run_selfcheck(verbose: bool = True) -> bool:
         tree, _ = parallel_induce_pure_tree(
             coords, labels, 4, owner_rank=labels, n_ranks=4
         )
-        assert np.array_equal(predict_partition(tree, coords), labels)
+        if not np.array_equal(predict_partition(tree, coords), labels):
+            raise RuntimeError(
+                "parallel-induced tree disagrees with serial labels"
+            )
 
     all_ok = True
     for name, fn in checks:

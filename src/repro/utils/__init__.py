@@ -3,7 +3,9 @@
 from repro.utils.rng import as_rng, spawn_rngs
 from repro.utils.validation import (
     check_array,
+    check_csr_arrays,
     check_in_range,
+    check_labels,
     check_positive,
     require,
 )
@@ -17,7 +19,9 @@ __all__ = [
     "as_rng",
     "spawn_rngs",
     "check_array",
+    "check_csr_arrays",
     "check_in_range",
+    "check_labels",
     "check_positive",
     "require",
     "counts_per_label",

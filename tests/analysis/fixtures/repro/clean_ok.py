@@ -1,0 +1,13 @@
+"""Clean fixture: every rule must pass on this file."""
+
+import numpy as np
+
+from repro.utils.rng import as_rng
+
+
+def alloc(n):
+    return np.zeros(n, dtype=np.int64) + np.arange(n, dtype=np.int64)
+
+
+def shuffled(n, seed=None):
+    return as_rng(seed).permutation(n)

@@ -1,0 +1,6 @@
+"""ASSERT001 violation fixture: assert as runtime validation."""
+
+
+def checked_ratio(num, den):
+    assert den != 0, "den must be nonzero"  # ASSERT001
+    return num / den

@@ -1,0 +1,14 @@
+"""ARR002 violation fixture: asarray fed straight into CSRGraph."""
+
+import numpy as np
+
+from repro.graph.csr import CSRGraph
+
+
+def build(xadj, adjncy, adjwgt, vwgts):
+    return CSRGraph(
+        np.asarray(xadj),  # ARR002
+        np.ascontiguousarray(adjncy),
+        np.ascontiguousarray(adjwgt),
+        vwgts=np.asarray(vwgts),  # ARR002 (keyword argument)
+    )

@@ -1,0 +1,9 @@
+"""RNG001 violation fixture: randomness outside repro.utils.rng."""
+
+import numpy as np
+from numpy.random import default_rng  # RNG001 (import form)
+
+
+def shuffled(n):
+    rng = np.random.default_rng(0)  # RNG001 (call form)
+    return rng.permutation(n)

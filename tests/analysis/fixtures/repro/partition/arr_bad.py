@@ -1,0 +1,17 @@
+"""ARR001/LOOP001 violation fixture (never imported)."""
+
+import numpy as np
+
+
+def alloc_without_dtype(n):
+    out = np.zeros(n)  # ARR001: no dtype in a numeric module
+    out += np.arange(n)  # repro-lint: disable=ARR001
+    return out
+
+
+def python_loop_over_csr(n, xadj, adjncy):
+    total = 0
+    for u in range(n):
+        for j in range(xadj[u], xadj[u + 1]):  # LOOP001
+            total += adjncy[j]
+    return total

@@ -1,0 +1,84 @@
+"""repro-lint CLI behaviour, including the self-clean meta-test."""
+
+import json
+from pathlib import Path
+
+import repro
+from repro.analysis.cli import main as lint_main
+from repro.cli import main as contact_main
+
+FIXTURES = Path(__file__).parent / "fixtures"
+LIBRARY = Path(repro.__file__).parent
+
+
+class TestExitCodes:
+    def test_violations_exit_nonzero(self, capsys):
+        assert lint_main([str(FIXTURES)]) == 1
+        out = capsys.readouterr().out
+        assert "ARR001" in out and "VAL001" in out
+
+    def test_clean_file_exits_zero(self, capsys):
+        clean = FIXTURES / "repro" / "clean_ok.py"
+        assert lint_main([str(clean)]) == 0
+        assert "no issues found" in capsys.readouterr().out
+
+    def test_unknown_rule_exits_two(self, capsys):
+        assert lint_main(["--select", "NOPE999", str(FIXTURES)]) == 2
+        assert "NOPE999" in capsys.readouterr().err
+
+    def test_missing_path_exits_two(self, capsys):
+        assert lint_main([str(FIXTURES / "nope")]) == 2
+        assert "no such file" in capsys.readouterr().err
+
+
+class TestOptions:
+    def test_select_narrows_output(self, capsys):
+        assert lint_main(["--select", "RNG001", str(FIXTURES)]) == 1
+        out = capsys.readouterr().out
+        assert "RNG001" in out and "ARR001" not in out
+
+    def test_ignore_drops_rule(self, capsys):
+        lint_main(["--ignore", "RNG001", str(FIXTURES)])
+        assert "RNG001" not in capsys.readouterr().out
+
+    def test_json_format(self, capsys):
+        assert lint_main(["--format", "json", str(FIXTURES)]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["version"] == 1
+        assert payload["count"] == payload["summary"]["ARR001"] + sum(
+            n for c, n in payload["summary"].items() if c != "ARR001"
+        )
+        assert {d["code"] for d in payload["diagnostics"]} == set(
+            payload["summary"]
+        )
+
+    def test_list_rules(self, capsys):
+        assert lint_main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for code in ("ARR001", "ARR002", "RNG001", "ASSERT001", "VAL001", "LOOP001"):
+            assert code in out
+
+
+class TestMetaSelfClean:
+    def test_library_lints_clean(self, capsys):
+        """`repro-lint src/repro` must exit 0 on the shipped tree."""
+        assert lint_main([str(LIBRARY)]) == 0
+        assert "no issues found" in capsys.readouterr().out
+
+    def test_default_path_is_the_library(self, capsys):
+        assert lint_main([]) == 0
+        assert "no issues found" in capsys.readouterr().out
+
+
+class TestContactCliIntegration:
+    def test_lint_subcommand(self, capsys):
+        assert contact_main(["lint"]) == 0
+        assert "no issues found" in capsys.readouterr().out
+
+    def test_lint_subcommand_forwards_options(self, capsys):
+        assert contact_main(["lint", "--format", "json"]) == 0
+        assert json.loads(capsys.readouterr().out)["count"] == 0
+
+    def test_lint_subcommand_on_fixtures(self, capsys):
+        assert contact_main(["lint", str(FIXTURES)]) == 1
+        assert "ASSERT001" in capsys.readouterr().out

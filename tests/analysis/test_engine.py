@@ -1,0 +1,139 @@
+"""Engine-level behaviour: suppressions, selection, discovery."""
+
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.engine import (
+    SYNTAX_ERROR_CODE,
+    Diagnostic,
+    LintEngine,
+    module_name_for,
+)
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+ASSERT_SRC = "def f(x):\n    assert x\n"
+
+
+class TestSuppressions:
+    def test_line_level_disable(self):
+        src = "def f(x):\n    assert x  # repro-lint: disable=ASSERT001\n"
+        assert LintEngine().lint_source(src, module="repro.m") == []
+
+    def test_line_level_disable_all(self):
+        src = "def f(x):\n    assert x  # repro-lint: disable=all\n"
+        assert LintEngine().lint_source(src, module="repro.m") == []
+
+    def test_other_code_does_not_suppress(self):
+        src = "def f(x):\n    assert x  # repro-lint: disable=ARR001\n"
+        codes = [d.code for d in LintEngine().lint_source(src, module="repro.m")]
+        assert codes == ["ASSERT001"]
+
+    def test_file_level_disable(self):
+        src = (
+            "# repro-lint: disable-file=ASSERT001\n"
+            "def f(x):\n    assert x\n\n"
+            "def g(x):\n    assert not x\n"
+        )
+        assert LintEngine().lint_source(src, module="repro.m") == []
+
+    def test_comment_inside_string_does_not_suppress(self):
+        src = (
+            'NOTE = "# repro-lint: disable-file=ASSERT001"\n'
+            "def f(x):\n    assert x\n"
+        )
+        codes = [d.code for d in LintEngine().lint_source(src, module="repro.m")]
+        assert codes == ["ASSERT001"]
+
+    def test_suppression_only_covers_its_line(self):
+        src = (
+            "def f(x):\n"
+            "    assert x  # repro-lint: disable=ASSERT001\n"
+            "    assert not x\n"
+        )
+        diags = LintEngine().lint_source(src, module="repro.m")
+        assert [d.line for d in diags] == [3]
+
+
+class TestSelection:
+    def test_select_narrows(self):
+        engine = LintEngine(select=["ARR001"])
+        assert [r.code for r in engine.rules] == ["ARR001"]
+
+    def test_ignore_drops(self):
+        engine = LintEngine(ignore=["ASSERT001"])
+        assert "ASSERT001" not in [r.code for r in engine.rules]
+
+    def test_unknown_select_raises(self):
+        with pytest.raises(KeyError, match="NOPE999"):
+            LintEngine(select=["NOPE999"])
+
+
+class TestModuleNames:
+    def test_src_layout(self):
+        assert module_name_for("src/repro/graph/csr.py") == "repro.graph.csr"
+
+    def test_init_maps_to_package(self):
+        assert module_name_for("src/repro/graph/__init__.py") == "repro.graph"
+
+    def test_fixture_layout(self):
+        path = "tests/analysis/fixtures/repro/partition/arr_bad.py"
+        assert module_name_for(path) == "repro.partition.arr_bad"
+
+    def test_unanchored_path_uses_basename(self):
+        assert module_name_for("/tmp/scratch/thing.py") == "thing"
+
+
+class TestDiscovery:
+    def test_fixture_tree_yields_expected_codes(self):
+        diags = LintEngine().lint_paths([FIXTURES])
+        by_code = {}
+        for d in diags:
+            by_code.setdefault(d.code, []).append(d)
+        assert set(by_code) == {
+            "ARR001",
+            "ARR002",
+            "ASSERT001",
+            "LOOP001",
+            "RNG001",
+            "VAL001",
+        }
+        # the suppressed np.arange site must not be reported
+        assert len(by_code["ARR001"]) == 1
+        assert len(by_code["ARR002"]) == 2
+        assert len(by_code["RNG001"]) == 2
+
+    def test_clean_fixture_is_clean(self):
+        clean = FIXTURES / "repro" / "clean_ok.py"
+        assert LintEngine().lint_file(clean) == []
+
+    def test_missing_path_raises(self):
+        with pytest.raises(FileNotFoundError):
+            LintEngine().lint_paths([FIXTURES / "does_not_exist"])
+
+    def test_diagnostics_are_sorted(self):
+        diags = LintEngine().lint_paths([FIXTURES])
+        assert diags == sorted(diags)
+
+
+class TestSyntaxErrors:
+    def test_unparsable_source_reports_e999(self):
+        diags = LintEngine().lint_source("def f(:\n", module="repro.m")
+        assert [d.code for d in diags] == [SYNTAX_ERROR_CODE]
+
+
+class TestDiagnostic:
+    def test_render_format(self):
+        d = Diagnostic("a.py", 3, 7, "ARR001", "msg here")
+        assert d.render() == "a.py:3:7: ARR001 msg here"
+
+    def test_as_dict_roundtrip(self):
+        d = Diagnostic("a.py", 3, 7, "ARR001", "msg")
+        assert d.as_dict() == {
+            "path": "a.py",
+            "line": 3,
+            "col": 7,
+            "code": "ARR001",
+            "message": "msg",
+        }

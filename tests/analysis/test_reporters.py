@@ -1,0 +1,62 @@
+"""Reporter output contracts (human text + JSON schema v1)."""
+
+import json
+
+from repro.analysis.engine import Diagnostic
+from repro.analysis.reporters import (
+    JSON_SCHEMA_VERSION,
+    as_json_payload,
+    format_human,
+    format_json,
+)
+
+DIAGS = [
+    Diagnostic("a.py", 1, 0, "ARR001", "first"),
+    Diagnostic("a.py", 9, 4, "RNG001", "second"),
+    Diagnostic("b.py", 2, 0, "ARR001", "third"),
+]
+
+
+class TestHumanReporter:
+    def test_clean_message(self):
+        assert format_human([]) == "repro-lint: no issues found"
+
+    def test_lines_and_summary(self):
+        out = format_human(DIAGS)
+        lines = out.splitlines()
+        assert lines[0] == "a.py:1:0: ARR001 first"
+        assert lines[-1] == "repro-lint: 3 issues (ARR001: 2, RNG001: 1)"
+
+    def test_singular_issue(self):
+        out = format_human(DIAGS[:1])
+        assert "1 issue (ARR001: 1)" in out
+
+
+class TestJsonReporter:
+    def test_schema_keys(self):
+        payload = as_json_payload(DIAGS)
+        assert set(payload) == {"version", "count", "summary", "diagnostics"}
+        assert payload["version"] == JSON_SCHEMA_VERSION
+        assert payload["count"] == 3
+        assert payload["summary"] == {"ARR001": 2, "RNG001": 1}
+
+    def test_diagnostic_entries(self):
+        payload = as_json_payload(DIAGS)
+        entry = payload["diagnostics"][0]
+        assert set(entry) == {"path", "line", "col", "code", "message"}
+        assert entry == {
+            "path": "a.py",
+            "line": 1,
+            "col": 0,
+            "code": "ARR001",
+            "message": "first",
+        }
+
+    def test_format_json_parses_back(self):
+        assert json.loads(format_json(DIAGS)) == as_json_payload(DIAGS)
+
+    def test_empty_payload(self):
+        payload = as_json_payload([])
+        assert payload["count"] == 0
+        assert payload["summary"] == {}
+        assert payload["diagnostics"] == []

@@ -1,0 +1,222 @@
+"""Per-rule pass/fail cases for the repro-lint rule catalogue.
+
+Every rule gets at least one source snippet that must trigger it and
+one that must stay clean (including module-scoping negatives).
+"""
+
+import textwrap
+
+import pytest
+
+from repro.analysis.engine import LintEngine
+
+
+def lint(source, module, codes=None):
+    """Lint dedented ``source`` as ``module``; return diagnostic codes."""
+    engine = LintEngine(select=list(codes) if codes else None)
+    return [d.code for d in engine.lint_source(textwrap.dedent(source), module=module)]
+
+
+class TestARR001:
+    def test_flags_allocator_without_dtype(self):
+        src = """
+            import numpy as np
+            x = np.zeros(10)
+            y = np.arange(5)
+        """
+        assert lint(src, "repro.partition.foo", ["ARR001"]) == [
+            "ARR001",
+            "ARR001",
+        ]
+
+    def test_passes_with_dtype_keyword(self):
+        src = """
+            import numpy as np
+            x = np.zeros(10, dtype=np.int64)
+            y = np.full(3, 0.5, dtype=np.float64)
+        """
+        assert lint(src, "repro.partition.foo", ["ARR001"]) == []
+
+    def test_passes_with_positional_dtype(self):
+        src = """
+            import numpy as np
+            x = np.zeros(10, np.int64)
+            y = np.full(3, 0.5, np.float64)
+        """
+        assert lint(src, "repro.graph.foo", ["ARR001"]) == []
+
+    def test_scoped_to_numeric_modules(self):
+        src = "import numpy as np\nx = np.zeros(4)\n"
+        assert lint(src, "repro.mesh.foo", ["ARR001"]) == []
+        assert lint(src, "repro.graph.foo", ["ARR001"]) == ["ARR001"]
+
+    def test_ignores_like_constructors(self):
+        # *_like and asarray inherit dtype from their argument
+        src = """
+            import numpy as np
+            def f(a):
+                return np.zeros_like(a) + np.asarray(a)
+        """
+        assert lint(src, "repro.partition.foo", ["ARR001"]) == []
+
+
+class TestARR002:
+    def test_flags_asarray_into_csrgraph(self):
+        src = """
+            import numpy as np
+            g = CSRGraph(np.asarray(x), adjncy, adjwgt, vwgts)
+        """
+        assert lint(src, "repro.anywhere", ["ARR002"]) == ["ARR002"]
+
+    def test_flags_keyword_argument(self):
+        src = """
+            import numpy as np
+            p = partition_kway(g, 4, options=np.asarray(o))
+        """
+        assert lint(src, "repro.anywhere", ["ARR002"]) == ["ARR002"]
+
+    def test_passes_with_ascontiguousarray(self):
+        src = """
+            import numpy as np
+            g = CSRGraph(
+                np.ascontiguousarray(x), np.ascontiguousarray(a),
+                np.ascontiguousarray(w), vw,
+            )
+        """
+        assert lint(src, "repro.anywhere", ["ARR002"]) == []
+
+    def test_ignores_other_sinks(self):
+        src = "import numpy as np\ny = helper(np.asarray(x))\n"
+        assert lint(src, "repro.anywhere", ["ARR002"]) == []
+
+
+class TestRNG001:
+    def test_flags_direct_default_rng(self):
+        src = "import numpy as np\nrng = np.random.default_rng(0)\n"
+        assert lint(src, "repro.partition.foo", ["RNG001"]) == ["RNG001"]
+
+    def test_flags_global_seed_and_randomstate(self):
+        src = """
+            import numpy as np
+            np.random.seed(0)
+            rs = np.random.RandomState(1)
+        """
+        assert lint(src, "repro.core.foo", ["RNG001"]) == [
+            "RNG001",
+            "RNG001",
+        ]
+
+    def test_flags_import_form(self):
+        src = "from numpy.random import default_rng\n"
+        assert lint(src, "repro.core.foo", ["RNG001"]) == ["RNG001"]
+
+    def test_exempts_the_rng_module(self):
+        src = "import numpy as np\nrng = np.random.default_rng(0)\n"
+        assert lint(src, "repro.utils.rng", ["RNG001"]) == []
+
+    def test_passes_through_as_rng(self):
+        src = """
+            from repro.utils.rng import as_rng
+            rng = as_rng(0)
+        """
+        assert lint(src, "repro.partition.foo", ["RNG001"]) == []
+
+
+class TestASSERT001:
+    def test_flags_library_assert(self):
+        src = "def f(x):\n    assert x > 0\n    return x\n"
+        assert lint(src, "repro.core.foo", ["ASSERT001"]) == ["ASSERT001"]
+
+    def test_exempts_test_modules(self):
+        src = "def test_f():\n    assert 1 + 1 == 2\n"
+        assert lint(src, "tests.core.test_foo", ["ASSERT001"]) == []
+        assert lint(src, "repro.conftest", ["ASSERT001"]) == []
+
+    def test_passes_on_raise(self):
+        src = """
+            def f(x):
+                if x <= 0:
+                    raise ValueError("x must be positive")
+                return x
+        """
+        assert lint(src, "repro.core.foo", ["ASSERT001"]) == []
+
+
+class TestVAL001:
+    def test_flags_unvalidated_entry_point(self):
+        src = "def partition_kway(graph, k, options=None):\n    return None\n"
+        assert lint(src, "repro.partition.kway", ["VAL001"]) == ["VAL001"]
+
+    def test_passes_when_validated(self):
+        src = """
+            from repro.utils.validation import check_csr_arrays
+            def partition_kway(graph, k, options=None):
+                check_csr_arrays(graph)
+                return None
+        """
+        assert lint(src, "repro.partition.kway", ["VAL001"]) == []
+
+    def test_only_designated_functions(self):
+        src = "def _helper(graph):\n    return None\n"
+        assert lint(src, "repro.partition.kway", ["VAL001"]) == []
+
+    def test_only_designated_modules(self):
+        src = "def partition_kway(graph, k):\n    return None\n"
+        assert lint(src, "repro.partition.refine_kway", ["VAL001"]) == []
+
+    def test_dtree_entry_points(self):
+        src = "def induce_pure_tree(points, labels, k):\n    return None\n"
+        assert lint(src, "repro.dtree.induction", ["VAL001"]) == ["VAL001"]
+
+
+class TestLOOP001:
+    def test_flags_loop_over_xadj(self):
+        src = """
+            def f(xadj, adjncy):
+                for j in range(xadj[0], xadj[1]):
+                    yield adjncy[j]
+        """
+        assert lint(src, "repro.graph.foo", ["LOOP001"]) == ["LOOP001"]
+
+    def test_flags_attribute_access(self):
+        src = """
+            def f(g):
+                for v in g.adjncy:
+                    yield v
+        """
+        assert lint(src, "repro.partition.foo", ["LOOP001"]) == ["LOOP001"]
+
+    def test_passes_vectorised(self):
+        src = """
+            import numpy as np
+            def f(g):
+                src = np.repeat(
+                    np.arange(g.num_vertices, dtype=np.int64), g.degrees()
+                )
+                return src
+        """
+        assert lint(src, "repro.graph.foo", ["LOOP001"]) == []
+
+    def test_scoped_to_hot_path_modules(self):
+        src = """
+            def f(xadj):
+                for j in range(xadj[0], xadj[1]):
+                    yield j
+        """
+        assert lint(src, "repro.mesh.foo", ["LOOP001"]) == []
+
+
+class TestRuleMetadata:
+    def test_every_rule_has_pass_and_fail_coverage(self):
+        # guard: a new rule must extend this file's coverage
+        from repro.analysis.engine import all_rules
+
+        covered = {"ARR001", "ARR002", "RNG001", "ASSERT001", "VAL001", "LOOP001"}
+        assert {r.code for r in all_rules()} == covered
+
+    def test_rules_have_docs(self):
+        from repro.analysis.engine import all_rules
+
+        for rule in all_rules():
+            assert rule.code and rule.name and rule.description
+            assert rule.__doc__
