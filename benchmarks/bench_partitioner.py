@@ -103,3 +103,32 @@ def test_coarsening_throughput(benchmark):
     h = benchmark(lambda: coarsen(g, opts))
     record(benchmark, levels=len(h.levels),
            coarsest=h.coarsest.num_vertices)
+
+
+def test_smoke_traced_fit(benchmark):
+    """CI smoke benchmark: one traced MCML+DT fit at k=8 on a coarse
+    scene, phase timings attached to the JSON artifact (rounds=1)."""
+    from repro.core.mcml_dt import MCMLDTParams, MCMLDTPartitioner
+    from repro.obs import Tracer
+    from repro.sim.projectile import ImpactConfig
+    from repro.sim.sequence import simulate_impact
+
+    snap = simulate_impact(ImpactConfig(n_steps=1, refine=0.6))[0]
+    tracer = Tracer()
+    params = MCMLDTParams(options=strong_options())
+
+    pt = benchmark.pedantic(
+        lambda: MCMLDTPartitioner(8, params).fit(snap, tracer=tracer),
+        rounds=1,
+        iterations=1,
+    )
+    root = tracer.finish()
+    record(
+        benchmark,
+        tracer=tracer,
+        k=8,
+        edgecut=pt.diagnostics.edge_cut_final,
+        nodes=snap.mesh.num_nodes,
+    )
+    assert root.find("fit/partition/coarsen") is not None
+    assert root.find("fit/refine-G'") is not None

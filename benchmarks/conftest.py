@@ -55,7 +55,21 @@ def options():
     return strong_options()
 
 
-def record(benchmark, **info):
-    """Attach metric values to the benchmark JSON/terminal output."""
+def record(benchmark, tracer=None, **info):
+    """Attach metric values to the benchmark JSON/terminal output.
+
+    Passing a recording :class:`repro.obs.Tracer` additionally flattens
+    its span tree into ``extra_info["spans"]`` as
+    ``{path: {"n_calls": ..., "total_ms": ...}}`` so phase timings ride
+    along in the ``--benchmark-json`` artifact.
+    """
     for key, value in info.items():
         benchmark.extra_info[key] = value
+    if tracer is not None and getattr(tracer, "enabled", False):
+        benchmark.extra_info["spans"] = {
+            path: {
+                "n_calls": span.n_calls,
+                "total_ms": round(span.total_s * 1e3, 3),
+            }
+            for path, span in tracer.root.walk()
+        }

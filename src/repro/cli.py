@@ -3,9 +3,15 @@
 ``repro-contact table1`` regenerates the paper's Table 1 on the
 synthetic sequence; ``repro-contact stages`` prints the Figure-3-style
 per-snapshot simulation statistics; ``repro-contact ablation-update``
-compares the §4.3 update strategies; ``repro-contact lint`` runs the
+compares the §4.3 update strategies; ``repro-contact trace`` runs both
+algorithms under the phase tracer and prints/serializes the run report
+(``docs/OBSERVABILITY.md``); ``repro-contact lint`` runs the
 ``repro-lint`` static analyser (see ``docs/STATIC_ANALYSIS.md``);
 ``repro-contact selfcheck`` runs the installation self-check.
+
+``--trace-json PATH`` (global) writes the versioned run-report JSON
+for any experiment command; the ``trace`` subcommand additionally
+prints the report to the terminal.
 """
 
 from __future__ import annotations
@@ -35,9 +41,29 @@ def _build_parser() -> argparse.ArgumentParser:
         help="mesh refinement factor (scales all element counts)",
     )
     parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--trace-json",
+        metavar="PATH",
+        default=None,
+        help=(
+            "write the phase-trace run report (JSON, schema "
+            "repro.run-report/1) to PATH"
+        ),
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
+    def add_trace_json(p: argparse.ArgumentParser) -> None:
+        # accepted after the subcommand too; SUPPRESS keeps a value
+        # parsed from the global position from being reset to None
+        p.add_argument(
+            "--trace-json",
+            metavar="PATH",
+            default=argparse.SUPPRESS,
+            help="write the run-report JSON to PATH",
+        )
+
     t1 = sub.add_parser("table1", help="regenerate Table 1")
+    add_trace_json(t1)
     t1.add_argument(
         "--k",
         type=int,
@@ -46,19 +72,54 @@ def _build_parser() -> argparse.ArgumentParser:
         help="partition counts (paper: 25 100)",
     )
 
-    sub.add_parser("stages", help="Figure-3-style simulation statistics")
+    stages = sub.add_parser(
+        "stages", help="Figure-3-style simulation statistics"
+    )
+    add_trace_json(stages)
 
     ab = sub.add_parser(
         "ablation-update", help="compare the §4.3 update strategies"
     )
     ab.add_argument("--k", type=int, default=16)
     ab.add_argument("--period", type=int, default=10)
+    add_trace_json(ab)
 
     fig = sub.add_parser(
         "figure1", help="render a snapshot's descriptors in the terminal"
     )
     fig.add_argument("--k", type=int, default=4)
     fig.add_argument("--snapshot", type=int, default=0)
+    add_trace_json(fig)
+
+    tr = sub.add_parser(
+        "trace",
+        help=(
+            "run MCML+DT and the ML+RCB baseline under the phase tracer "
+            "and print the run report (docs/OBSERVABILITY.md)"
+        ),
+    )
+    tr.add_argument(
+        "mesh",
+        nargs="?",
+        default=None,
+        help=(
+            "optional mesh .npz (see repro.mesh.io.save_mesh); default: "
+            "the synthetic impact sequence"
+        ),
+    )
+    tr.add_argument("--k", type=int, default=8, help="partition count")
+    tr.add_argument(
+        "--trace-steps",
+        type=int,
+        default=2,
+        help="driver steps to trace (mesh input is static; default 2)",
+    )
+    tr.add_argument(
+        "--no-baseline",
+        action="store_true",
+        help="skip the ML+RCB baseline pass",
+    )
+    add_trace_json(tr)
 
     lint = sub.add_parser(
         "lint",
@@ -87,6 +148,97 @@ def _run_lint(lint_args: List[str]) -> int:
     return lint_main(lint_args)
 
 
+def _snapshot_from_mesh_file(path: str):
+    """Load a mesh ``.npz`` and wrap it as a static contact snapshot
+    (every boundary face is a contact face)."""
+    from repro.mesh.io import load_mesh
+    from repro.sim.sequence import ContactSnapshot, extract_contact_surface
+
+    mesh = load_mesh(path)
+    faces, owner, cnodes = extract_contact_surface(
+        mesh, capture_radius=float("inf")
+    )
+    if len(cnodes) == 0:
+        raise ValueError(f"{path}: mesh has no boundary contact surface")
+    tip = float(mesh.nodes[:, -1].min()) if mesh.num_nodes else 0.0
+    return ContactSnapshot(
+        mesh=mesh,
+        contact_faces=faces,
+        contact_face_owner=owner,
+        contact_nodes=cnodes,
+        step=0,
+        time=0.0,
+        tip_z=tip,
+    )
+
+
+def _run_trace(args: argparse.Namespace) -> int:
+    """The ``trace`` subcommand: both algorithms, one report."""
+    from repro.core.driver import ContactStepDriver
+    from repro.core.ml_rcb import MLRCBPartitioner
+    from repro.obs import RunReport, Tracer
+    from repro.partition.config import PartitionOptions
+    from repro.sim.sequence import simulate_impact
+
+    tracer = Tracer()
+    n_steps = max(1, args.trace_steps)
+    if args.mesh is not None:
+        try:
+            snapshot = _snapshot_from_mesh_file(args.mesh)
+        except (OSError, ValueError, KeyError) as exc:
+            print(f"error: cannot load mesh {args.mesh!r}: {exc}",
+                  file=sys.stderr)
+            return 2
+        snapshots = [snapshot] * n_steps
+        source = args.mesh
+    else:
+        config = ImpactConfig(n_steps=n_steps, refine=args.refine)
+        with tracer.span("simulate"):
+            snapshots = list(simulate_impact(config))
+        source = "synthetic-impact"
+
+    params_options = PartitionOptions(seed=args.seed)
+    from repro.core.mcml_dt import MCMLDTParams
+    from repro.core.ml_rcb import MLRCBParams
+
+    with tracer.span("mcml-dt"):
+        driver = ContactStepDriver(
+            args.k,
+            params=MCMLDTParams(options=params_options),
+            tracer=tracer,
+        )
+        driver.initialize(snapshots[0])
+        for snapshot in snapshots:
+            driver.step(snapshot)
+
+    if not args.no_baseline:
+        with tracer.span("ml-rcb"):
+            baseline = MLRCBPartitioner(
+                args.k, params=MLRCBParams(options=params_options)
+            )
+            baseline.fit(snapshots[0], tracer=tracer)
+            for snapshot in snapshots:
+                if snapshot.step > 0:
+                    baseline.update(snapshot, tracer=tracer)
+                baseline.m2m_comm_now(tracer=tracer)
+                baseline.search_plan(snapshot, tracer=tracer)
+
+    report = RunReport.from_run(
+        tracer,
+        driver.ledger,
+        k=args.k,
+        steps=len(snapshots),
+        source=source,
+        seed=args.seed,
+    )
+    if args.trace_json:
+        report.save(args.trace_json)
+    print(report.render())
+    if args.trace_json:
+        print(f"\ntrace written to {args.trace_json}")
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """Parse arguments and run the selected experiment command."""
     argv = list(sys.argv[1:] if argv is None else argv)
@@ -104,18 +256,27 @@ def main(argv: Optional[List[str]] = None) -> int:
         from repro.selfcheck import main as selfcheck_main
 
         return selfcheck_main()
+    if args.command == "trace":
+        return _run_trace(args)
+
+    # experiment commands share the synthetic sequence and the optional
+    # phase tracer behind --trace-json
+    from repro.obs import NULL_TRACER, RunReport, Tracer
+
+    tracer = Tracer() if args.trace_json else NULL_TRACER
 
     config = ImpactConfig(n_steps=args.steps, refine=args.refine)
 
     # imports deferred so `--help` stays instant
     from repro.sim.sequence import simulate_impact
 
-    seq = simulate_impact(config)
+    with tracer.span("simulate"):
+        seq = simulate_impact(config)
 
     if args.command == "table1":
         from repro.core.pipeline import table1
 
-        print(table1(seq, ks=args.k).render())
+        print(table1(seq, ks=args.k, tracer=tracer).render())
     elif args.command == "stages":
         from repro.metrics.report import format_table
 
@@ -141,9 +302,11 @@ def main(argv: Optional[List[str]] = None) -> int:
 
         rows = {}
         for strategy in UpdateStrategy:
-            r = replay_sequence(
-                seq, args.k, strategy, period=args.period
-            )
+            with tracer.span(strategy.value):
+                r = replay_sequence(
+                    seq, args.k, strategy, period=args.period,
+                    tracer=tracer,
+                )
             rows[strategy.value] = [
                 round(r.mean_nt_nodes(), 1),
                 round(r.max_imbalance(), 3),
@@ -164,7 +327,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         from repro.dtree.render import render_descriptors, render_tree
 
         snap = seq[min(args.snapshot, len(seq) - 1)]
-        pt = MCMLDTPartitioner(args.k).fit(snap)
+        pt = MCMLDTPartitioner(args.k).fit(snap, tracer=tracer)
         coords = snap.mesh.nodes[snap.contact_nodes]
         labels = pt.part[snap.contact_nodes]
         # project to the two dominant lateral axes for display
@@ -178,6 +341,13 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(render_descriptors(tree2d, coords[:, sorted(dims)], labels))
         print(f"\nDecision tree ({tree2d.n_nodes} nodes):\n")
         print(render_tree(tree2d))
+
+    if args.trace_json and isinstance(tracer, Tracer):
+        report = RunReport.from_run(
+            tracer, command=args.command, steps=args.steps, seed=args.seed
+        )
+        report.save(args.trace_json)
+        print(f"\ntrace written to {args.trace_json}")
     return 0
 
 

@@ -18,6 +18,7 @@ import numpy as np
 from scipy.spatial import cKDTree
 
 from repro.geometry.boxsearch import SearchPlan
+from repro.obs.tracer import TracerBase, ensure_tracer
 from repro.runtime.comm import RankContext
 from repro.runtime.executor import spmd_run
 from repro.runtime.ledger import CommLedger
@@ -107,6 +108,7 @@ def parallel_contact_search(
     point_partition: np.ndarray,
     k: int,
     ledger: Optional[CommLedger] = None,
+    tracer: Optional[TracerBase] = None,
 ) -> Tuple[Set[Tuple[int, int]], CommLedger]:
     """Execute the two-superstep parallel global search.
 
@@ -115,8 +117,13 @@ def parallel_contact_search(
     Superstep 2: every rank searches its *local* contact points against
     its own plus the received elements. Returns the union of per-rank
     candidate pairs and the ledger.
+
+    With a recording ``tracer`` the run opens a ``global-search`` span
+    whose ``exchange``/``search`` children accumulate the per-rank
+    superstep times (``n_calls`` = ranks).
     """
     ledger = ledger if ledger is not None else CommLedger()
+    tracer = ensure_tracer(tracer)
     element_boxes = np.asarray(element_boxes, dtype=float)
     element_faces = np.asarray(element_faces, dtype=np.int64)
     contact_points = np.asarray(contact_points, dtype=float)
@@ -162,8 +169,24 @@ def parallel_contact_search(
                 found.add((e, nid))
         return found
 
-    results = spmd_run(k, [superstep_send, superstep_search], ledger)
-    union: Set[Tuple[int, int]] = set()
-    for rank_pairs in results[1]:
-        union |= rank_pairs
+    def traced(name: str, fn):
+        def wrapper(ctx: RankContext):
+            with tracer.span(name):
+                return fn(ctx)
+
+        return wrapper
+
+    with tracer.span("global-search"):
+        results = spmd_run(
+            k,
+            [
+                traced("exchange", superstep_send),
+                traced("search", superstep_search),
+            ],
+            ledger,
+        )
+        union: Set[Tuple[int, int]] = set()
+        for rank_pairs in results[1]:
+            union |= rank_pairs
+        tracer.count("candidates", len(union))
     return union, ledger

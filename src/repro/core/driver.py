@@ -34,6 +34,7 @@ from repro.core.weights import build_contact_graph
 from repro.geometry.bbox import element_bboxes
 from repro.graph.metrics import load_imbalance
 from repro.metrics.comm import fe_comm
+from repro.obs.tracer import TracerBase, ensure_tracer
 from repro.partition.repartition import diffusion_repartition
 from repro.runtime.ledger import CommLedger
 from repro.sim.sequence import ContactSnapshot
@@ -69,6 +70,7 @@ class ContactStepDriver:
         strategy: UpdateStrategy = UpdateStrategy.DESCRIPTOR_ONLY,
         repartition_period: int = 10,
         resolve_local: bool = True,
+        tracer: Optional[TracerBase] = None,
     ):
         if k < 1:
             raise ValueError("k must be >= 1")
@@ -81,6 +83,7 @@ class ContactStepDriver:
         self.resolve_local = resolve_local
         self.partitioner = MCMLDTPartitioner(k, self.params)
         self.ledger = CommLedger()
+        self.tracer = ensure_tracer(tracer)
         self.history: List[StepResult] = []
         self._initialized = False
         self._steps_since_repartition = 0
@@ -88,7 +91,7 @@ class ContactStepDriver:
     # ------------------------------------------------------------------
     def initialize(self, snapshot: ContactSnapshot) -> "ContactStepDriver":
         """Fit the decomposition on the first snapshot."""
-        self.partitioner.fit(snapshot)
+        self.partitioner.fit(snapshot, tracer=self.tracer)
         self._initialized = True
         self._steps_since_repartition = 0
         return self
@@ -97,10 +100,18 @@ class ContactStepDriver:
         """Run one contact-detection time step."""
         if not self._initialized:
             raise RuntimeError("call initialize() before step()")
+        with self.tracer.span("step"):
+            result = self._step_traced(snapshot)
+        self.history.append(result)
+        return result
+
+    def _step_traced(self, snapshot: ContactSnapshot) -> StepResult:
+        tracer = self.tracer
         pt = self.partitioner
-        graph = build_contact_graph(
-            snapshot, self.params.contact_edge_weight
-        )
+        with tracer.span("build-graph"):
+            graph = build_contact_graph(
+                snapshot, self.params.contact_edge_weight
+            )
 
         # §4.3 update policy
         repartitioned = False
@@ -114,11 +125,13 @@ class ContactStepDriver:
             )
         )
         if due and self.history:
-            rep = diffusion_repartition(
-                graph, pt.part, self.k, self.params.options
-            )
-            pt.part = rep.part
-            n_moved = rep.n_moved
+            with tracer.span("repartition"):
+                rep = diffusion_repartition(
+                    graph, pt.part, self.k, self.params.options
+                )
+                pt.part = rep.part
+                n_moved = rep.n_moved
+                tracer.count("vertices_moved", n_moved)
             repartitioned = True
             self._steps_since_repartition = 0
             # account the redistribution (items = vertices moved; the
@@ -127,8 +140,8 @@ class ContactStepDriver:
                 self.ledger.record("repartition", 0, 1, n_moved)
 
         # descriptor update + global search
-        tree, _ = pt.build_descriptors(snapshot)
-        plan = pt.search_plan(snapshot, tree)
+        tree, _ = pt.build_descriptors(snapshot, tracer=tracer)
+        plan = pt.search_plan(snapshot, tree, tracer=tracer)
         boxes = element_bboxes(snapshot.mesh.nodes, snapshot.contact_faces)
         if self.params.pad > 0:
             boxes[:, 0] -= self.params.pad
@@ -137,17 +150,18 @@ class ContactStepDriver:
         candidates, _ = parallel_contact_search(
             plan, boxes, snapshot.contact_faces, coords,
             snapshot.contact_nodes, pt.part[snapshot.contact_nodes],
-            self.k, ledger=self.ledger,
+            self.k, ledger=self.ledger, tracer=tracer,
         )
 
         resolution = None
         if self.resolve_local:
-            resolution = resolve_candidates(
-                snapshot.mesh.nodes, snapshot.contact_faces,
-                sorted(candidates),
-            )
+            with tracer.span("local-search"):
+                resolution = resolve_candidates(
+                    snapshot.mesh.nodes, snapshot.contact_faces,
+                    sorted(candidates),
+                )
 
-        result = StepResult(
+        return StepResult(
             step=snapshot.step,
             nt_nodes=tree.n_nodes,
             n_remote=plan.n_remote,
@@ -158,8 +172,6 @@ class ContactStepDriver:
             candidates=candidates,
             resolution=resolution,
         )
-        self.history.append(result)
-        return result
 
     # ------------------------------------------------------------------
     def run(self, snapshots) -> List[StepResult]:

@@ -36,6 +36,13 @@ from repro.geometry.boxsearch import SearchPlan
 from repro.graph.csr import CSRGraph
 from repro.graph.metrics import edge_cut, load_imbalance
 from repro.graph.ops import contract, induced_subgraph
+from repro.obs.tracer import (
+    SPAN_COLLAPSE,
+    SPAN_DTREE_INDUCE,
+    SPAN_REFINE_GPRIME,
+    TracerBase,
+    ensure_tracer,
+)
 from repro.partition.config import PartitionOptions
 from repro.partition.kway import partition_kway
 from repro.partition.refine_kway import greedy_kway_refine, rebalance_kway
@@ -84,20 +91,37 @@ class MCMLDTPartitioner:
         self.diagnostics = FitDiagnostics()
 
     # ------------------------------------------------------------------
-    def fit(self, snapshot: ContactSnapshot) -> "MCMLDTPartitioner":
-        """Compute the contact-friendly multi-constraint partition."""
+    def fit(
+        self,
+        snapshot: ContactSnapshot,
+        tracer: Optional[TracerBase] = None,
+    ) -> "MCMLDTPartitioner":
+        """Compute the contact-friendly multi-constraint partition.
+
+        With a recording ``tracer``, the fit opens a ``fit`` span with
+        nested ``build-graph``, ``partition`` (→ ``coarsen`` /
+        ``initial`` / ``refine``), ``dtree-induce``, ``collapse`` and
+        ``refine-G'`` children (see ``docs/OBSERVABILITY.md``).
+        """
+        tracer = ensure_tracer(tracer)
         p = self.params
-        graph = build_contact_graph(snapshot, p.contact_edge_weight)
-        part = partition_kway(graph, self.k, p.options)
-        diag = self.diagnostics = FitDiagnostics()
-        diag.edge_cut_initial = edge_cut(graph, part)
-        diag.imbalance_initial = load_imbalance(graph, part, self.k)
+        with tracer.span("fit"):
+            with tracer.span("build-graph"):
+                graph = build_contact_graph(snapshot, p.contact_edge_weight)
+            with tracer.span("partition"):
+                part = partition_kway(graph, self.k, p.options, tracer=tracer)
+            diag = self.diagnostics = FitDiagnostics()
+            diag.edge_cut_initial = edge_cut(graph, part)
+            diag.imbalance_initial = load_imbalance(graph, part, self.k)
 
-        if p.reshape and self.k > 1:
-            part = self._reshape(snapshot, graph, part, diag)
+            if p.reshape and self.k > 1:
+                part = self._reshape(snapshot, graph, part, diag, tracer)
 
-        diag.edge_cut_final = edge_cut(graph, part)
-        diag.imbalance_final = load_imbalance(graph, part, self.k)
+            diag.edge_cut_final = edge_cut(graph, part)
+            diag.imbalance_final = load_imbalance(graph, part, self.k)
+            tracer.count("edgecut_initial", diag.edge_cut_initial)
+            tracer.count("edgecut_final", diag.edge_cut_final)
+            tracer.count("reshape_moved", diag.reshape_moved)
         self.part = part
         return self
 
@@ -107,6 +131,7 @@ class MCMLDTPartitioner:
         graph: CSRGraph,
         part: np.ndarray,
         diag: FitDiagnostics,
+        tracer: TracerBase,
     ) -> np.ndarray:
         """P → P' (leaf-majority) → P'' (refine collapsed G')."""
         p = self.params
@@ -120,33 +145,44 @@ class MCMLDTPartitioner:
         max_i = p.max_i if p.max_i is not None else def_max_i
         diag.max_p, diag.max_i = max_p, max_i
 
-        tree, leaf_of = induce_bounded_tree(
-            coords, labels, self.k, max_p=max_p, max_i=max_i,
-            margin_weight=p.margin_weight,
-        )
+        with tracer.span(SPAN_DTREE_INDUCE):
+            tree, leaf_of = induce_bounded_tree(
+                coords, labels, self.k, max_p=max_p, max_i=max_i,
+                margin_weight=p.margin_weight,
+            )
+            tracer.count("tree_nodes", tree.n_nodes)
+            tracer.count("tree_leaves", tree.n_leaves)
+            tracer.count("tree_depth", tree.depth())
         diag.reshape_tree_nodes = tree.n_nodes
 
-        # P': every point adopts its leaf's majority partition
-        node_labels = np.array(
-            [nd.label for nd in tree.nodes], dtype=np.int64
-        )
-        leaf_idx, _ = relabel_contiguous(leaf_of)
-        n_leaves = int(leaf_idx.max()) + 1
+        with tracer.span(SPAN_COLLAPSE):
+            # P': every point adopts its leaf's majority partition
+            node_labels = np.array(
+                [nd.label for nd in tree.nodes], dtype=np.int64
+            )
+            leaf_idx, _ = relabel_contiguous(leaf_of)
+            n_leaves = int(leaf_idx.max()) + 1
 
-        # collapse leaves into G' and refine so only whole regions move
-        sub, _ = induced_subgraph(graph, used)
-        gprime = contract(sub, leaf_idx, n_leaves)
-        leaf_part = np.empty(n_leaves, dtype=np.int64)
-        leaf_part[leaf_idx] = node_labels[leaf_of]  # majority per leaf
+            # collapse leaves into G' and refine so only whole regions
+            # move
+            sub, _ = induced_subgraph(graph, used)
+            gprime = contract(sub, leaf_idx, n_leaves)
+            leaf_part = np.empty(n_leaves, dtype=np.int64)
+            leaf_part[leaf_idx] = node_labels[leaf_of]  # majority per leaf
 
-        p_prime = leaf_part[leaf_idx]
-        diag.imbalance_reshaped = load_imbalance(
-            sub.with_vwgts(sub.vwgts), p_prime, self.k
-        )
+            p_prime = leaf_part[leaf_idx]
+            diag.imbalance_reshaped = load_imbalance(
+                sub.with_vwgts(sub.vwgts), p_prime, self.k
+            )
 
-        leaf_part, _ = rebalance_kway(gprime, leaf_part, self.k, p.options)
-        leaf_part = greedy_kway_refine(gprime, leaf_part, self.k, p.options)
-        leaf_part = kway_fm_refine(gprime, leaf_part, self.k, p.options)
+        with tracer.span(SPAN_REFINE_GPRIME):
+            leaf_part, _ = rebalance_kway(
+                gprime, leaf_part, self.k, p.options
+            )
+            leaf_part = greedy_kway_refine(
+                gprime, leaf_part, self.k, p.options
+            )
+            leaf_part = kway_fm_refine(gprime, leaf_part, self.k, p.options)
 
         new_part = part.copy()
         new_part[used] = leaf_part[leaf_idx]
@@ -157,38 +193,51 @@ class MCMLDTPartitioner:
 
     # ------------------------------------------------------------------
     def build_descriptors(
-        self, snapshot: ContactSnapshot
+        self,
+        snapshot: ContactSnapshot,
+        tracer: Optional[TracerBase] = None,
     ) -> Tuple[DecisionTree, np.ndarray]:
         """Pure search tree over the snapshot's contact points.
 
         Returns ``(tree, leaf_of_point)``; ``tree.n_nodes`` is NTNodes.
         """
         self._check_fitted()
+        tracer = ensure_tracer(tracer)
         cn = snapshot.contact_nodes
         coords = snapshot.mesh.nodes[cn]
-        return induce_pure_tree(
-            coords,
-            self.part[cn],
-            self.k,
-            margin_weight=self.params.margin_weight,
-        )
+        with tracer.span(SPAN_DTREE_INDUCE):
+            tree, leaf_of = induce_pure_tree(
+                coords,
+                self.part[cn],
+                self.k,
+                margin_weight=self.params.margin_weight,
+            )
+            tracer.count("tree_nodes", tree.n_nodes)
+        return tree, leaf_of
 
     def search_plan(
-        self, snapshot: ContactSnapshot, tree: Optional[DecisionTree] = None
+        self,
+        snapshot: ContactSnapshot,
+        tree: Optional[DecisionTree] = None,
+        tracer: Optional[TracerBase] = None,
     ) -> SearchPlan:
         """Tree-filtered global search plan for the snapshot's surface
         elements (NRemote = ``plan.n_remote``)."""
         self._check_fitted()
+        tracer = ensure_tracer(tracer)
         if tree is None:
-            tree, _ = self.build_descriptors(snapshot)
-        faces = snapshot.contact_faces
-        boxes = element_bboxes(snapshot.mesh.nodes, faces)
-        if self.params.pad > 0:
-            boxes = boxes.copy()
-            boxes[:, 0] -= self.params.pad
-            boxes[:, 1] += self.params.pad
-        owner = face_owner_partition(self.part, faces)
-        return tree_filter_search(tree, boxes, owner, self.k)
+            tree, _ = self.build_descriptors(snapshot, tracer=tracer)
+        with tracer.span("search-plan"):
+            faces = snapshot.contact_faces
+            boxes = element_bboxes(snapshot.mesh.nodes, faces)
+            if self.params.pad > 0:
+                boxes = boxes.copy()
+                boxes[:, 0] -= self.params.pad
+                boxes[:, 1] += self.params.pad
+            owner = face_owner_partition(self.part, faces)
+            plan = tree_filter_search(tree, boxes, owner, self.k)
+            tracer.count("n_remote", plan.n_remote)
+        return plan
 
     def _check_fitted(self) -> None:
         if self.part is None:

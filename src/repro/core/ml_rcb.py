@@ -30,6 +30,7 @@ from repro.geometry.rcb import RCBTree, rcb_partition
 from repro.graph.csr import CSRGraph
 from repro.mesh.nodal_graph import nodal_graph
 from repro.metrics.mapping import m2m_comm, update_comm
+from repro.obs.tracer import SPAN_MAP_TRANSFER, TracerBase, ensure_tracer
 from repro.partition.config import PartitionOptions
 from repro.partition.kway import partition_kway
 from repro.sim.sequence import ContactSnapshot
@@ -58,23 +59,39 @@ class MLRCBPartitioner:
         self.last_upd_comm: int = 0
 
     # ------------------------------------------------------------------
-    def fit(self, snapshot: ContactSnapshot) -> "MLRCBPartitioner":
+    def fit(
+        self,
+        snapshot: ContactSnapshot,
+        tracer: Optional[TracerBase] = None,
+    ) -> "MLRCBPartitioner":
         """Build both decompositions from the first snapshot."""
-        mesh = snapshot.mesh
-        n = mesh.num_nodes
-        vwgts = np.zeros((n, 1), dtype=np.int64)
-        vwgts[mesh.used_nodes(), 0] = 1
-        graph = nodal_graph(mesh, vwgts=vwgts)
-        self.part_fe = partition_kway(graph, self.k, self.params.options)
+        tracer = ensure_tracer(tracer)
+        with tracer.span("fit"):
+            mesh = snapshot.mesh
+            n = mesh.num_nodes
+            with tracer.span("fe-partition"):
+                vwgts = np.zeros((n, 1), dtype=np.int64)
+                vwgts[mesh.used_nodes(), 0] = 1
+                graph = nodal_graph(mesh, vwgts=vwgts)
+                self.part_fe = partition_kway(
+                    graph, self.k, self.params.options, tracer=tracer
+                )
 
-        cn = snapshot.contact_nodes
-        coords = mesh.nodes[cn]
-        self.rcb_labels, self.rcb_tree = rcb_partition(coords, self.k)
+            with tracer.span("rcb"):
+                cn = snapshot.contact_nodes
+                coords = mesh.nodes[cn]
+                self.rcb_labels, self.rcb_tree = rcb_partition(
+                    coords, self.k
+                )
         self.contact_ids = cn.copy()
         self.last_upd_comm = 0
         return self
 
-    def update(self, snapshot: ContactSnapshot) -> np.ndarray:
+    def update(
+        self,
+        snapshot: ContactSnapshot,
+        tracer: Optional[TracerBase] = None,
+    ) -> np.ndarray:
         """Incremental RCB re-fit for a new snapshot.
 
         Re-solves each cut on the moved contact points (structure
@@ -83,43 +100,66 @@ class MLRCBPartitioner:
         owner).
         """
         self._check_fitted()
-        cn = snapshot.contact_nodes
-        coords = snapshot.mesh.nodes[cn]
-        new_labels = self.rcb_tree.update(coords)
-        self.last_upd_comm = update_comm(
-            self.rcb_labels, new_labels, self.contact_ids, cn
-        )
+        tracer = ensure_tracer(tracer)
+        with tracer.span("rcb-update"):
+            cn = snapshot.contact_nodes
+            coords = snapshot.mesh.nodes[cn]
+            new_labels = self.rcb_tree.update(coords)
+            self.last_upd_comm = update_comm(
+                self.rcb_labels, new_labels, self.contact_ids, cn
+            )
+            tracer.count("upd_comm", self.last_upd_comm)
         self.rcb_labels = new_labels
         self.contact_ids = cn.copy()
         return new_labels
 
     # ------------------------------------------------------------------
-    def m2m_comm_now(self) -> int:
+    def m2m_comm_now(self, tracer: Optional[TracerBase] = None) -> int:
         """Contact points whose FE and RCB owners differ (after optimal
-        RCB relabelling)."""
-        self._check_fitted()
-        return m2m_comm(
-            self.part_fe[self.contact_ids], self.rcb_labels, self.k
-        )
+        RCB relabelling).
 
-    def search_plan(self, snapshot: ContactSnapshot) -> SearchPlan:
+        With a recording ``tracer`` the mapping solve is timed under a
+        ``map-transfer`` span — the per-iteration M2MComm cost the
+        paper charges ML+RCB (and that MCML+DT avoids) as wall time,
+        not just items.
+        """
+        self._check_fitted()
+        tracer = ensure_tracer(tracer)
+        with tracer.span(SPAN_MAP_TRANSFER):
+            items = m2m_comm(
+                self.part_fe[self.contact_ids], self.rcb_labels, self.k
+            )
+            tracer.count("items", items)
+        return items
+
+    def search_plan(
+        self,
+        snapshot: ContactSnapshot,
+        tracer: Optional[TracerBase] = None,
+    ) -> SearchPlan:
         """Bounding-box-filtered global search plan; elements are owned
         by their (majority) RCB partition, the decomposition that
         performs the search phase."""
         self._check_fitted()
-        faces = snapshot.contact_faces
-        boxes = element_bboxes(snapshot.mesh.nodes, faces)
-        if self.params.pad > 0:
-            boxes = boxes.copy()
-            boxes[:, 0] -= self.params.pad
-            boxes[:, 1] += self.params.pad
-        rcb_of_node = np.full(snapshot.mesh.num_nodes, -1, dtype=np.int64)
-        rcb_of_node[self.contact_ids] = self.rcb_labels
-        owner = face_owner_partition(rcb_of_node, faces)
-        coords = snapshot.mesh.nodes[self.contact_ids]
-        return bbox_filter_search(
-            boxes, owner, coords, self.rcb_labels, self.k
-        )
+        tracer = ensure_tracer(tracer)
+        with tracer.span("search-plan"):
+            faces = snapshot.contact_faces
+            boxes = element_bboxes(snapshot.mesh.nodes, faces)
+            if self.params.pad > 0:
+                boxes = boxes.copy()
+                boxes[:, 0] -= self.params.pad
+                boxes[:, 1] += self.params.pad
+            rcb_of_node = np.full(
+                snapshot.mesh.num_nodes, -1, dtype=np.int64
+            )
+            rcb_of_node[self.contact_ids] = self.rcb_labels
+            owner = face_owner_partition(rcb_of_node, faces)
+            coords = snapshot.mesh.nodes[self.contact_ids]
+            plan = bbox_filter_search(
+                boxes, owner, coords, self.rcb_labels, self.k
+            )
+            tracer.count("n_remote", plan.n_remote)
+        return plan
 
     def _check_fitted(self) -> None:
         if self.part_fe is None:

@@ -20,6 +20,7 @@ from repro.core.weights import build_contact_graph
 from repro.graph.metrics import load_imbalance
 from repro.metrics.comm import fe_comm
 from repro.metrics.report import MetricTable
+from repro.obs.tracer import TracerBase, ensure_tracer
 from repro.sim.sequence import MeshSequence
 
 
@@ -80,16 +81,18 @@ def evaluate_mcml_dt(
     seq: MeshSequence,
     k: int,
     params: Optional[MCMLDTParams] = None,
+    tracer: Optional[TracerBase] = None,
 ) -> SequenceResult:
     """Run MCML+DT over ``seq`` with a fixed partition and per-step
     descriptor re-induction (the paper's §5 protocol)."""
     params = params or MCMLDTParams()
-    pt = MCMLDTPartitioner(k, params).fit(seq[0])
+    tracer = ensure_tracer(tracer)
+    pt = MCMLDTPartitioner(k, params).fit(seq[0], tracer=tracer)
     result = SequenceResult(algorithm="MCML+DT", k=k)
     for snapshot in seq:
         graph = build_contact_graph(snapshot, params.contact_edge_weight)
-        tree, _ = pt.build_descriptors(snapshot)
-        plan = pt.search_plan(snapshot, tree)
+        tree, _ = pt.build_descriptors(snapshot, tracer=tracer)
+        plan = pt.search_plan(snapshot, tree, tracer=tracer)
         imb = load_imbalance(graph, pt.part, k)
         result.steps.append(
             StepMetrics(
@@ -108,24 +111,26 @@ def evaluate_ml_rcb(
     seq: MeshSequence,
     k: int,
     params: Optional[MLRCBParams] = None,
+    tracer: Optional[TracerBase] = None,
 ) -> SequenceResult:
     """Run ML+RCB over ``seq``: fixed graph partition, incremental RCB
     updates, bbox-filter search."""
     params = params or MLRCBParams()
-    pt = MLRCBPartitioner(k, params).fit(seq[0])
+    tracer = ensure_tracer(tracer)
+    pt = MLRCBPartitioner(k, params).fit(seq[0], tracer=tracer)
     result = SequenceResult(algorithm="ML+RCB", k=k)
     for snapshot in seq:
         if snapshot.step > 0:
-            pt.update(snapshot)
+            pt.update(snapshot, tracer=tracer)
         graph = build_contact_graph(snapshot)
-        plan = pt.search_plan(snapshot)
+        plan = pt.search_plan(snapshot, tracer=tracer)
         imb = load_imbalance(graph, pt.part_fe, k)
         result.steps.append(
             StepMetrics(
                 step=snapshot.step,
                 fe_comm=fe_comm(graph, pt.part_fe),
                 n_remote=plan.n_remote,
-                m2m_comm=pt.m2m_comm_now(),
+                m2m_comm=pt.m2m_comm_now(tracer=tracer),
                 upd_comm=pt.last_upd_comm,
                 imbalance_fe=float(imb[0]),
             )
@@ -138,18 +143,23 @@ def table1(
     ks: Sequence[int] = (25, 100),
     mcml_params: Optional[MCMLDTParams] = None,
     ml_params: Optional[MLRCBParams] = None,
+    tracer: Optional[TracerBase] = None,
 ) -> MetricTable:
     """Regenerate Table 1: both algorithms at each ``k``, metrics
-    averaged over the sequence."""
+    averaged over the sequence. A recording ``tracer`` groups each run
+    under ``mcml-dt`` / ``ml-rcb`` spans."""
     table = MetricTable(
         title="Table 1 — averages over the mesh sequence",
         columns=[
             "FEComm", "NTNodes", "NRemote", "M2MComm", "UpdComm",
         ],
     )
+    tracer = ensure_tracer(tracer)
     for k in ks:
-        mc = evaluate_mcml_dt(seq, k, mcml_params)
-        ml = evaluate_ml_rcb(seq, k, ml_params)
+        with tracer.span("mcml-dt"):
+            mc = evaluate_mcml_dt(seq, k, mcml_params, tracer=tracer)
+        with tracer.span("ml-rcb"):
+            ml = evaluate_ml_rcb(seq, k, ml_params, tracer=tracer)
         table.add_row(
             f"{k}-way MCML+DT",
             [

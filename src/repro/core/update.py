@@ -23,6 +23,7 @@ import numpy as np
 from repro.core.mcml_dt import MCMLDTParams, MCMLDTPartitioner
 from repro.core.weights import build_contact_graph
 from repro.graph.metrics import load_imbalance
+from repro.obs.tracer import TracerBase, ensure_tracer
 from repro.partition.repartition import diffusion_repartition
 from repro.sim.sequence import MeshSequence
 
@@ -78,13 +79,15 @@ def replay_sequence(
     strategy: UpdateStrategy,
     period: int = 10,
     params: Optional[MCMLDTParams] = None,
+    tracer: Optional[TracerBase] = None,
 ) -> ReplayResult:
     """Replay ``seq`` under an update strategy, tracking tree size,
     balance drift, and redistribution volume."""
     if period < 1:
         raise ValueError("period must be >= 1")
     params = params or MCMLDTParams()
-    pt = MCMLDTPartitioner(k, params).fit(seq[0])
+    tracer = ensure_tracer(tracer)
+    pt = MCMLDTPartitioner(k, params).fit(seq[0], tracer=tracer)
     result = ReplayResult(strategy=strategy, k=k)
 
     for snapshot in seq:
@@ -96,10 +99,14 @@ def replay_sequence(
         )
         graph = build_contact_graph(snapshot, params.contact_edge_weight)
         if repartition_now and snapshot.step > 0:
-            rep = diffusion_repartition(graph, pt.part, k, params.options)
-            moved = rep.n_moved
+            with tracer.span("repartition"):
+                rep = diffusion_repartition(
+                    graph, pt.part, k, params.options
+                )
+                moved = rep.n_moved
+                tracer.count("vertices_moved", moved)
             pt.part = rep.part
-        tree, _ = pt.build_descriptors(snapshot)
+        tree, _ = pt.build_descriptors(snapshot, tracer=tracer)
         imb = load_imbalance(graph, pt.part, k)
         result.steps.append(
             ReplayStep(

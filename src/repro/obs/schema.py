@@ -1,0 +1,147 @@
+"""The versioned run-report JSON schema and its validator.
+
+A serialized :class:`~repro.obs.report.RunReport` is a JSON object:
+
+.. code-block:: text
+
+    {
+      "schema":  "repro.run-report/1",
+      "meta":    { <string keys> : str | int | float | bool | null },
+      "spans":   <span>,
+      "comm":    { <phase> : {"n_messages": int, "n_items": int} }
+    }
+
+    <span> = {
+      "name":     str (non-empty),
+      "n_calls":  int  >= 0,
+      "total_s":  number >= 0,
+      "counters": { <string keys> : number },
+      "children": [ <span>, ... ]        # sibling names unique
+    }
+
+The validator is hand-rolled (no ``jsonschema`` dependency): it raises
+:class:`ReportSchemaError` carrying the JSON path of the first
+violation. Documented in ``docs/OBSERVABILITY.md``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+SCHEMA_VERSION = "repro.run-report/1"
+
+_META_SCALARS = (str, int, float, bool, type(None))
+
+
+class ReportSchemaError(ValueError):
+    """A run-report document violates the schema.
+
+    ``path`` locates the offending element, e.g.
+    ``spans.children[2].total_s``.
+    """
+
+    def __init__(self, path: str, message: str) -> None:
+        self.path = path
+        super().__init__(f"{path}: {message}")
+
+
+def _require_number(value: object, path: str, minimum: float = 0.0) -> None:
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise ReportSchemaError(path, "must be a number")
+    if value < minimum:
+        raise ReportSchemaError(path, f"must be >= {minimum:g}")
+
+
+def _validate_span(span: object, path: str) -> None:
+    if not isinstance(span, dict):
+        raise ReportSchemaError(path, "span must be an object")
+    extra = set(span) - {"name", "n_calls", "total_s", "counters", "children"}
+    if extra:
+        raise ReportSchemaError(path, f"unknown span keys {sorted(extra)}")
+    name = span.get("name")
+    if not isinstance(name, str) or not name:
+        raise ReportSchemaError(f"{path}.name", "must be a non-empty string")
+    n_calls = span.get("n_calls")
+    if isinstance(n_calls, bool) or not isinstance(n_calls, int):
+        raise ReportSchemaError(f"{path}.n_calls", "must be an integer")
+    if n_calls < 0:
+        raise ReportSchemaError(f"{path}.n_calls", "must be >= 0")
+    _require_number(span.get("total_s"), f"{path}.total_s")
+    counters = span.get("counters")
+    if not isinstance(counters, dict):
+        raise ReportSchemaError(f"{path}.counters", "must be an object")
+    for key, value in counters.items():
+        if not isinstance(key, str):
+            raise ReportSchemaError(f"{path}.counters", "keys must be strings")
+        _require_number(
+            value, f"{path}.counters[{key!r}]", minimum=float("-inf")
+        )
+    children = span.get("children")
+    if not isinstance(children, list):
+        raise ReportSchemaError(f"{path}.children", "must be an array")
+    seen: List[str] = []
+    for i, child in enumerate(children):
+        child_path = f"{path}.children[{i}]"
+        _validate_span(child, child_path)
+        child_name = child["name"]
+        if child_name in seen:
+            raise ReportSchemaError(
+                f"{child_path}.name", f"duplicate sibling name {child_name!r}"
+            )
+        seen.append(child_name)
+
+
+def _validate_comm(comm: object, path: str) -> None:
+    if not isinstance(comm, dict):
+        raise ReportSchemaError(path, "must be an object")
+    for phase, totals in comm.items():
+        if not isinstance(phase, str) or not phase:
+            raise ReportSchemaError(path, "phase names must be strings")
+        phase_path = f"{path}[{phase!r}]"
+        if not isinstance(totals, dict):
+            raise ReportSchemaError(phase_path, "must be an object")
+        if set(totals) != {"n_messages", "n_items"}:
+            raise ReportSchemaError(
+                phase_path, "must have exactly n_messages and n_items"
+            )
+        for key in ("n_messages", "n_items"):
+            value = totals[key]
+            if isinstance(value, bool) or not isinstance(value, int):
+                raise ReportSchemaError(
+                    f"{phase_path}.{key}", "must be an integer"
+                )
+            if value < 0:
+                raise ReportSchemaError(f"{phase_path}.{key}", "must be >= 0")
+
+
+def validate_report(document: object) -> Dict[str, object]:
+    """Check ``document`` against the run-report schema.
+
+    Returns the document (narrowed to a dict) on success; raises
+    :class:`ReportSchemaError` at the first violation.
+    """
+    if not isinstance(document, dict):
+        raise ReportSchemaError("$", "report must be a JSON object")
+    extra = set(document) - {"schema", "meta", "spans", "comm"}
+    if extra:
+        raise ReportSchemaError("$", f"unknown top-level keys {sorted(extra)}")
+    schema = document.get("schema")
+    if schema != SCHEMA_VERSION:
+        raise ReportSchemaError(
+            "$.schema", f"expected {SCHEMA_VERSION!r}, got {schema!r}"
+        )
+    meta = document.get("meta")
+    if not isinstance(meta, dict):
+        raise ReportSchemaError("$.meta", "must be an object")
+    for key, value in meta.items():
+        if not isinstance(key, str):
+            raise ReportSchemaError("$.meta", "keys must be strings")
+        if not isinstance(value, _META_SCALARS):
+            raise ReportSchemaError(
+                f"$.meta[{key!r}]", "must be a scalar (str/number/bool/null)"
+            )
+    if "spans" not in document:
+        raise ReportSchemaError("$.spans", "missing")
+    _validate_span(document["spans"], "$.spans")
+    _validate_comm(document.get("comm"), "$.comm")
+    return document

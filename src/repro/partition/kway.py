@@ -13,6 +13,7 @@ from typing import Optional
 import numpy as np
 
 from repro.graph.csr import CSRGraph
+from repro.obs.tracer import SPAN_REFINE, TracerBase, ensure_tracer
 from repro.partition.config import PartitionOptions
 from repro.partition.fragments import absorb_fragments
 from repro.partition.recursive import recursive_bisection
@@ -25,6 +26,7 @@ def partition_kway(
     graph: CSRGraph,
     k: int,
     options: Optional[PartitionOptions] = None,
+    tracer: Optional[TracerBase] = None,
 ) -> np.ndarray:
     """Compute a balanced k-way partition of ``graph``.
 
@@ -41,20 +43,23 @@ def partition_kway(
         )
     check_csr_arrays(graph)
     options = options or PartitionOptions()
-    part = recursive_bisection(graph, k, options)
+    tracer = ensure_tracer(tracer)
+    part = recursive_bisection(graph, k, options, tracer=tracer)
     if k > 1:
         # absorb stray fragments (may overload their destinations),
         # repair balance, then polish the cut; twice, because
         # rebalancing/refinement can strand new islands. Each round
         # ends feasible: absorb is the only step allowed to overload,
         # and rebalance_kway runs right after it.
-        for _round in range(2):
-            part, moved = absorb_fragments(graph, part, k, options)
-            part, _ = rebalance_kway(graph, part, k, options)
-            part = greedy_kway_refine(graph, part, k, options)
-            if moved == 0:
-                break
-        # hill-climbing FM polish (escapes the greedy loop's local
-        # minima; feasibility-preserving)
-        part = kway_fm_refine(graph, part, k, options)
+        with tracer.span(SPAN_REFINE):
+            for _round in range(2):
+                part, moved = absorb_fragments(graph, part, k, options)
+                part, rebal_moved = rebalance_kway(graph, part, k, options)
+                part = greedy_kway_refine(graph, part, k, options)
+                tracer.count("rebalance_moves", rebal_moved)
+                if moved == 0:
+                    break
+            # hill-climbing FM polish (escapes the greedy loop's local
+            # minima; feasibility-preserving)
+            part = kway_fm_refine(graph, part, k, options)
     return part

@@ -18,6 +18,13 @@ from typing import Optional
 import numpy as np
 
 from repro.graph.csr import CSRGraph
+from repro.obs.tracer import (
+    SPAN_COARSEN,
+    SPAN_INITIAL,
+    SPAN_REFINE,
+    TracerBase,
+    ensure_tracer,
+)
 from repro.partition.coarsen import coarsen
 from repro.partition.config import PartitionOptions
 from repro.partition.fragments import absorb_fragments
@@ -32,6 +39,7 @@ def multilevel_kway(
     graph: CSRGraph,
     k: int,
     options: Optional[PartitionOptions] = None,
+    tracer: Optional[TracerBase] = None,
 ) -> np.ndarray:
     """Partition ``graph`` into ``k`` parts via the direct multilevel
     k-way V-cycle. Returns ``int64[n]`` labels."""
@@ -39,6 +47,7 @@ def multilevel_kway(
         raise ValueError(f"k must be >= 1, got {k}")
     check_csr_arrays(graph)
     options = options or PartitionOptions()
+    tracer = ensure_tracer(tracer)
     n = graph.num_vertices
     if k == 1 or n == 0:
         return np.zeros(n, dtype=np.int64)
@@ -50,36 +59,43 @@ def multilevel_kway(
     # coarsen until ~C·k vertices remain (enough granularity for the
     # initial k-way split to balance every constraint)
     coarsen_to = max(options.coarsen_to, 18 * k)
-    hierarchy = coarsen(graph, replace(options, coarsen_to=coarsen_to))
+    with tracer.span(SPAN_COARSEN):
+        hierarchy = coarsen(graph, replace(options, coarsen_to=coarsen_to))
+        tracer.count("levels", len(hierarchy.levels))
     coarsest = hierarchy.coarsest
 
     # initial k-way partition of the coarsest graph (recursive
     # bisection; the graph is small so quality there is cheap)
-    init_options = replace(options, seed=rng_init)
-    if k > coarsest.num_vertices:
-        # pathological: coarsening overshot below k (tiny inputs)
-        part = np.arange(coarsest.num_vertices, dtype=np.int64) % k
-    else:
-        part = recursive_bisection(coarsest, k, init_options)
-    refine_options = replace(options, seed=rng_refine)
-    part, _ = rebalance_kway(coarsest, part, k, refine_options)
-    part = greedy_kway_refine(coarsest, part, k, refine_options)
+    with tracer.span(SPAN_INITIAL):
+        init_options = replace(options, seed=rng_init)
+        if k > coarsest.num_vertices:
+            # pathological: coarsening overshot below k (tiny inputs)
+            part = np.arange(coarsest.num_vertices, dtype=np.int64) % k
+        else:
+            part = recursive_bisection(coarsest, k, init_options)
+        refine_options = replace(options, seed=rng_refine)
+        part, _ = rebalance_kway(coarsest, part, k, refine_options)
+        part = greedy_kway_refine(coarsest, part, k, refine_options)
 
-    # uncoarsen with per-level k-way refinement (greedy sweep to settle
-    # projected moves, then FM hill climbing)
-    for level in reversed(hierarchy.levels):
-        part = part[level.cmap]
-        g = level.graph
-        part, _ = rebalance_kway(g, part, k, refine_options)
-        part = greedy_kway_refine(g, part, k, refine_options)
-        part = kway_fm_refine(g, part, k, refine_options, passes=2)
+    with tracer.span(SPAN_REFINE):
+        # uncoarsen with per-level k-way refinement (greedy sweep to
+        # settle projected moves, then FM hill climbing)
+        for level in reversed(hierarchy.levels):
+            part = part[level.cmap]
+            g = level.graph
+            part, _ = rebalance_kway(g, part, k, refine_options)
+            part = greedy_kway_refine(g, part, k, refine_options)
+            part = kway_fm_refine(g, part, k, refine_options, passes=2)
 
-    # fragment cleanup + final polish (feasible at exit: absorb is the
-    # only overloading step and rebalance follows it)
-    for _round in range(2):
-        part, moved = absorb_fragments(graph, part, k, options)
-        part, _ = rebalance_kway(graph, part, k, refine_options)
-        part = greedy_kway_refine(graph, part, k, refine_options)
-        if moved == 0:
-            break
+        # fragment cleanup + final polish (feasible at exit: absorb is
+        # the only overloading step and rebalance follows it)
+        for _round in range(2):
+            part, moved = absorb_fragments(graph, part, k, options)
+            part, rebal_moved = rebalance_kway(
+                graph, part, k, refine_options
+            )
+            part = greedy_kway_refine(graph, part, k, refine_options)
+            tracer.count("rebalance_moves", rebal_moved)
+            if moved == 0:
+                break
     return part

@@ -14,6 +14,13 @@ import numpy as np
 
 from repro.graph.csr import CSRGraph
 from repro.graph.metrics import edge_cut
+from repro.obs.tracer import (
+    SPAN_COARSEN,
+    SPAN_INITIAL,
+    SPAN_REFINE,
+    TracerBase,
+    ensure_tracer,
+)
 from repro.partition.balance import target_weights, violation
 from repro.partition.coarsen import coarsen
 from repro.partition.config import PartitionOptions
@@ -30,6 +37,7 @@ def multilevel_bisection(
     graph: CSRGraph,
     frac0: float = 0.5,
     options: Optional[PartitionOptions] = None,
+    tracer: Optional[TracerBase] = None,
 ) -> np.ndarray:
     """Bisect ``graph`` into sides of fractions ``(frac0, 1 - frac0)``.
 
@@ -41,6 +49,7 @@ def multilevel_bisection(
     check_in_range("frac0", frac0, 0.0, 1.0, inclusive=False)
     check_csr_arrays(graph)
     options = options or PartitionOptions()
+    tracer = ensure_tracer(tracer)
     n = graph.num_vertices
     if n == 0:
         return np.zeros(0, dtype=np.int64)
@@ -48,31 +57,40 @@ def multilevel_bisection(
         return np.zeros(1, dtype=np.int64)
 
     rng = as_rng(options.seed)
-    hierarchy = coarsen(graph, options)
+    with tracer.span(SPAN_COARSEN):
+        hierarchy = coarsen(graph, options)
+        tracer.count("levels", len(hierarchy.levels))
     coarsest = hierarchy.coarsest
 
     fracs = np.array([frac0, 1.0 - frac0])
     coarse_targets = target_weights(coarsest.total_vwgt, fracs)
 
     # --- initial partitioning: refine every candidate, keep the best ---
-    candidates = initial_bisection(
-        coarsest, frac0, options.n_init_trials, seed=rng
-    )
-    best_part, best_key = None, None
-    for cand in candidates:
-        cand = fm_refine_bisection(coarsest, cand, coarse_targets, options)
-        pw = _partition_weights2(coarsest, cand)
-        key = (
-            violation(pw, coarse_targets, options.ubfactor),
-            edge_cut(coarsest, cand),
+    with tracer.span(SPAN_INITIAL):
+        candidates = initial_bisection(
+            coarsest, frac0, options.n_init_trials, seed=rng
         )
-        if best_key is None or key < best_key:
-            best_key, best_part = key, cand
+        tracer.count("trials", len(candidates))
+        best_part, best_key = None, None
+        for cand in candidates:
+            cand = fm_refine_bisection(
+                coarsest, cand, coarse_targets, options
+            )
+            pw = _partition_weights2(coarsest, cand)
+            key = (
+                violation(pw, coarse_targets, options.ubfactor),
+                edge_cut(coarsest, cand),
+            )
+            if best_key is None or key < best_key:
+                best_key, best_part = key, cand
     part = best_part
 
     # --- uncoarsening with per-level refinement ---
-    for level in reversed(hierarchy.levels):
-        part = part[level.cmap]
-        lvl_targets = target_weights(level.graph.total_vwgt, fracs)
-        part = fm_refine_bisection(level.graph, part, lvl_targets, options)
+    with tracer.span(SPAN_REFINE):
+        for level in reversed(hierarchy.levels):
+            part = part[level.cmap]
+            lvl_targets = target_weights(level.graph.total_vwgt, fracs)
+            part = fm_refine_bisection(
+                level.graph, part, lvl_targets, options
+            )
     return part

@@ -15,6 +15,7 @@ import numpy as np
 
 from repro.graph.csr import CSRGraph
 from repro.graph.ops import induced_subgraph
+from repro.obs.tracer import NULL_TRACER, TracerBase, ensure_tracer
 from repro.partition.config import PartitionOptions
 from repro.partition.multilevel import multilevel_bisection
 from repro.utils.rng import spawn_rngs
@@ -25,15 +26,28 @@ def recursive_bisection(
     graph: CSRGraph,
     k: int,
     options: Optional[PartitionOptions] = None,
+    tracer: Optional[TracerBase] = None,
 ) -> np.ndarray:
     """Partition ``graph`` into ``k`` parts; returns ``int64[n]`` labels
-    in ``[0, k)``."""
+    in ``[0, k)``.
+
+    ``tracer`` accumulates coarsen/initial/refine spans across all
+    ``k - 1`` bisections (one aggregate span per phase).
+    """
     if k < 1:
         raise ValueError(f"k must be >= 1, got {k}")
     check_csr_arrays(graph)
     options = options or PartitionOptions()
     part = np.zeros(graph.num_vertices, dtype=np.int64)
-    _recurse(graph, k, 0, options, part, np.arange(graph.num_vertices, dtype=np.int64))
+    _recurse(
+        graph,
+        k,
+        0,
+        options,
+        part,
+        np.arange(graph.num_vertices, dtype=np.int64),
+        ensure_tracer(tracer),
+    )
     return part
 
 
@@ -44,6 +58,7 @@ def _recurse(
     options: PartitionOptions,
     out: np.ndarray,
     global_ids: np.ndarray,
+    tracer: TracerBase = NULL_TRACER,
 ) -> None:
     if k == 1 or graph.num_vertices == 0:
         out[global_ids] = label_offset
@@ -56,7 +71,9 @@ def _recurse(
     depth = int(np.ceil(np.log2(k)))
     level_ub = max(1.003, options.ubfactor ** (1.0 / depth))
     bis_options = replace(options, seed=rng_bis, ubfactor=level_ub)
-    side = multilevel_bisection(graph, frac0=k0 / k, options=bis_options)
+    side = multilevel_bisection(
+        graph, frac0=k0 / k, options=bis_options, tracer=tracer
+    )
 
     left_local = np.nonzero(side == 0)[0]
     right_local = np.nonzero(side == 1)[0]
@@ -69,6 +86,7 @@ def _recurse(
         replace(options, seed=rng0),
         out,
         global_ids[left_local],
+        tracer,
     )
     _recurse(
         right_graph,
@@ -77,4 +95,5 @@ def _recurse(
         replace(options, seed=rng1),
         out,
         global_ids[right_local],
+        tracer,
     )

@@ -17,6 +17,7 @@ GATED = [
     "src/repro/utils",
     "src/repro/partition/config.py",
     "src/repro/analysis",
+    "src/repro/obs",
 ]
 
 pytestmark = pytest.mark.skipif(

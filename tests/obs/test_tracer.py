@@ -1,0 +1,161 @@
+"""Tests for the span tracer (repro.obs.tracer)."""
+
+import pytest
+
+from repro.obs import NULL_TRACER, NullTracer, Span, Tracer, ensure_tracer
+from repro.obs.tracer import (
+    SPAN_COARSEN,
+    SPAN_INITIAL,
+    SPAN_MAP_TRANSFER,
+    SPAN_REFINE,
+    SPAN_REFINE_GPRIME,
+)
+
+
+class TestSpan:
+    def test_child_get_or_create(self):
+        s = Span("root")
+        a = s.child("a")
+        assert s.child("a") is a
+        assert list(s.children) == ["a"]
+
+    def test_counters_accumulate(self):
+        s = Span("x")
+        s.count("moves", 3)
+        s.count("moves", 4)
+        s.count("levels")
+        assert s.counters == {"moves": 7, "levels": 1}
+
+    def test_self_time_never_negative(self):
+        s = Span("p")
+        s.total_s = 1.0
+        c = s.child("c")
+        c.total_s = 2.0  # clock skew scenario
+        assert s.children_s == 2.0
+        assert s.self_s == 0.0
+
+    def test_find_and_walk(self):
+        root = Span("run")
+        root.child("a").child("b")
+        root.child("c")
+        assert root.find("a/b") is root.children["a"].children["b"]
+        assert root.find("a/zzz") is None
+        paths = [p for p, _ in root.walk()]
+        assert paths == ["run", "run/a", "run/a/b", "run/c"]
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ValueError, match="non-empty"):
+            Span("")
+
+    def test_dict_round_trip(self):
+        root = Span("run")
+        a = root.child("a")
+        a.n_calls = 2
+        a.total_s = 0.5
+        a.count("moves", 9)
+        rebuilt = Span.from_dict(root.to_dict())
+        assert rebuilt.to_dict() == root.to_dict()
+
+    @pytest.mark.parametrize(
+        "mutation, message",
+        [
+            ({"name": 7}, "name"),
+            ({"n_calls": 1.5}, "n_calls"),
+            ({"n_calls": True}, "n_calls"),
+            ({"total_s": "x"}, "total_s"),
+            ({"counters": [1]}, "counters"),
+            ({"counters": {"m": "x"}}, "counter"),
+            ({"children": {}}, "children"),
+            ({"children": [3]}, "child"),
+        ],
+    )
+    def test_from_dict_rejects_malformed(self, mutation, message):
+        doc = Span("run").to_dict()
+        doc.update(mutation)
+        with pytest.raises(ValueError, match=message):
+            Span.from_dict(doc)
+
+
+class TestTracer:
+    def test_nesting_and_accumulation(self):
+        tr = Tracer()
+        for _ in range(3):
+            with tr.span("partition"):
+                with tr.span(SPAN_COARSEN):
+                    pass
+                with tr.span(SPAN_REFINE):
+                    pass
+        root = tr.finish()
+        part = root.find("partition")
+        assert part is not None and part.n_calls == 3
+        assert root.find(f"partition/{SPAN_COARSEN}").n_calls == 3
+        assert root.find(f"partition/{SPAN_REFINE}").n_calls == 3
+
+    def test_parent_time_bounds_children(self):
+        tr = Tracer()
+        with tr.span("outer"):
+            with tr.span("inner"):
+                pass
+        root = tr.finish()
+        outer = root.find("outer")
+        assert outer.total_s >= outer.children_s
+        assert root.total_s == pytest.approx(root.children_s)
+
+    def test_count_lands_in_innermost_open_span(self):
+        tr = Tracer()
+        with tr.span("a"):
+            tr.count("x", 2)
+            with tr.span("b"):
+                tr.count("x", 5)
+        root = tr.finish()
+        assert root.find("a").counters == {"x": 2}
+        assert root.find("a/b").counters == {"x": 5}
+
+    def test_current_tracks_stack(self):
+        tr = Tracer()
+        assert tr.current is tr.root
+        with tr.span("a"):
+            assert tr.current.name == "a"
+        assert tr.current is tr.root
+
+    def test_finish_rejects_open_spans(self):
+        tr = Tracer()
+        cm = tr.span("left-open")
+        cm.__enter__()
+        with pytest.raises(RuntimeError, match="open"):
+            tr.finish()
+
+    def test_exception_still_closes_span(self):
+        tr = Tracer()
+        with pytest.raises(RuntimeError, match="boom"):
+            with tr.span("a"):
+                raise RuntimeError("boom")
+        root = tr.finish()  # no open spans left behind
+        assert root.find("a").n_calls == 1
+
+    def test_span_constants_distinct(self):
+        names = {
+            SPAN_COARSEN, SPAN_INITIAL, SPAN_REFINE,
+            SPAN_REFINE_GPRIME, SPAN_MAP_TRANSFER,
+        }
+        assert len(names) == 5
+
+
+class TestNullTracer:
+    def test_noop_span_and_count(self):
+        tr = NullTracer()
+        assert not tr.enabled
+        with tr.span("anything") as span:
+            assert span is None
+        tr.count("x", 5)  # must not raise
+
+    def test_ensure_tracer(self):
+        assert ensure_tracer(None) is NULL_TRACER
+        tr = Tracer()
+        assert ensure_tracer(tr) is tr
+        null = NullTracer()
+        assert ensure_tracer(null) is null
+
+    def test_null_span_cm_is_reusable_singleton(self):
+        tr = NullTracer()
+        assert tr.span("a") is tr.span("b")

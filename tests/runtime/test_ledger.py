@@ -1,7 +1,10 @@
 """Tests for communication accounting."""
 
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
+from repro.obs import RunReport, Tracer
 from repro.runtime.ledger import CommLedger
 
 
@@ -55,3 +58,49 @@ class TestCommLedger:
         led.record("a", 0, 1, 1)
         assert list(led.summary()) == ["a", "b"]
         assert led.summary()["b"] == (1, 2)
+
+
+_MESSAGES = st.lists(
+    st.tuples(
+        st.sampled_from(["fe", "contact", "repartition"]),  # phase
+        st.integers(0, 5),  # src
+        st.integers(0, 5),  # dst
+        st.integers(0, 40),  # items
+    ),
+    max_size=50,
+)
+
+
+@given(messages=_MESSAGES)
+@settings(max_examples=50, deadline=None)
+def test_property_per_rank_symmetry(messages):
+    """For any record trace and every phase: total sent by all ranks ==
+    total received == the phase's item total (self-sends vanish)."""
+    led = CommLedger()
+    expected = {}
+    for phase, src, dst, items in messages:
+        led.record(phase, src, dst, items)
+        if src != dst:
+            expected[phase] = expected.get(phase, 0) + items
+    for phase in {m[0] for m in messages}:
+        sent = sum(led.sent_by_rank[(phase, r)] for r in range(6))
+        recv = sum(led.received_by_rank[(phase, r)] for r in range(6))
+        assert sent == recv == led.items(phase) == expected.get(phase, 0)
+
+
+@given(messages=_MESSAGES)
+@settings(max_examples=50, deadline=None)
+def test_property_run_report_totals_match_ledger(messages):
+    """A RunReport built from any ledger reproduces its phase sums."""
+    led = CommLedger()
+    for phase, src, dst, items in messages:
+        led.record(phase, src, dst, items)
+    tracer = Tracer()
+    with tracer.span("step"):
+        pass
+    report = RunReport.from_run(tracer, led)
+    assert report.comm == led.summary()
+    assert report.comm_total_items() == led.total_items()
+    for phase, (msgs, items) in led.summary().items():
+        assert report.comm_items(phase) == items == led.items(phase)
+        assert msgs == led.messages(phase)

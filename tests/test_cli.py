@@ -1,8 +1,27 @@
 """Tests for the CLI entry point."""
 
+import json
+
 import pytest
 
 from repro.cli import main
+from repro.mesh.generators import merge_meshes, structured_box_mesh
+from repro.mesh.io import save_mesh
+from repro.obs import RunReport, validate_report
+
+
+@pytest.fixture(scope="module")
+def tiny_mesh_path(tmp_path_factory):
+    """A two-body mesh file small enough for fast trace runs."""
+    path = tmp_path_factory.mktemp("meshes") / "tiny.npz"
+    projectile = structured_box_mesh(
+        2, 2, 3, origin=(0.6, 0.6, 1.02), size=(0.4, 0.4, 0.8)
+    )
+    plate = structured_box_mesh(
+        6, 6, 2, origin=(0.0, 0.0, 0.0), size=(1.6, 1.6, 0.6)
+    )
+    save_mesh(path, merge_meshes([projectile, plate]))
+    return str(path)
 
 
 class TestCli:
@@ -43,3 +62,65 @@ class TestCli:
     def test_requires_command(self):
         with pytest.raises(SystemExit):
             main(["--steps", "3"])
+
+
+class TestTraceCommand:
+    def test_trace_mesh_happy_path(self, tiny_mesh_path, capsys):
+        assert main(["trace", tiny_mesh_path, "--k", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "Trace spans" in out
+        assert "coarsen" in out
+        assert "dtree-induce" in out
+        assert "map-transfer" in out
+
+    def test_trace_synthetic_default(self, capsys):
+        assert main(
+            ["--refine", "0.5", "trace", "--k", "2",
+             "--trace-steps", "1", "--no-baseline"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "Trace spans" in out
+        assert "simulate" in out
+
+    def test_trace_json_file_created(self, tiny_mesh_path, tmp_path):
+        out_path = tmp_path / "trace.json"
+        assert main(
+            ["trace", tiny_mesh_path, "--k", "4",
+             "--trace-json", str(out_path)]
+        ) == 0
+        document = json.loads(out_path.read_text())
+        validate_report(document)
+        report = RunReport.load(out_path)
+        assert report.spans.find("mcml-dt/fit/partition/coarsen")
+        assert report.spans.find("ml-rcb/map-transfer")
+        assert report.meta["k"] == 4
+
+    def test_trace_json_before_subcommand(self, tiny_mesh_path, tmp_path):
+        out_path = tmp_path / "trace.json"
+        assert main(
+            ["--trace-json", str(out_path), "trace", tiny_mesh_path,
+             "--k", "4", "--no-baseline"]
+        ) == 0
+        validate_report(json.loads(out_path.read_text()))
+
+    def test_trace_unreadable_mesh_nonzero_exit(self, tmp_path, capsys):
+        missing = tmp_path / "does-not-exist.npz"
+        assert main(["trace", str(missing), "--k", "4"]) == 2
+        assert "cannot load mesh" in capsys.readouterr().err
+
+    def test_trace_corrupt_mesh_nonzero_exit(self, tmp_path, capsys):
+        bad = tmp_path / "corrupt.npz"
+        bad.write_bytes(b"not a numpy archive")
+        assert main(["trace", str(bad), "--k", "4"]) == 2
+        assert "cannot load mesh" in capsys.readouterr().err
+
+    def test_trace_json_on_table1(self, tmp_path, capsys):
+        out_path = tmp_path / "t1.json"
+        assert main(
+            ["--steps", "2", "--refine", "0.5", "table1",
+             "--k", "2", "--trace-json", str(out_path)]
+        ) == 0
+        report = RunReport.load(out_path)
+        assert report.spans.find("mcml-dt") is not None
+        assert report.spans.find("ml-rcb/map-transfer") is not None
+        assert "trace written" in capsys.readouterr().out

@@ -48,6 +48,21 @@ def test_figure1_example_runs(capsys, tmp_path, monkeypatch):
     assert (tmp_path / "figure2.svg").exists()
 
 
+def test_example_mesh_loads_with_contact_surface():
+    """The committed trace-demo mesh stays loadable and traceable."""
+    from repro.mesh.io import load_mesh
+    from repro.sim.sequence import extract_contact_surface
+
+    path = EXAMPLES[0].parent / "impact_small.npz"
+    mesh = load_mesh(path)
+    assert mesh.num_nodes > 0 and mesh.num_elements > 0
+    assert set(mesh.body_id.tolist()) == {0, 1}
+    faces, owner, cnodes = extract_contact_surface(
+        mesh, capture_radius=float("inf")
+    )
+    assert len(faces) > 0 and len(cnodes) > 0
+
+
 def test_quickstart_example_runs(capsys):
     path = [p for p in EXAMPLES if p.name == "quickstart.py"][0]
     runpy.run_path(str(path), run_name="__main__")
