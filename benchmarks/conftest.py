@@ -10,12 +10,51 @@ statistics.
 
 from __future__ import annotations
 
+import json
+import os
+from pathlib import Path
+
 import numpy as np
 import pytest
 
 from repro.partition.config import PartitionOptions
 from repro.sim.projectile import ImpactConfig
 from repro.sim.sequence import simulate_impact
+
+#: results registered by ``bench_backends`` during the session; when
+#: non-empty, ``pytest_sessionfinish`` summarises them into
+#: ``BENCH_backends.json`` at the repo root (uploaded from CI)
+BACKEND_RESULTS: dict = {}
+
+_BACKEND_REPORT = Path(__file__).resolve().parent.parent / (
+    "BENCH_backends.json"
+)
+
+
+def register_backend_result(backend: str, **payload) -> None:
+    """Record one backend's measured contact-search run for the
+    end-of-session ``BENCH_backends.json`` report."""
+    BACKEND_RESULTS[backend] = payload
+
+
+def pytest_sessionfinish(session, exitstatus):
+    if not BACKEND_RESULTS:
+        return
+    serial = BACKEND_RESULTS.get("serial", {})
+    process = BACKEND_RESULTS.get("process", {})
+    speedup = None
+    if serial.get("best_s") and process.get("best_s"):
+        speedup = round(serial["best_s"] / process["best_s"], 3)
+    report = {
+        "schema": "repro.bench-backends/1",
+        "cpu_count": os.cpu_count(),
+        "results": BACKEND_RESULTS,
+        "process_speedup_vs_serial": speedup,
+    }
+    _BACKEND_REPORT.write_text(json.dumps(report, indent=2) + "\n")
+    rep = session.config.pluginmanager.get_plugin("terminalreporter")
+    if rep is not None:
+        rep.write_line(f"backend report written to {_BACKEND_REPORT}")
 
 # partition counts for the headline comparison. The paper used 25 and
 # 100 on a mesh ~9× larger; since partition interface effects scale

@@ -12,6 +12,11 @@ algorithms under the phase tracer and prints/serializes the run report
 ``--trace-json PATH`` (global) writes the versioned run-report JSON
 for any experiment command; the ``trace`` subcommand additionally
 prints the report to the terminal.
+
+``--backend {serial,thread,process}`` and ``--workers N`` (global,
+also accepted after the subcommand) select the SPMD execution backend
+for every parallel stage in the run (``docs/PARALLELISM.md``); results
+are bit-identical across backends.
 """
 
 from __future__ import annotations
@@ -50,6 +55,25 @@ def _build_parser() -> argparse.ArgumentParser:
             "repro.run-report/1) to PATH"
         ),
     )
+    parser.add_argument(
+        "--backend",
+        choices=("serial", "thread", "process"),
+        default=None,
+        help=(
+            "execution backend for the parallel stages (default: "
+            "$REPRO_BACKEND or serial; see docs/PARALLELISM.md)"
+        ),
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        metavar="N",
+        default=None,
+        help=(
+            "worker count for the thread/process backend (default: "
+            "$REPRO_WORKERS or the CPU count); implies --backend process"
+        ),
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     def add_trace_json(p: argparse.ArgumentParser) -> None:
@@ -60,6 +84,19 @@ def _build_parser() -> argparse.ArgumentParser:
             metavar="PATH",
             default=argparse.SUPPRESS,
             help="write the run-report JSON to PATH",
+        )
+        p.add_argument(
+            "--backend",
+            choices=("serial", "thread", "process"),
+            default=argparse.SUPPRESS,
+            help="execution backend for the parallel stages",
+        )
+        p.add_argument(
+            "--workers",
+            type=int,
+            metavar="N",
+            default=argparse.SUPPRESS,
+            help="worker count (implies --backend process)",
         )
 
     t1 = sub.add_parser("table1", help="regenerate Table 1")
@@ -230,6 +267,7 @@ def _run_trace(args: argparse.Namespace) -> int:
         steps=len(snapshots),
         source=source,
         seed=args.seed,
+        backend=args.backend,
     )
     if args.trace_json:
         report.save(args.trace_json)
@@ -249,6 +287,23 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _run_lint(argv[1:])
 
     args = _build_parser().parse_args(argv)
+
+    # install the requested execution backend as the process default so
+    # every parallel stage in the run picks it up (--workers alone
+    # implies a process pool)
+    backend_name = getattr(args, "backend", None)
+    workers = getattr(args, "workers", None)
+    if workers is not None and backend_name is None:
+        backend_name = "process"
+    args.backend = backend_name or "serial"
+    if backend_name is not None:
+        from repro.runtime.backends import make_backend, set_default_backend
+
+        try:
+            set_default_backend(make_backend(backend_name, workers))
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
 
     if args.command == "lint":  # reached via global options before `lint`
         return _run_lint(list(args.lint_args))
@@ -344,7 +399,8 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     if args.trace_json and isinstance(tracer, Tracer):
         report = RunReport.from_run(
-            tracer, command=args.command, steps=args.steps, seed=args.seed
+            tracer, command=args.command, steps=args.steps,
+            seed=args.seed, backend=args.backend,
         )
         report.save(args.trace_json)
         print(f"\ntrace written to {args.trace_json}")

@@ -20,10 +20,16 @@ from repro.core.driver import ContactStepDriver
 from repro.core.mcml_dt import MCMLDTParams, MCMLDTPartitioner
 from repro.core.update import UpdateStrategy
 from repro.partition.config import PartitionOptions
+from repro.runtime.backends.base import BackendSpec
 
 PathLike = Union[str, Path]
 
-_SCHEMA_VERSION = 1
+# v1 stored per-phase totals only; v2 adds the per-rank sent/received
+# breakdown so a restarted run continues the full accounting, plus the
+# execution-backend name for provenance. v1 checkpoints still load
+# (their per-rank totals start empty).
+_SCHEMA_VERSION = 2
+_READABLE_SCHEMAS = (1, 2)
 
 
 def save_driver(path: PathLike, driver: ContactStepDriver) -> None:
@@ -52,6 +58,21 @@ def save_driver(path: PathLike, driver: ContactStepDriver) -> None:
             phase: [t.n_messages, t.n_items]
             for phase, t in driver.ledger.phases.items()
         },
+        "ledger_ranks": {
+            "sent": [
+                [phase, rank, items]
+                for (phase, rank), items in sorted(
+                    driver.ledger.sent_by_rank.items()
+                )
+            ],
+            "received": [
+                [phase, rank, items]
+                for (phase, rank), items in sorted(
+                    driver.ledger.received_by_rank.items()
+                )
+            ],
+        },
+        "backend": driver.backend.name,
     }
     np.savez_compressed(
         Path(path),
@@ -60,17 +81,21 @@ def save_driver(path: PathLike, driver: ContactStepDriver) -> None:
     )
 
 
-def load_driver(path: PathLike) -> ContactStepDriver:
+def load_driver(
+    path: PathLike, backend: "BackendSpec" = None
+) -> ContactStepDriver:
     """Reconstruct a driver from a checkpoint.
 
     The returned driver is initialized (its partition is restored) and
     ready for ``step``; per-step history is not replayed (only ledger
     totals carry over), matching what a restarted production run needs.
+    ``backend`` selects the restarted run's execution backend (default:
+    the usual resolution — checkpoints restore state, not placement).
     """
     with np.load(Path(path), allow_pickle=False) as data:
         meta = json.loads(str(data["meta"]))
         part = data["part"]
-    if meta.get("schema") != _SCHEMA_VERSION:
+    if meta.get("schema") not in _READABLE_SCHEMAS:
         raise ValueError(
             f"unsupported checkpoint schema {meta.get('schema')!r}"
         )
@@ -90,6 +115,7 @@ def load_driver(path: PathLike) -> ContactStepDriver:
         strategy=UpdateStrategy(meta["strategy"]),
         repartition_period=meta["repartition_period"],
         resolve_local=meta["resolve_local"],
+        backend=backend,
     )
     driver.partitioner = MCMLDTPartitioner(meta["k"], params)
     driver.partitioner.part = part
@@ -101,4 +127,10 @@ def load_driver(path: PathLike) -> ContactStepDriver:
         driver.ledger.phases[phase] = PhaseTotals(
             n_messages=n_msg, n_items=n_items
         )
+    for phase, rank, items in meta.get("ledger_ranks", {}).get("sent", []):
+        driver.ledger.sent_by_rank[(phase, int(rank))] = int(items)
+    for phase, rank, items in meta.get("ledger_ranks", {}).get(
+        "received", []
+    ):
+        driver.ledger.received_by_rank[(phase, int(rank))] = int(items)
     return driver

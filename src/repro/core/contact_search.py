@@ -1,13 +1,14 @@
-"""Global contact search: serial reference and simulated-parallel runs.
+"""Global contact search: serial reference and parallel execution.
 
 Detection semantics follow the paper's global search: a contact *node*
 ``x`` is a candidate for surface element ``e`` when ``x`` lies inside
 ``e``'s (padded) bounding box and ``x`` is not one of ``e``'s own
 nodes. The serial routine is the ground truth; the parallel routine
 ships elements per a :class:`~repro.geometry.boxsearch.SearchPlan`
-through the simulated runtime and unions the per-rank results — tests
+through the SPMD runtime and unions the per-rank results — tests
 assert the two sets are identical for both the bbox and the
-decision-tree filters (completeness of the filters).
+decision-tree filters (completeness of the filters), on every
+execution backend.
 """
 
 from __future__ import annotations
@@ -19,10 +20,9 @@ from scipy.spatial import cKDTree
 
 from repro.geometry.boxsearch import SearchPlan
 from repro.obs.tracer import TracerBase, ensure_tracer
-from repro.runtime.comm import RankContext
-from repro.runtime.executor import spmd_run
+from repro.runtime.backends import SpmdContext, resolve_backend
+from repro.runtime.backends.base import BackendSpec
 from repro.runtime.ledger import CommLedger
-from repro.utils.arrays import group_by_label
 
 
 def row_majority(labels: np.ndarray) -> np.ndarray:
@@ -99,6 +99,63 @@ def serial_candidate_pairs(
     return {p for p in pairs if p not in own}
 
 
+# ----------------------------------------------------------------------
+# the two supersteps of the parallel search (module-level so they are
+# picklable and execute on the process backend's worker pool; the big
+# arrays arrive through ctx.shared — zero-copy shared memory there)
+# ----------------------------------------------------------------------
+
+
+def _exchange_step(ctx: SpmdContext, _arg: object) -> None:
+    """Superstep 1: ship each owned surface element to the remote
+    ranks the search plan selected (phase ``contact-exchange``)."""
+    with ctx.span("exchange"):
+        owner = ctx.shared["owner"]
+        mine = np.nonzero(owner == ctx.rank)[0]
+        ctx.state["elems"] = mine
+        ctx.state["points"] = np.nonzero(
+            ctx.shared["point_partition"] == ctx.rank
+        )[0]
+        if len(mine) == 0:
+            return
+        sends = ctx.shared["send_matrix"][mine]  # (m_local, k)
+        for dst in range(ctx.size):
+            sel = mine[sends[:, dst]]
+            if len(sel):
+                ctx.send(dst, sel, phase="contact-exchange",
+                         items=len(sel))
+
+
+def _search_step(ctx: SpmdContext, _arg: object) -> Set[Tuple[int, int]]:
+    """Superstep 2: search local contact points against the owned plus
+    received elements; return the local candidate pairs."""
+    with ctx.span("search"):
+        local_elems = [ctx.state["elems"]]
+        for _src, payload in ctx.inbox():
+            local_elems.append(payload)
+        elems = (
+            np.concatenate(local_elems)
+            if local_elems
+            else np.empty(0, np.int64)
+        )
+        pts_idx = ctx.state["points"]
+        if len(elems) == 0 or len(pts_idx) == 0:
+            return set()
+        element_boxes = ctx.shared["element_boxes"]
+        element_faces = ctx.shared["element_faces"]
+        raw = _candidates_kdtree(
+            element_boxes[elems],
+            ctx.shared["contact_points"][pts_idx],
+            ctx.shared["contact_ids"][pts_idx],
+        )
+        found = set()
+        for local_b, nid in raw:
+            e = int(elems[local_b])
+            if nid not in element_faces[e]:
+                found.add((e, nid))
+        return found
+
+
 def parallel_contact_search(
     plan: SearchPlan,
     element_boxes: np.ndarray,
@@ -109,6 +166,7 @@ def parallel_contact_search(
     k: int,
     ledger: Optional[CommLedger] = None,
     tracer: Optional[TracerBase] = None,
+    backend: BackendSpec = None,
 ) -> Tuple[Set[Tuple[int, int]], CommLedger]:
     """Execute the two-superstep parallel global search.
 
@@ -118,75 +176,33 @@ def parallel_contact_search(
     its own plus the received elements. Returns the union of per-rank
     candidate pairs and the ledger.
 
-    With a recording ``tracer`` the run opens a ``global-search`` span
-    whose ``exchange``/``search`` children accumulate the per-rank
-    superstep times (``n_calls`` = ranks).
+    ``backend`` selects where the ranks execute (see
+    :func:`repro.runtime.backends.resolve_backend`); results are
+    bit-identical across backends. With a recording ``tracer`` the run
+    opens a ``global-search`` span whose ``exchange``/``search``
+    children accumulate the per-rank superstep times (``n_calls`` =
+    ranks).
     """
     ledger = ledger if ledger is not None else CommLedger()
     tracer = ensure_tracer(tracer)
-    element_boxes = np.asarray(element_boxes, dtype=float)
-    element_faces = np.asarray(element_faces, dtype=np.int64)
-    contact_points = np.asarray(contact_points, dtype=float)
-    contact_ids = np.asarray(contact_ids, dtype=np.int64)
-    point_partition = np.asarray(point_partition, dtype=np.int64)
-    owner = plan.owner
-
-    elems_of_rank = group_by_label(owner, k)
-    points_of_rank = group_by_label(point_partition, k)
-
-    def superstep_send(ctx: RankContext):
-        mine = elems_of_rank[ctx.rank]
-        if len(mine) == 0:
-            return None
-        sends = plan.send_matrix[mine]  # (m_local, k)
-        for dst in range(ctx.size):
-            sel = mine[sends[:, dst]]
-            if len(sel):
-                ctx.send(dst, sel, phase="contact-exchange", items=len(sel))
-        return None
-
-    def superstep_search(ctx: RankContext):
-        local_elems = [elems_of_rank[ctx.rank]]
-        for _src, payload in ctx.inbox():
-            local_elems.append(payload)
-        elems = (
-            np.concatenate(local_elems)
-            if local_elems
-            else np.empty(0, np.int64)
-        )
-        pts_idx = points_of_rank[ctx.rank]
-        if len(elems) == 0 or len(pts_idx) == 0:
-            return set()
-        raw = _candidates_kdtree(
-            element_boxes[elems],
-            contact_points[pts_idx],
-            contact_ids[pts_idx],
-        )
-        found = set()
-        for local_b, nid in raw:
-            e = int(elems[local_b])
-            if nid not in element_faces[e]:
-                found.add((e, nid))
-        return found
-
-    def traced(name: str, fn):
-        def wrapper(ctx: RankContext):
-            with tracer.span(name):
-                return fn(ctx)
-
-        return wrapper
-
+    shared = {
+        "element_boxes": np.asarray(element_boxes, dtype=float),
+        "element_faces": np.asarray(element_faces, dtype=np.int64),
+        "contact_points": np.asarray(contact_points, dtype=float),
+        "contact_ids": np.asarray(contact_ids, dtype=np.int64),
+        "point_partition": np.asarray(point_partition, dtype=np.int64),
+        "owner": np.asarray(plan.owner, dtype=np.int64),
+        "send_matrix": np.asarray(plan.send_matrix, dtype=bool),
+    }
+    resolved = resolve_backend(backend)
     with tracer.span("global-search"):
-        results = spmd_run(
-            k,
-            [
-                traced("exchange", superstep_send),
-                traced("search", superstep_search),
-            ],
-            ledger,
-        )
+        with resolved.open_session(
+            k, ledger=ledger, tracer=tracer, shared=shared
+        ) as session:
+            session.step(_exchange_step)
+            rank_sets = session.step(_search_step)
         union: Set[Tuple[int, int]] = set()
-        for rank_pairs in results[1]:
+        for rank_pairs in rank_sets:
             union |= rank_pairs
         tracer.count("candidates", len(union))
     return union, ledger

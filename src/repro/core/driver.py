@@ -10,10 +10,13 @@ A simulation code integrating MCML+DT calls one object per run:
 
 Each ``step`` performs the §4.3 update policy (descriptor-only /
 periodic repartition), re-induces the descriptor tree, runs the
-simulated-parallel global search, optionally resolves candidates with
-the local search, and accounts all communication in one ledger that
-persists across the run — i.e. the driver is the executable version of
-the paper's full per-iteration pipeline.
+parallel global search on the configured execution backend, optionally
+resolves candidates with the local search, and accounts all
+communication in one ledger that persists across the run — i.e. the
+driver is the executable version of the paper's full per-iteration
+pipeline. Pass ``backend="process:4"`` (or set ``$REPRO_BACKEND``) to
+run the search ranks on a real worker pool; results are bit-identical
+across backends.
 """
 
 from __future__ import annotations
@@ -36,6 +39,8 @@ from repro.graph.metrics import load_imbalance
 from repro.metrics.comm import fe_comm
 from repro.obs.tracer import TracerBase, ensure_tracer
 from repro.partition.repartition import diffusion_repartition
+from repro.runtime.backends import resolve_backend
+from repro.runtime.backends.base import BackendSpec
 from repro.runtime.ledger import CommLedger
 from repro.sim.sequence import ContactSnapshot
 
@@ -71,6 +76,7 @@ class ContactStepDriver:
         repartition_period: int = 10,
         resolve_local: bool = True,
         tracer: Optional[TracerBase] = None,
+        backend: BackendSpec = None,
     ):
         if k < 1:
             raise ValueError("k must be >= 1")
@@ -81,6 +87,7 @@ class ContactStepDriver:
         self.strategy = strategy
         self.repartition_period = repartition_period
         self.resolve_local = resolve_local
+        self.backend = resolve_backend(backend)
         self.partitioner = MCMLDTPartitioner(k, self.params)
         self.ledger = CommLedger()
         self.tracer = ensure_tracer(tracer)
@@ -151,6 +158,7 @@ class ContactStepDriver:
             plan, boxes, snapshot.contact_faces, coords,
             snapshot.contact_nodes, pt.part[snapshot.contact_nodes],
             self.k, ledger=self.ledger, tracer=tracer,
+            backend=self.backend,
         )
 
         resolution = None

@@ -1,24 +1,30 @@
-"""Distributed decision-tree induction on the simulated runtime.
+"""Distributed decision-tree induction on the SPMD runtime.
 
 The paper (§6) leans on the existence of parallel tree-induction
 formulations (ScalParC [14]) to argue MCML+DT parallelises. This module
-implements one on the simulated SPMD runtime so that claim is
-executable: contact points stay distributed across ranks (by their
-owning partition, as they would be in the real code) and the tree is
-induced with communication proportional to *histograms*, not points.
+implements one on the SPMD backend runtime so that claim is executable
+on real hardware: contact points stay distributed across ranks (by
+their owning partition, as they would be in the real code) and the tree
+is induced with communication proportional to *histograms*, not points.
 
-Protocol per round (bulk-synchronous):
+Protocol per round (bulk-synchronous; coordinator = the calling
+process, playing rank 0's decision role):
 
 1. every rank bins its local points of each frontier node into ``B``
-   per-dimension, per-class histograms and sends them to rank 0
-   (phase ``dtree-hist``);
-2. rank 0 merges histograms, evaluates the paper's Eq. 1 on the bin
-   boundaries, and broadcasts each node's decision — split(dim, thr),
-   make-leaf, or gather (phase ``dtree-split``);
+   per-dimension, per-class histograms and ships them to the
+   coordinator (phase ``dtree-hist``);
+2. the coordinator merges histograms, evaluates the paper's Eq. 1 on
+   the bin boundaries, and broadcasts each node's decision —
+   split(dim, thr), make-leaf, or gather (phase ``dtree-split``);
 3. nodes flagged *gather* (few points, or unsplittable at bin
-   resolution) have their points shipped to rank 0 (phase
+   resolution) have their points shipped to the coordinator (phase
    ``dtree-gather``) and are finished exactly with the serial inducer,
    so leaf purity is identical to the serial algorithm's.
+
+Per-rank point storage lives in the ranks' session state — resident in
+the worker processes on the process backend — and results are
+bit-identical across backends (the coordinator merges per-rank output
+in rank order).
 
 The result classifies every input point exactly like a serially induced
 pure tree (asserted by tests); thresholds may differ since coarse
@@ -28,15 +34,16 @@ splits are chosen at bin boundaries.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.dtree.induction import induce_pure_tree
 from repro.dtree.tree import DecisionTree, TreeNode
-from repro.runtime.comm import SimComm
+from repro.obs.tracer import TracerBase
+from repro.runtime.backends import SpmdContext, resolve_backend
+from repro.runtime.backends.base import BackendSpec
 from repro.runtime.ledger import CommLedger
-from repro.utils.arrays import group_by_label
 
 
 @dataclass
@@ -52,7 +59,7 @@ def _local_histograms(
     points: np.ndarray,
     labels: np.ndarray,
     k: int,
-    frontier: List[_Frontier],
+    frontier: Sequence[_Frontier],
     node_of_point: np.ndarray,
     n_bins: int,
 ) -> Dict[int, np.ndarray]:
@@ -106,6 +113,73 @@ def _best_bin_split(
     return best
 
 
+# ----------------------------------------------------------------------
+# supersteps (module-level: picklable, so they run on the process pool)
+# ----------------------------------------------------------------------
+
+
+def _init_step(ctx: SpmdContext, _arg: object) -> None:
+    """Claim the local shard: copy owned points/labels out of the
+    shared arrays into per-rank state."""
+    idx = np.nonzero(ctx.shared["owner_rank"] == ctx.rank)[0]
+    ctx.state["pts"] = ctx.shared["points"][idx]
+    ctx.state["labs"] = ctx.shared["labels"][idx]
+    ctx.state["node_of"] = np.zeros(len(idx), dtype=np.int64)
+
+
+def _hist_step(
+    ctx: SpmdContext, arg: Tuple[List[Tuple[int, np.ndarray, np.ndarray]], int, int]
+) -> Dict[int, np.ndarray]:
+    """Round superstep 1: histogram the local points of every frontier
+    node (returned to the coordinator for the merge)."""
+    frontier_spec, n_bins, k = arg
+    frontier = [_Frontier(nid, lo, hi) for nid, lo, hi in frontier_spec]
+    with ctx.span("histogram"):
+        return _local_histograms(
+            ctx.state["pts"], ctx.state["labs"], k, frontier,
+            ctx.state["node_of"], n_bins,
+        )
+
+
+def _apply_step(ctx: SpmdContext, decisions: Dict[int, tuple]) -> None:
+    """Round superstep 2: apply the broadcast decisions — re-route
+    local points through new splits, settle leaf points."""
+    pts = ctx.state["pts"]
+    nd = ctx.state["node_of"]
+    with ctx.span("route"):
+        for nid, dec in decisions.items():
+            mask = nd == nid
+            if not mask.any():
+                continue
+            if dec[0] == "split":
+                _, dim, thr, left_id, right_id = dec
+                go_left = pts[mask][:, dim] <= thr
+                sub = np.nonzero(mask)[0]
+                nd[sub[go_left]] = left_id
+                nd[sub[~go_left]] = right_id
+            elif dec[0] == "leaf":
+                nd[mask] = -1  # settled
+
+
+def _gather_step(
+    ctx: SpmdContext, gather_ids: Tuple[int, ...]
+) -> Dict[int, Tuple[np.ndarray, np.ndarray]]:
+    """Round superstep 3: surrender the local points of small or
+    unsplittable nodes to the coordinator for exact serial finishing."""
+    payload: Dict[int, Tuple[np.ndarray, np.ndarray]] = {}
+    nd = ctx.state["node_of"]
+    with ctx.span("gather"):
+        for nid in gather_ids:
+            mask = nd == nid
+            if mask.any():
+                payload[nid] = (
+                    ctx.state["pts"][mask],
+                    ctx.state["labs"][mask],
+                )
+                nd[mask] = -1
+    return payload
+
+
 def parallel_induce_pure_tree(
     points: np.ndarray,
     labels: np.ndarray,
@@ -116,13 +190,16 @@ def parallel_induce_pure_tree(
     exact_below: int = 48,
     max_rounds: int = 64,
     ledger: Optional[CommLedger] = None,
+    backend: BackendSpec = None,
+    tracer: Optional[TracerBase] = None,
 ) -> Tuple[DecisionTree, CommLedger]:
     """Induce a pure tree over distributed points.
 
     ``owner_rank[i]`` is the rank storing point ``i`` (in MCML+DT, the
     point's partition). Returns ``(tree, ledger)``; the ledger phases
     ``dtree-hist``, ``dtree-split``, and ``dtree-gather`` account every
-    item moved.
+    item moved. ``backend`` selects where ranks execute; the induced
+    tree is bit-identical across backends.
     """
     points = np.asarray(points, dtype=float)
     labels = np.asarray(labels, dtype=np.int64)
@@ -136,17 +213,35 @@ def parallel_induce_pure_tree(
     if exact_below < 2:
         raise ValueError("exact_below must be >= 2")
 
-    comm = SimComm(n_ranks, ledger)
-    ledger = comm.ledger
+    resolved = resolve_backend(backend)
+    shared = {
+        "points": points,
+        "labels": labels,
+        "owner_rank": owner_rank,
+    }
+    with resolved.open_session(
+        n_ranks, ledger=ledger, tracer=tracer, shared=shared
+    ) as sess:
+        sess.step(_init_step)
+        tree, ledger = _induce_rounds(
+            sess, points, labels, k, n_ranks, n_bins, exact_below,
+            max_rounds,
+        )
+    return tree, ledger
+
+
+def _induce_rounds(
+    sess,
+    points: np.ndarray,
+    labels: np.ndarray,
+    k: int,
+    n_ranks: int,
+    n_bins: int,
+    exact_below: int,
+    max_rounds: int,
+) -> Tuple[DecisionTree, CommLedger]:
+    """Coordinator loop: drive the rounds over an open session."""
     d = points.shape[1]
-
-    local_idx = group_by_label(owner_rank, n_ranks)
-    local_pts = [points[idx] for idx in local_idx]
-    local_lab = [labels[idx] for idx in local_idx]
-    node_of = [
-        np.zeros(len(idx), dtype=np.int64) for idx in local_idx
-    ]
-
     tree = DecisionTree(k=k)
     tree.nodes.append(TreeNode(n_points=len(points)))
     frontier = [
@@ -156,25 +251,19 @@ def parallel_induce_pure_tree(
     for _round in range(max_rounds):
         if not frontier:
             break
-        # --- superstep 1: every rank ships its histograms to rank 0
+        # --- superstep 1: every rank ships its histograms
+        frontier_spec = [(fr.node_id, fr.lo, fr.hi) for fr in frontier]
+        per_rank = sess.step(_hist_step, (frontier_spec, n_bins, k))
         merged: Dict[int, np.ndarray] = {}
         for rank in range(n_ranks):
-            hists = _local_histograms(
-                local_pts[rank], local_lab[rank], k, frontier,
-                node_of[rank], n_bins,
-            )
-            if rank == 0:
-                for nid, h in hists.items():
-                    merged[nid] = merged.get(nid, 0) + h
-            elif hists:
+            hists = per_rank[rank]
+            if rank > 0 and hists:
                 items = int(sum(h.size for h in hists.values()))
-                comm.send(rank, 0, hists, phase="dtree-hist", items=items)
-        comm.barrier()
-        for _src, payload in comm.inbox(0):
-            for nid, h in payload.items():
+                sess.account("dtree-hist", rank, 0, items)
+            for nid, h in hists.items():
                 merged[nid] = merged.get(nid, 0) + h
 
-        # --- rank 0 decides each frontier node's fate
+        # --- the coordinator decides each frontier node's fate
         decisions: Dict[int, tuple] = {}
         new_frontier: List[_Frontier] = []
         gather_nodes: List[_Frontier] = []
@@ -222,54 +311,25 @@ def parallel_induce_pure_tree(
         # --- superstep 2: broadcast decisions; ranks re-route points
         items = len(decisions)
         for rank in range(1, n_ranks):
-            comm.send(0, rank, decisions, phase="dtree-split", items=items)
-        comm.barrier()
-        for rank in range(1, n_ranks):
-            comm.inbox(rank)  # consume (same object in simulation)
-        for rank in range(n_ranks):
-            pts, labs, nd = local_pts[rank], local_lab[rank], node_of[rank]
-            for nid, dec in decisions.items():
-                mask = nd == nid
-                if not mask.any():
-                    continue
-                if dec[0] == "split":
-                    _, dim, thr, left_id, right_id = dec
-                    go_left = pts[mask][:, dim] <= thr
-                    sub = np.nonzero(mask)[0]
-                    nd[sub[go_left]] = left_id
-                    nd[sub[~go_left]] = right_id
-                elif dec[0] == "leaf":
-                    nd[mask] = -1  # settled
+            sess.account("dtree-split", 0, rank, items)
+        sess.step(_apply_step, decisions)
 
-        # --- superstep 3: gather small/unsplittable nodes to rank 0
+        # --- superstep 3: gather small/unsplittable nodes
         if gather_nodes:
-            gather_ids = {fr.node_id for fr in gather_nodes}
+            gather_ids = tuple(
+                sorted(fr.node_id for fr in gather_nodes)
+            )
             collected: Dict[int, list] = {nid: [] for nid in gather_ids}
+            payloads = sess.step(_gather_step, gather_ids)
             for rank in range(n_ranks):
-                payload = {}
-                nd = node_of[rank]
-                for nid in gather_ids:
-                    mask = nd == nid
-                    if mask.any():
-                        payload[nid] = (
-                            local_pts[rank][mask],
-                            local_lab[rank][mask],
-                        )
-                        nd[mask] = -1
+                payload = payloads[rank]
                 if not payload:
                     continue
-                if rank == 0:
-                    for nid, chunk in payload.items():
-                        collected[nid].append(chunk)
-                else:
+                if rank > 0:
                     items = int(
                         sum(len(c[1]) for c in payload.values())
                     )
-                    comm.send(
-                        rank, 0, payload, phase="dtree-gather", items=items
-                    )
-            comm.barrier()
-            for _src, payload in comm.inbox(0):
+                    sess.account("dtree-gather", rank, 0, items)
                 for nid, chunk in payload.items():
                     collected[nid].append(chunk)
             for fr in gather_nodes:
@@ -285,7 +345,7 @@ def parallel_induce_pure_tree(
         raise RuntimeError(
             f"tree induction did not converge in {max_rounds} rounds"
         )
-    return tree, ledger
+    return tree, sess.ledger
 
 
 def _graft(tree: DecisionTree, at: int, sub: DecisionTree) -> None:

@@ -1,18 +1,23 @@
-"""Distributed recursive coordinate bisection on the simulated runtime.
+"""Distributed recursive coordinate bisection on the SPMD runtime.
 
 The production ML+RCB codes (Plimpton et al.) run RCB in parallel: the
 points stay distributed, and each cut's position is found collectively
 with a weighted-median search — every rank reports how much local
 weight falls below a proposed threshold, the coordinator bisects on the
 answer, and only O(iterations) scalars cross the network per cut. This
-module implements that protocol on :class:`~repro.runtime.comm.SimComm`
-so the communication story is executable and accounted:
+module implements that protocol on the backend session API
+(:mod:`repro.runtime.backends`) so the communication story is
+executable — for real, on the process pool — and accounted:
 
 * phase ``rcb-extent`` — local bounding boxes per region (pick the cut
   dimension),
 * phase ``rcb-count`` — local weight-below-threshold counts per
   bisection-search iteration,
 * phase ``rcb-final`` — the broadcast cut decisions.
+
+Per-rank point shards live in session state (worker-resident on the
+process backend); the coordinator merges per-rank contributions in
+rank order, so labels are bit-identical across backends.
 """
 
 from __future__ import annotations
@@ -22,9 +27,10 @@ from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
-from repro.runtime.comm import SimComm
+from repro.obs.tracer import TracerBase
+from repro.runtime.backends import SpmdContext, resolve_backend
+from repro.runtime.backends.base import BackendSpec
 from repro.runtime.ledger import CommLedger
-from repro.utils.arrays import group_by_label
 
 
 @dataclass
@@ -36,6 +42,107 @@ class _Region:
     k: int
 
 
+# ----------------------------------------------------------------------
+# supersteps (module-level: picklable, so they run on the process pool)
+# ----------------------------------------------------------------------
+
+
+def _init_step(ctx: SpmdContext, _arg: object) -> None:
+    """Claim the local shard out of the shared arrays."""
+    idx = np.nonzero(ctx.shared["owner_rank"] == ctx.rank)[0]
+    ctx.state["idx"] = idx
+    ctx.state["pts"] = ctx.shared["points"][idx]
+    ctx.state["wts"] = ctx.shared["weights"][idx]
+    ctx.state["region"] = np.zeros(len(idx), dtype=np.int64)
+
+
+def _extent_step(
+    ctx: SpmdContext, frontier_ids: Tuple[int, ...]
+) -> Dict[int, Tuple[np.ndarray, np.ndarray, float]]:
+    """Local bounding box and weight of every frontier region."""
+    pts, wts = ctx.state["pts"], ctx.state["wts"]
+    region = ctx.state["region"]
+    payload: Dict[int, Tuple[np.ndarray, np.ndarray, float]] = {}
+    with ctx.span("extent"):
+        for rid in frontier_ids:
+            mask = region == rid
+            if not mask.any():
+                continue
+            sub = pts[mask]
+            payload[rid] = (
+                sub.min(axis=0), sub.max(axis=0), float(wts[mask].sum())
+            )
+    return payload
+
+
+def _count_step(
+    ctx: SpmdContext, proposals: Dict[int, Tuple[int, float]]
+) -> Dict[int, float]:
+    """Local weight below each region's proposed threshold."""
+    pts, wts = ctx.state["pts"], ctx.state["wts"]
+    region = ctx.state["region"]
+    payload: Dict[int, float] = {}
+    with ctx.span("count"):
+        for rid, (dim, thr) in proposals.items():
+            mask = region == rid
+            if not mask.any():
+                continue
+            below = pts[mask][:, dim] <= thr
+            payload[rid] = float(wts[mask][below].sum())
+    return payload
+
+
+def _tie_step(
+    ctx: SpmdContext, thresholds: Dict[int, Tuple[int, float]]
+) -> Dict[int, Tuple[float, float]]:
+    """Local weight strictly below / inclusively below the converged
+    threshold (tie-plane resolution round)."""
+    pts, wts = ctx.state["pts"], ctx.state["wts"]
+    region = ctx.state["region"]
+    payload: Dict[int, Tuple[float, float]] = {}
+    with ctx.span("count"):
+        for rid, (dim, thr) in thresholds.items():
+            mask = region == rid
+            if not mask.any():
+                continue
+            vals = pts[mask][:, dim]
+            w = wts[mask]
+            payload[rid] = (
+                float(w[vals < thr].sum()), float(w[vals <= thr].sum())
+            )
+    return payload
+
+
+def _apply_step(
+    ctx: SpmdContext,
+    arg: Tuple[
+        Dict[int, Tuple[int, float, int, int]], Dict[int, int]
+    ],
+) -> Dict[int, np.ndarray]:
+    """Apply the broadcast cut decisions to the local shard and return
+    the global indices of any finalized (single-part) children."""
+    decisions, finalize = arg
+    pts = ctx.state["pts"]
+    region = ctx.state["region"]
+    idx = ctx.state["idx"]
+    done: Dict[int, np.ndarray] = {}
+    with ctx.span("apply"):
+        for rid, (dim, thr, left_id, right_id) in decisions.items():
+            mask = region == rid
+            if not mask.any():
+                continue
+            below = pts[:, dim] <= thr
+            sub = np.nonzero(mask)[0]
+            go_left = below[sub]
+            region[sub[go_left]] = left_id
+            region[sub[~go_left]] = right_id
+        for child_rid, label in finalize.items():
+            mask = region == child_rid
+            if mask.any():
+                done[label] = idx[mask]
+    return done
+
+
 def parallel_rcb(
     points: np.ndarray,
     k: int,
@@ -44,6 +151,8 @@ def parallel_rcb(
     weights: Optional[np.ndarray] = None,
     search_iters: int = 40,
     ledger: Optional[CommLedger] = None,
+    backend: BackendSpec = None,
+    tracer: Optional[TracerBase] = None,
 ) -> Tuple[np.ndarray, CommLedger]:
     """Distributed RCB into ``k`` parts.
 
@@ -51,7 +160,8 @@ def parallel_rcb(
     ``(labels, ledger)`` with ``labels`` aligned to the input points.
     The result matches serial RCB's balance guarantees; exact cut
     positions may differ (the collective median search brackets the
-    quantile to within one point-weight).
+    quantile to within one point-weight). ``backend`` selects where
+    ranks execute; labels are bit-identical across backends.
     """
     points = np.asarray(points, dtype=float)
     owner_rank = np.asarray(owner_rank, dtype=np.int64)
@@ -69,13 +179,31 @@ def parallel_rcb(
         weights = np.ones(len(points))
     weights = np.asarray(weights, dtype=float)
 
-    comm = SimComm(n_ranks, ledger)
-    ledger = comm.ledger
-    d = points.shape[1]
+    resolved = resolve_backend(backend)
+    shared = {
+        "points": points,
+        "weights": weights,
+        "owner_rank": owner_rank,
+    }
+    with resolved.open_session(
+        n_ranks, ledger=ledger, tracer=tracer, shared=shared
+    ) as sess:
+        sess.step(_init_step)
+        labels = _rcb_rounds(
+            sess, points, k, n_ranks, search_iters
+        )
+        return labels, sess.ledger
 
-    local_idx = group_by_label(owner_rank, n_ranks)
-    # region id of every local point, per rank
-    region_of = [np.zeros(len(idx), dtype=np.int64) for idx in local_idx]
+
+def _rcb_rounds(
+    sess,
+    points: np.ndarray,
+    k: int,
+    n_ranks: int,
+    search_iters: int,
+) -> np.ndarray:
+    """Coordinator loop: drive the cut rounds over an open session."""
+    d = points.shape[1]
     labels = np.empty(len(points), dtype=np.int64)
 
     frontier = [_Region(region_id=0, label_offset=0, k=k)]
@@ -83,29 +211,15 @@ def parallel_rcb(
 
     while frontier:
         # ------------------------------------------------------ extents
+        frontier_ids = tuple(reg.region_id for reg in frontier)
+        per_rank = sess.step(_extent_step, frontier_ids)
         merged_ext: Dict[int, Tuple[np.ndarray, np.ndarray, float]] = {}
         for rank in range(n_ranks):
-            payload = {}
-            pts = points[local_idx[rank]]
-            wts = weights[local_idx[rank]]
-            for reg in frontier:
-                mask = region_of[rank] == reg.region_id
-                if not mask.any():
-                    continue
-                sub = pts[mask]
-                payload[reg.region_id] = (
-                    sub.min(axis=0), sub.max(axis=0), float(wts[mask].sum())
+            payload = per_rank[rank]
+            if rank > 0 and payload:
+                sess.account(
+                    "rcb-extent", rank, 0, len(payload) * (2 * d + 1)
                 )
-            if rank == 0:
-                for rid, (lo, hi, w) in payload.items():
-                    merged_ext[rid] = (lo, hi, w)
-            elif payload:
-                comm.send(
-                    rank, 0, payload, phase="rcb-extent",
-                    items=len(payload) * (2 * d + 1),
-                )
-        comm.barrier()
-        for _src, payload in comm.inbox(0):
             for rid, (lo, hi, w) in payload.items():
                 if rid in merged_ext:
                     mlo, mhi, mw = merged_ext[rid]
@@ -138,33 +252,18 @@ def parallel_rcb(
             if not live:
                 break
             proposals = {
-                rid: 0.5 * (p["lo"] + p["hi"]) for rid, p in live.items()
+                rid: (p["dim"], 0.5 * (p["lo"] + p["hi"]))
+                for rid, p in live.items()
             }
             counts = {rid: 0.0 for rid in live}
+            per_rank = sess.step(_count_step, proposals)
             for rank in range(n_ranks):
-                pts = points[local_idx[rank]]
-                wts = weights[local_idx[rank]]
-                payload = {}
-                for rid, thr in proposals.items():
-                    mask = region_of[rank] == rid
-                    if not mask.any():
-                        continue
-                    dim = plans[rid]["dim"]
-                    below = pts[mask][:, dim] <= thr
-                    payload[rid] = float(wts[mask][below].sum())
-                if rank == 0:
-                    for rid, w in payload.items():
-                        counts[rid] += w
-                elif payload:
-                    comm.send(
-                        rank, 0, payload, phase="rcb-count",
-                        items=len(payload),
-                    )
-            comm.barrier()
-            for _src, payload in comm.inbox(0):
+                payload = per_rank[rank]
+                if rank > 0 and payload:
+                    sess.account("rcb-count", rank, 0, len(payload))
                 for rid, w in payload.items():
                     counts[rid] += w
-            for rid, thr in proposals.items():
+            for rid, (_dim, thr) in proposals.items():
                 if counts[rid] < plans[rid]["target"]:
                     plans[rid]["lo"] = thr
                 else:
@@ -180,80 +279,49 @@ def parallel_rcb(
             rid: [0.0, 0.0] for rid in plans
         }  # [strictly below, inclusive]
         thr_now = {
-            rid: 0.5 * (p["lo"] + p["hi"]) for rid, p in plans.items()
+            rid: (p["dim"], 0.5 * (p["lo"] + p["hi"]))
+            for rid, p in plans.items()
         }
+        per_rank = sess.step(_tie_step, thr_now)
         for rank in range(n_ranks):
-            pts = points[local_idx[rank]]
-            wts = weights[local_idx[rank]]
-            payload = {}
-            for rid, thr in thr_now.items():
-                mask = region_of[rank] == rid
-                if not mask.any():
-                    continue
-                dim = plans[rid]["dim"]
-                vals = pts[mask][:, dim]
-                w = wts[mask]
-                payload[rid] = (
-                    float(w[vals < thr].sum()),
-                    float(w[vals <= thr].sum()),
-                )
-            if rank == 0:
-                for rid, (ws, wi) in payload.items():
-                    tie_counts[rid][0] += ws
-                    tie_counts[rid][1] += wi
-            elif payload:
-                comm.send(
-                    rank, 0, payload, phase="rcb-count",
-                    items=2 * len(payload),
-                )
-        comm.barrier()
-        for _src, payload in comm.inbox(0):
+            payload = per_rank[rank]
+            if rank > 0 and payload:
+                sess.account("rcb-count", rank, 0, 2 * len(payload))
             for rid, (ws, wi) in payload.items():
                 tie_counts[rid][0] += ws
                 tie_counts[rid][1] += wi
 
-        decisions = {}
-        for rid, p in plans.items():
-            thr = thr_now[rid]
+        decisions: Dict[int, Tuple[int, float, int, int]] = {}
+        finalize: Dict[int, int] = {}
+        new_frontier: List[_Region] = []
+        for reg in frontier:
+            rid = reg.region_id
+            p = plans[rid]
+            _dim, thr = thr_now[rid]
             strictly, inclusive = tie_counts[rid]
             target = p["target"]
             if abs(strictly - target) < abs(inclusive - target):
                 # exclude the tie plane: nudge the threshold just below
                 thr = float(np.nextafter(thr, -np.inf))
-            decisions[rid] = (p["dim"], thr, p["k0"])
-        for rank in range(1, n_ranks):
-            comm.send(
-                0, rank, decisions, phase="rcb-final",
-                items=len(decisions),
-            )
-        comm.barrier()
-        for rank in range(1, n_ranks):
-            comm.inbox(rank)
-
-        new_frontier: List[_Region] = []
-        for reg in frontier:
-            dim, thr, k0 = decisions[reg.region_id]
+            k0 = p["k0"]
             left_id, right_id = next_region_id, next_region_id + 1
             next_region_id += 2
-            for rank in range(n_ranks):
-                mask = region_of[rank] == reg.region_id
-                if not mask.any():
-                    continue
-                pts = points[local_idx[rank]]
-                below = pts[:, dim] <= thr
-                sub = np.nonzero(mask)[0]
-                go_left = below[sub]
-                region_of[rank][sub[go_left]] = left_id
-                region_of[rank][sub[~go_left]] = right_id
+            decisions[rid] = (p["dim"], thr, left_id, right_id)
             left = _Region(left_id, reg.label_offset, k0)
             right = _Region(right_id, reg.label_offset + k0, reg.k - k0)
             for child in (left, right):
                 if child.k == 1:
-                    for rank in range(n_ranks):
-                        mask = region_of[rank] == child.region_id
-                        labels[local_idx[rank][mask]] = child.label_offset
+                    finalize[child.region_id] = child.label_offset
                 else:
                     new_frontier.append(child)
+
+        for rank in range(1, n_ranks):
+            sess.account("rcb-final", 0, rank, len(decisions))
+        per_rank = sess.step(_apply_step, (decisions, finalize))
+        for rank in range(n_ranks):
+            for label, idx in per_rank[rank].items():
+                labels[idx] = label
+
         frontier = new_frontier
 
-    return labels, ledger
+    return labels

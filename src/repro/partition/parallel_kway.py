@@ -1,7 +1,7 @@
 """Coarse-grain distributed multilevel partitioning (§6, [22]/[32]).
 
 The last of the paper's "parallel formulations already exist" claims,
-executed on the simulated runtime. The structure follows the
+accounted on the SPMD runtime's ledger. The structure follows the
 coarse-grain parallel multilevel scheme of Karypis & Kumar: vertices
 are block-distributed; coarsening proceeds with *rank-local* matching
 (cross-rank edges are never matched — the classic simplification that
@@ -36,7 +36,8 @@ from repro.graph.ops import contract
 from repro.partition.balance import BalanceTracker, target_weights
 from repro.partition.config import PartitionOptions
 from repro.partition.kway import partition_kway
-from repro.runtime.comm import SimComm
+from repro.runtime.backends import SpmdSession, resolve_backend
+from repro.runtime.backends.base import BackendSpec
 from repro.runtime.ledger import CommLedger
 from repro.utils.rng import as_rng
 
@@ -121,14 +122,18 @@ def _halo_items(graph: CSRGraph, owner: np.ndarray) -> Dict[Tuple[int, int], int
     return out
 
 
-def _record_halo(
-    comm: SimComm, graph: CSRGraph, owner: np.ndarray, phase: str
+def _account_halo(
+    sess: SpmdSession, graph: CSRGraph, owner: np.ndarray, phase: str
 ) -> None:
+    """Account one halo exchange's traffic on the session ledger.
+
+    The partitioning arithmetic below is already vectorised over the
+    whole (conceptually distributed) graph, so this module's traffic is
+    accounting-only: the ledger carries the communication story while
+    the computation stays in the coordinator.
+    """
     for (s, d), items in _halo_items(graph, owner).items():
-        comm.send(s, d, None, phase=phase, items=items)
-    comm.barrier()
-    for r in range(comm.size):
-        comm.inbox(r)
+        sess.account(phase, s, d, items)
 
 
 def parallel_partition_kway(
@@ -140,13 +145,16 @@ def parallel_partition_kway(
     coarsen_to: Optional[int] = None,
     refine_rounds: int = 3,
     ledger: Optional[CommLedger] = None,
+    backend: BackendSpec = None,
 ) -> ParallelKwayResult:
     """Distributed multilevel k-way partitioning (see module docstring).
 
     ``owner[v]`` is the rank storing vertex ``v`` (default: contiguous
     blocks — the layout a mesh generator hands a fresh run). Returns
     the partition vector, the communication ledger, and the coarsening
-    depth.
+    depth. This module's traffic is accounting-only (see
+    :func:`_account_halo`), so ``backend`` affects only which backend's
+    session carries the ledger — totals are identical everywhere.
     """
     options = options or PartitionOptions()
     if k < 1:
@@ -166,8 +174,8 @@ def parallel_partition_kway(
             raise ValueError("owner must align with vertices")
         if owner.size and (owner.min() < 0 or owner.max() >= n_ranks):
             raise ValueError("owner out of range")
-    comm = SimComm(n_ranks, ledger)
-    ledger = comm.ledger
+    sess = resolve_backend(backend).open_session(n_ranks, ledger=ledger)
+    ledger = sess.ledger
     rng = as_rng(options.seed)
     if coarsen_to is None:
         coarsen_to = max(options.coarsen_to, 15 * k)
@@ -180,7 +188,7 @@ def parallel_partition_kway(
         if n_coarse >= cur_graph.num_vertices * options.min_coarsen_ratio:
             break
         # contraction needs ghost coarse ids: one halo exchange
-        _record_halo(comm, cur_graph, cur_owner, phase="pk-halo")
+        _account_halo(sess, cur_graph, cur_owner, phase="pk-halo")
         levels.append((cur_graph, cmap, cur_owner))
         coarse_owner = np.zeros(n_coarse, dtype=np.int64)
         coarse_owner[cmap] = cur_owner  # pairs are same-rank by design
@@ -191,25 +199,20 @@ def parallel_partition_kway(
     for r in range(1, n_ranks):
         local_vertices = int((cur_owner == r).sum())
         if local_vertices:
-            comm.send(
-                r, 0, None, phase="pk-gather",
-                items=local_vertices + int(
+            sess.account(
+                "pk-gather", r, 0,
+                local_vertices + int(
                     (cur_owner[np.repeat(
                         np.arange(cur_graph.num_vertices, dtype=np.int64),
                         cur_graph.degrees(),
                     )] == r).sum()
                 ),
             )
-    comm.barrier()
-    comm.inbox(0)
     part = partition_kway(cur_graph, k, options)
     for r in range(1, n_ranks):
         local_vertices = int((cur_owner == r).sum())
         if local_vertices:
-            comm.send(0, r, None, phase="pk-scatter", items=local_vertices)
-    comm.barrier()
-    for r in range(1, n_ranks):
-        comm.inbox(r)
+            sess.account("pk-scatter", 0, r, local_vertices)
 
     # ------------------------------------------------ uncoarsening
     targets = target_weights(graph.total_vwgt, np.full(k, 1.0 / k, dtype=np.float64))
@@ -219,7 +222,7 @@ def parallel_partition_kway(
         # coordinator grants per-rank quotas, ranks move local boundary
         # vertices within their quota share
         for _round in range(refine_rounds):
-            _record_halo(comm, lvl_graph, lvl_owner, phase="pk-halo")
+            _account_halo(sess, lvl_graph, lvl_owner, phase="pk-halo")
             tracker = BalanceTracker(
                 partition_weights(lvl_graph, part, k),
                 targets,
@@ -227,12 +230,8 @@ def parallel_partition_kway(
             )
             # quotas: each rank may add at most slack/n_ranks weight to
             # any partition this round
-            comm.send(0, 0, None, phase="pk-quota", items=0)
             for r in range(1, n_ranks):
-                comm.send(0, r, None, phase="pk-quota", items=k)
-            comm.barrier()
-            for r in range(n_ranks):
-                comm.inbox(r)
+                sess.account("pk-quota", 0, r, k)
             quota = np.zeros((n_ranks, k), dtype=np.float64)
             allowed = targets * options.ubfactor
             pw = tracker.pwgts_array()
@@ -293,6 +292,7 @@ def parallel_partition_kway(
         graph, part, k, options, ledger=ledger
     )
     part = repaired.part
+    sess.close()
 
     return ParallelKwayResult(
         part=part, ledger=ledger, levels=len(levels)

@@ -1,0 +1,41 @@
+"""Pluggable execution backends for the SPMD runtime.
+
+See :mod:`repro.runtime.backends.base` for the session protocol and
+``docs/PARALLELISM.md`` for the full backend model (selection, the
+shared-memory transfer protocol, determinism guarantees, and how
+per-rank spans surface in run reports).
+"""
+
+from repro.runtime.backends.base import (
+    BACKEND_ENV,
+    BACKEND_NAMES,
+    WORKERS_ENV,
+    Backend,
+    BackendError,
+    SpmdContext,
+    SpmdSession,
+    default_workers,
+    make_backend,
+    resolve_backend,
+    set_default_backend,
+)
+from repro.runtime.backends.process import ProcessBackend
+from repro.runtime.backends.serial import SerialBackend
+from repro.runtime.backends.thread import ThreadBackend
+
+__all__ = [
+    "BACKEND_ENV",
+    "BACKEND_NAMES",
+    "WORKERS_ENV",
+    "Backend",
+    "BackendError",
+    "ProcessBackend",
+    "SerialBackend",
+    "SpmdContext",
+    "SpmdSession",
+    "ThreadBackend",
+    "default_workers",
+    "make_backend",
+    "resolve_backend",
+    "set_default_backend",
+]

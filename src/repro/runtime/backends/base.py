@@ -1,0 +1,451 @@
+"""Execution-backend core: where SPMD supersteps actually run.
+
+The simulated runtime of :mod:`repro.runtime.comm` accounts the
+communication structure of the paper's algorithms but executes every
+rank sequentially in one process.  This package makes the rank loop a
+pluggable *backend* behind one small session protocol, so the same
+superstep functions run
+
+* sequentially in-process (:class:`~repro.runtime.backends.serial.SerialBackend`,
+  the reference semantics),
+* on a thread pool (:class:`~repro.runtime.backends.thread.ThreadBackend`), or
+* on a persistent pool of worker processes with shared-memory array
+  transfer (:class:`~repro.runtime.backends.process.ProcessBackend`).
+
+Execution stays bulk-synchronous: a *session* owns ``size`` ranks, and
+every :meth:`SpmdSession.step` call runs one superstep function on all
+ranks, then plays the barrier — queued sends are routed into the
+destination inboxes for the next step.  All merging (return values,
+ledger records, queued messages, per-rank span trees) happens in rank
+order in the calling process, so results are bit-identical across
+backends regardless of scheduling.
+
+Superstep functions receive a :class:`SpmdContext` with
+
+* ``rank`` / ``size`` — who am I, how many of us,
+* ``shared`` — the read-only mapping of run-wide inputs the backend
+  distributed (NumPy arrays travel zero-copy on the process backend),
+* ``state`` — a per-rank dict that persists across the session's steps
+  (resident in the owning worker on the process backend),
+* ``send`` / ``inbox`` — the mpi4py-style verbs of the simulator,
+* ``span`` / ``count`` — per-rank tracing merged back into the session
+  tracer (see ``docs/PARALLELISM.md``).
+"""
+
+from __future__ import annotations
+
+import os
+from typing import (
+    Any,
+    Callable,
+    ContextManager,
+    Dict,
+    List,
+    Mapping,
+    Optional,
+    Tuple,
+    Type,
+    Union,
+)
+from types import TracebackType
+
+from repro.obs.tracer import (
+    NULL_TRACER,
+    Number,
+    Span,
+    Tracer,
+    TracerBase,
+    ensure_tracer,
+)
+from repro.runtime.ledger import CommLedger
+
+#: (phase, src, dst, items) — one ledger entry recorded on a rank
+LedgerRecord = Tuple[str, int, int, int]
+#: (dst, payload) — one queued message (src is the producing rank)
+SendRecord = Tuple[int, Any]
+#: (src, payload) — one delivered message
+Message = Tuple[int, Any]
+#: a superstep: ``fn(ctx, arg) -> per-rank result``
+StepFn = Callable[["SpmdContext", Any], Any]
+
+#: environment variable selecting the default backend (e.g. ``process``
+#: or ``process:4``); read by :func:`resolve_backend`
+BACKEND_ENV = "REPRO_BACKEND"
+#: environment variable with the default worker count
+WORKERS_ENV = "REPRO_WORKERS"
+
+BACKEND_NAMES = ("serial", "thread", "process")
+
+
+class BackendError(RuntimeError):
+    """An execution backend failed (worker crash, protocol misuse)."""
+
+
+class SpmdContext:
+    """Per-rank execution context handed to superstep functions."""
+
+    __slots__ = (
+        "rank",
+        "size",
+        "shared",
+        "state",
+        "tracer",
+        "_inbox",
+        "_sends",
+        "_records",
+    )
+
+    def __init__(
+        self,
+        rank: int,
+        size: int,
+        shared: Mapping[str, Any],
+        state: Dict[str, Any],
+        inbox: List[Message],
+        tracer: TracerBase,
+    ) -> None:
+        self.rank = rank
+        self.size = size
+        self.shared = shared
+        self.state = state
+        self.tracer = tracer
+        self._inbox = inbox
+        self._sends: List[SendRecord] = []
+        self._records: List[LedgerRecord] = []
+
+    # ------------------------------------------------------------------
+    def send(self, dst: int, payload: Any, phase: str, items: int) -> None:
+        """Queue a message for barrier delivery (``items`` is the
+        logical item count recorded in the ledger)."""
+        if not 0 <= dst < self.size:
+            raise ValueError(f"rank {dst} out of range [0, {self.size})")
+        if items < 0:
+            raise ValueError("items must be >= 0")
+        self._records.append((phase, self.rank, dst, items))
+        self._sends.append((dst, payload))
+
+    def inbox(self) -> List[Message]:
+        """Messages delivered to this rank (consumed on read)."""
+        msgs = self._inbox
+        self._inbox = []
+        return msgs
+
+    # ------------------------------------------------------------------
+    def span(self, name: str) -> ContextManager[Optional[Span]]:
+        """Open (or re-enter) a per-rank trace span."""
+        return self.tracer.span(name)
+
+    def count(self, name: str, value: Number = 1) -> None:
+        """Add into a counter of the innermost open per-rank span."""
+        self.tracer.count(name, value)
+
+
+class RankOutcome:
+    """Everything one rank's superstep produced (transported back to
+    the session for the deterministic rank-ordered merge)."""
+
+    __slots__ = ("value", "sends", "records", "spans")
+
+    def __init__(
+        self,
+        value: Any,
+        sends: List[SendRecord],
+        records: List[LedgerRecord],
+        spans: Optional[Span],
+    ) -> None:
+        self.value = value
+        self.sends = sends
+        self.records = records
+        self.spans = spans
+
+
+def run_rank_step(
+    fn: StepFn,
+    arg: Any,
+    rank: int,
+    size: int,
+    shared: Mapping[str, Any],
+    state: Dict[str, Any],
+    inbox: List[Message],
+    trace: bool,
+) -> RankOutcome:
+    """Execute one rank's share of a superstep (backend-agnostic)."""
+    tracer: TracerBase = Tracer("rank") if trace else NULL_TRACER
+    ctx = SpmdContext(rank, size, shared, state, inbox, tracer)
+    value = fn(ctx, arg)
+    spans: Optional[Span] = None
+    if isinstance(tracer, Tracer) and tracer.root.children:
+        spans = tracer.finish()
+    return RankOutcome(value, ctx._sends, ctx._records, spans)
+
+
+def accumulate_span(dst: Span, src: Span) -> None:
+    """Merge ``src``'s totals/counters/children into ``dst`` (the
+    accumulating semantics of re-entering a span name)."""
+    dst.n_calls += src.n_calls
+    dst.total_s += src.total_s
+    for key, value in src.counters.items():
+        dst.count(key, value)
+    for child in src.children.values():
+        accumulate_span(dst.child(child.name), child)
+
+
+class SpmdSession:
+    """One bulk-synchronous run: ``size`` ranks stepping in lockstep.
+
+    Subclasses implement :meth:`_run_step` (and may override the
+    lifecycle hooks).  The base class owns everything that must be
+    deterministic: message routing, ledger replay, and span merging,
+    all performed in rank order in the calling process.
+    """
+
+    def __init__(
+        self,
+        size: int,
+        ledger: Optional[CommLedger],
+        tracer: Optional[TracerBase],
+    ) -> None:
+        if size < 1:
+            raise ValueError(
+                f"SPMD session size must be >= 1, got {size}"
+            )
+        self.size = size
+        self.ledger = ledger if ledger is not None else CommLedger()
+        self.tracer = ensure_tracer(tracer)
+        self._inboxes: List[List[Message]] = [[] for _ in range(size)]
+        self._closed = False
+
+    # -- subclass interface --------------------------------------------
+    def _run_step(
+        self, fn: StepFn, arg: Any, inboxes: List[List[Message]]
+    ) -> List[RankOutcome]:
+        raise NotImplementedError
+
+    def _close(self) -> None:
+        """Release backend resources (hook; base is a no-op)."""
+
+    # ------------------------------------------------------------------
+    def step(self, fn: StepFn, arg: Any = None) -> List[Any]:
+        """Run ``fn(ctx, arg)`` on every rank, then play the barrier.
+
+        Returns the per-rank results in rank order.  Messages queued
+        with ``ctx.send`` become readable from ``ctx.inbox()`` in the
+        *next* step, exactly like
+        :meth:`repro.runtime.comm.SimComm.barrier`.
+        """
+        if self._closed:
+            raise BackendError("session is closed")
+        inboxes = self._inboxes
+        self._inboxes = [[] for _ in range(self.size)]
+        outcomes = self._run_step(fn, arg, inboxes)
+        return self._merge(outcomes)
+
+    def _merge(self, outcomes: List[RankOutcome]) -> List[Any]:
+        """Rank-ordered merge: ledger replay, message routing, spans."""
+        if len(outcomes) != self.size:
+            raise BackendError(
+                f"backend returned {len(outcomes)} rank outcomes for a "
+                f"{self.size}-rank session"
+            )
+        current: Optional[Span] = getattr(self.tracer, "current", None)
+        values: List[Any] = []
+        for rank, out in enumerate(outcomes):
+            for phase, src, dst, items in out.records:
+                self.ledger.record(phase, src, dst, items)
+            for dst, payload in out.sends:
+                if dst != rank:  # self-sends drop at the barrier
+                    self._inboxes[dst].append((rank, payload))
+            if out.spans is not None and current is not None:
+                for child in out.spans.children.values():
+                    accumulate_span(current.child(child.name), child)
+            values.append(out.value)
+        return values
+
+    # ------------------------------------------------------------------
+    def account(self, phase: str, src: int, dst: int, items: int) -> None:
+        """Record coordinator-side traffic directly in the ledger (for
+        protocol steps whose data never leaves the calling process)."""
+        for rank in (src, dst):
+            if not 0 <= rank < self.size:
+                raise ValueError(
+                    f"rank {rank} out of range [0, {self.size})"
+                )
+        self.ledger.record(phase, src, dst, items)
+
+    def close(self) -> None:
+        """End the session and release per-rank state."""
+        if not self._closed:
+            self._closed = True
+            self._close()
+
+    def __enter__(self) -> "SpmdSession":
+        return self
+
+    def __exit__(
+        self,
+        exc_type: Optional[Type[BaseException]],
+        exc: Optional[BaseException],
+        tb: Optional[TracebackType],
+    ) -> None:
+        self.close()
+
+
+class Backend:
+    """Execution-backend interface.
+
+    A backend is a (possibly pooled) place to run SPMD sessions; it is
+    cheap to keep around and safe to reuse across many sessions — the
+    process backend keeps its worker pool alive between sessions so
+    repeated runs (e.g. one contact search per driver step) amortise
+    the startup cost.
+    """
+
+    #: short identifier (``serial`` / ``thread`` / ``process``)
+    name: str = "base"
+
+    def open_session(
+        self,
+        size: int,
+        ledger: Optional[CommLedger] = None,
+        tracer: Optional[TracerBase] = None,
+        shared: Optional[Mapping[str, Any]] = None,
+    ) -> SpmdSession:
+        """Start a ``size``-rank bulk-synchronous session."""
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Release pooled resources (idempotent; base is a no-op)."""
+
+    def __enter__(self) -> "Backend":
+        return self
+
+    def __exit__(
+        self,
+        exc_type: Optional[Type[BaseException]],
+        exc: Optional[BaseException],
+        tb: Optional[TracebackType],
+    ) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}()"
+
+
+# ----------------------------------------------------------------------
+# default-backend resolution
+# ----------------------------------------------------------------------
+
+BackendSpec = Union[None, str, Backend]
+
+_default_backend: Optional[Backend] = None
+_env_backend: Optional[Backend] = None
+_env_backend_key: Optional[Tuple[str, str]] = None
+
+
+def _parse_workers(text: str, source: str) -> int:
+    try:
+        workers = int(text)
+    except ValueError:
+        raise ValueError(
+            f"invalid worker count {text!r} in {source}"
+        ) from None
+    if workers < 1:
+        raise ValueError(
+            f"worker count must be >= 1, got {workers} in {source}"
+        )
+    return workers
+
+
+def default_workers() -> int:
+    """Worker count used when none is requested: ``REPRO_WORKERS`` if
+    set, else the machine's CPU count (at least 1)."""
+    env = os.environ.get(WORKERS_ENV)
+    if env:
+        return _parse_workers(env, f"${WORKERS_ENV}")
+    return max(1, os.cpu_count() or 1)
+
+
+def make_backend(spec: str, workers: Optional[int] = None) -> Backend:
+    """Build a backend from ``name`` or ``name:workers`` text.
+
+    ``workers`` (when given) overrides any count embedded in the spec.
+    """
+    name, _, count = spec.partition(":")
+    name = name.strip().lower()
+    if count:
+        workers = _parse_workers(count, f"backend spec {spec!r}")
+    if workers is not None and workers < 1:
+        raise ValueError(f"worker count must be >= 1, got {workers}")
+    if name == "serial":
+        from repro.runtime.backends.serial import SerialBackend
+
+        return SerialBackend()
+    if name == "thread":
+        from repro.runtime.backends.thread import ThreadBackend
+
+        return ThreadBackend(workers=workers)
+    if name == "process":
+        from repro.runtime.backends.process import ProcessBackend
+
+        return ProcessBackend(workers=workers)
+    raise ValueError(
+        f"unknown backend {spec!r}; expected one of {BACKEND_NAMES}"
+    )
+
+
+def set_default_backend(backend: Union[None, str, Backend]) -> None:
+    """Install the process-wide default backend (``None`` resets to the
+    environment/serial resolution).  Accepts a spec string too."""
+    global _default_backend
+    if isinstance(backend, str):
+        backend = make_backend(backend)
+    _default_backend = backend
+
+
+def _backend_from_env() -> Optional[Backend]:
+    """Backend selected by ``$REPRO_BACKEND`` (cached per env value)."""
+    global _env_backend, _env_backend_key
+    spec = os.environ.get(BACKEND_ENV)
+    if not spec:
+        return None
+    key = (spec, os.environ.get(WORKERS_ENV, ""))
+    if _env_backend is None or _env_backend_key != key:
+        _env_backend = make_backend(spec)
+        _env_backend_key = key
+    return _env_backend
+
+
+def resolve_backend(backend: BackendSpec = None) -> Backend:
+    """Normalise a backend argument to a usable instance.
+
+    Resolution order: explicit instance or spec string → the default
+    installed with :func:`set_default_backend` → ``$REPRO_BACKEND`` →
+    a fresh :class:`SerialBackend`.
+    """
+    if isinstance(backend, Backend):
+        return backend
+    if isinstance(backend, str):
+        return make_backend(backend)
+    if _default_backend is not None:
+        return _default_backend
+    env = _backend_from_env()
+    if env is not None:
+        return env
+    from repro.runtime.backends.serial import SerialBackend
+
+    return SerialBackend()
+
+
+# ----------------------------------------------------------------------
+# adapters
+# ----------------------------------------------------------------------
+
+
+def call_without_arg(fn: Callable[[SpmdContext], Any],
+                     ctx: SpmdContext, arg: Any) -> Any:
+    """Adapter for legacy one-argument superstep functions.
+
+    Module-level (not a closure) so ``functools.partial`` of it stays
+    picklable whenever ``fn`` itself is.
+    """
+    return fn(ctx)

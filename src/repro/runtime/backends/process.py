@@ -1,0 +1,531 @@
+"""Process-pool backend: real parallel ranks with shared-memory arrays.
+
+The backend owns a persistent pool of worker processes (created lazily,
+reused across sessions so per-step runs amortise startup).  A session
+distributes its ``shared`` mapping once: NumPy arrays are placed in
+:mod:`multiprocessing.shared_memory` segments and attached zero-copy in
+every worker; everything else rides along pickled.  Each superstep then
+ships only the function reference, the small ``arg``, and the ranks'
+pending inbox messages over the worker pipes (length-prefixed, chunked
+pickle frames), and ships back per-rank results, queued sends, ledger
+records, and span trees.
+
+Determinism: workers never talk to each other — all routing and ledger
+replay happens in the parent in rank order
+(:meth:`repro.runtime.backends.base.SpmdSession._merge`), so results
+are bit-identical to :class:`~repro.runtime.backends.serial.SerialBackend`.
+
+Superstep functions must be picklable (module-level ``def``s).  A
+session whose *first* superstep is not picklable falls back to
+in-process serial execution with a :class:`RuntimeWarning` instead of
+failing — closures keep working everywhere, they just never leave the
+process.
+"""
+
+from __future__ import annotations
+
+import atexit
+import itertools
+import pickle
+import struct
+import traceback
+import warnings
+from multiprocessing import get_context
+from multiprocessing.connection import Connection
+from multiprocessing.context import BaseContext
+from multiprocessing.process import BaseProcess
+from multiprocessing.shared_memory import SharedMemory
+from typing import Any, Dict, List, Mapping, Optional, Tuple
+
+import numpy as np
+
+from repro.obs.tracer import Span, TracerBase
+from repro.runtime.backends.base import (
+    Backend,
+    BackendError,
+    Message,
+    RankOutcome,
+    SpmdSession,
+    StepFn,
+    default_workers,
+    run_rank_step,
+)
+from repro.runtime.ledger import CommLedger
+
+#: pipe frames are sent in chunks of this many bytes
+CHUNK_BYTES = 1 << 24
+
+#: (key, shm segment name, dtype str, shape) describing one shared array
+ArraySpec = Tuple[str, str, str, Tuple[int, ...]]
+
+
+# ----------------------------------------------------------------------
+# chunked pipe transport
+# ----------------------------------------------------------------------
+
+
+def _send_msg(conn: Connection, obj: Any) -> None:
+    """Pickle ``obj`` and send it as a length-prefixed chunked frame."""
+    blob = pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL)
+    conn.send_bytes(struct.pack("<Q", len(blob)))
+    for offset in range(0, len(blob), CHUNK_BYTES):
+        conn.send_bytes(blob[offset:offset + CHUNK_BYTES])
+
+
+def _recv_msg(conn: Connection) -> Any:
+    """Receive one chunked frame and unpickle it."""
+    header = conn.recv_bytes()
+    (total,) = struct.unpack("<Q", header)
+    parts: List[bytes] = []
+    received = 0
+    while received < total:
+        chunk = conn.recv_bytes()
+        parts.append(chunk)
+        received += len(chunk)
+    return pickle.loads(b"".join(parts))
+
+
+# ----------------------------------------------------------------------
+# shared-memory array distribution
+# ----------------------------------------------------------------------
+
+
+def _pack_shared(
+    shared: Mapping[str, Any],
+) -> Tuple[Dict[str, Any], List[ArraySpec], List[SharedMemory]]:
+    """Split ``shared`` into inline values and shared-memory arrays.
+
+    Returns ``(inline, specs, segments)``; the caller owns the segments
+    and must close+unlink them when the session ends.  If the platform
+    refuses shared memory the arrays degrade to inline pickling.
+    """
+    inline: Dict[str, Any] = {}
+    specs: List[ArraySpec] = []
+    segments: List[SharedMemory] = []
+    for key, value in shared.items():
+        if isinstance(value, np.ndarray) and value.nbytes > 0:
+            try:
+                seg = SharedMemory(create=True, size=value.nbytes)
+            except OSError:
+                inline[key] = value
+                continue
+            view: np.ndarray = np.ndarray(
+                value.shape, dtype=value.dtype, buffer=seg.buf
+            )
+            view[...] = value
+            specs.append((key, seg.name, value.dtype.str, value.shape))
+            segments.append(seg)
+        else:
+            inline[key] = value
+    return inline, specs, segments
+
+
+def _tracker_inherited() -> bool:
+    """Whether this (forked) process shares the parent's resource
+    tracker.  Attach-side registrations are then idempotent no-ops in
+    the parent's tracker and must NOT be unregistered — that would
+    delete the parent's own bookkeeping and make its ``unlink`` noisy.
+    """
+    try:  # pragma: no cover - tracker internals differ by version
+        from multiprocessing import resource_tracker
+
+        fd = getattr(resource_tracker._resource_tracker, "_fd", None)  # type: ignore[attr-defined]
+        return fd is not None
+    except Exception:
+        return False
+
+
+def _attach_shared(
+    inline: Dict[str, Any], specs: List[ArraySpec], unregister: bool
+) -> Tuple[Dict[str, Any], List[SharedMemory]]:
+    """Worker-side: rebuild the shared mapping, attaching arrays
+    zero-copy from their shared-memory segments (read-only views)."""
+    shared = dict(inline)
+    segments: List[SharedMemory] = []
+    for key, name, dtype, shape in specs:
+        seg = SharedMemory(name=name)
+        # the parent owns the segment's lifetime; when this process has
+        # its own resource tracker (spawn), unregister the attachment so
+        # worker exit neither unlinks the segment early nor warns about
+        # a "leak" (with an inherited tracker the registration already
+        # belongs to the parent and is left alone)
+        if unregister:
+            try:  # pragma: no cover - tracker internals differ by version
+                from multiprocessing import resource_tracker
+
+                resource_tracker.unregister(seg._name, "shared_memory")  # type: ignore[attr-defined]
+            except Exception:
+                pass
+        arr: np.ndarray = np.ndarray(
+            shape, dtype=np.dtype(dtype), buffer=seg.buf
+        )
+        arr.flags.writeable = False
+        shared[key] = arr
+        segments.append(seg)
+    return shared, segments
+
+
+# ----------------------------------------------------------------------
+# worker process
+# ----------------------------------------------------------------------
+
+
+class _WorkerSessionState:
+    """Everything a worker holds for one open session."""
+
+    __slots__ = ("shared", "segments", "states", "size", "trace")
+
+    def __init__(
+        self,
+        shared: Dict[str, Any],
+        segments: List[SharedMemory],
+        size: int,
+        trace: bool,
+    ) -> None:
+        self.shared = shared
+        self.segments = segments
+        self.states: Dict[int, Dict[str, Any]] = {}
+        self.size = size
+        self.trace = trace
+
+    def release(self) -> None:
+        self.states.clear()
+        for seg in self.segments:
+            seg.close()
+        self.segments = []
+
+
+def _worker_main(conn: Connection) -> None:
+    """Command loop of one pool worker (runs in the child process)."""
+    sessions: Dict[int, _WorkerSessionState] = {}
+    unregister_shared = not _tracker_inherited()
+    while True:
+        try:
+            msg = _recv_msg(conn)
+        except (EOFError, OSError):
+            break
+        tag = msg[0]
+        if tag == "shutdown":
+            break
+        try:
+            if tag == "open":
+                _, sid, size, inline, specs, trace = msg
+                shared, segments = _attach_shared(
+                    inline, specs, unregister_shared
+                )
+                sessions[sid] = _WorkerSessionState(
+                    shared, segments, size, trace
+                )
+                reply: Tuple[str, Any] = ("ok", None)
+            elif tag == "step":
+                _, sid, fn, arg, tasks = msg
+                sess = sessions[sid]
+                outs = []
+                for rank, inbox in tasks:
+                    state = sess.states.setdefault(rank, {})
+                    out = run_rank_step(
+                        fn, arg, rank, sess.size, sess.shared, state,
+                        inbox, sess.trace,
+                    )
+                    outs.append(
+                        (
+                            rank,
+                            out.value,
+                            out.sends,
+                            out.records,
+                            out.spans.to_dict()
+                            if out.spans is not None
+                            else None,
+                        )
+                    )
+                reply = ("ok", outs)
+            elif tag == "close":
+                _, sid = msg
+                closing = sessions.pop(sid, None)
+                if closing is not None:
+                    closing.release()
+                reply = ("ok", None)
+            else:
+                reply = ("err", f"unknown command {tag!r}")
+        except BaseException:
+            reply = ("err", traceback.format_exc())
+        try:
+            _send_msg(conn, reply)
+        except (BrokenPipeError, OSError):  # parent is gone
+            break
+    for sess in sessions.values():
+        sess.release()
+    conn.close()
+
+
+class _WorkerHandle:
+    """Parent-side handle to one pooled worker process."""
+
+    def __init__(self, ctx: BaseContext, index: int) -> None:
+        parent_conn, child_conn = ctx.Pipe(duplex=True)
+        self.proc: BaseProcess = ctx.Process(
+            target=_worker_main,
+            args=(child_conn,),
+            name=f"repro-spmd-{index}",
+            daemon=True,
+        )
+        self.proc.start()
+        child_conn.close()
+        self.conn = parent_conn
+
+    def send(self, msg: Any) -> None:
+        try:
+            _send_msg(self.conn, msg)
+        except (BrokenPipeError, OSError) as exc:
+            raise BackendError(
+                f"worker {self.proc.name} is gone "
+                f"(exitcode={self.proc.exitcode})"
+            ) from exc
+
+    def recv(self) -> Tuple[str, Any]:
+        try:
+            reply = _recv_msg(self.conn)
+        except (EOFError, OSError) as exc:
+            raise BackendError(
+                f"worker {self.proc.name} died "
+                f"(exitcode={self.proc.exitcode})"
+            ) from exc
+        if not isinstance(reply, tuple) or len(reply) != 2:
+            raise BackendError(f"malformed worker reply: {reply!r}")
+        return reply
+
+    def stop(self) -> None:
+        try:
+            _send_msg(self.conn, ("shutdown",))
+        except (BrokenPipeError, OSError):
+            pass
+        self.proc.join(timeout=5.0)
+        if self.proc.is_alive():  # pragma: no cover - stuck worker
+            self.proc.terminate()
+            self.proc.join(timeout=1.0)
+        self.conn.close()
+
+
+# ----------------------------------------------------------------------
+# session
+# ----------------------------------------------------------------------
+
+
+class ProcessSession(SpmdSession):
+    """Session whose ranks execute on the backend's worker pool.
+
+    The session goes *remote* lazily at the first superstep: if that
+    step's ``(fn, arg)`` cannot be pickled, the whole session falls
+    back to in-process serial execution (with a warning) — per-rank
+    state has not left the process yet, so the downgrade is safe.
+    """
+
+    def __init__(
+        self,
+        size: int,
+        ledger: Optional[CommLedger],
+        tracer: Optional[TracerBase],
+        shared: Optional[Mapping[str, Any]],
+        backend: "ProcessBackend",
+        sid: int,
+    ) -> None:
+        super().__init__(size, ledger, tracer)
+        self._backend = backend
+        self._sid = sid
+        self._shared_input: Mapping[str, Any] = (
+            dict(shared) if shared else {}
+        )
+        self._trace = bool(getattr(self.tracer, "enabled", False))
+        self._mode = "pending"  # -> "remote" | "local"
+        self._owners: List[Tuple[_WorkerHandle, List[int]]] = []
+        self._segments: List[SharedMemory] = []
+        self._local_states: List[Dict[str, Any]] = []
+
+    # -- local fallback ------------------------------------------------
+    def _run_local(
+        self, fn: StepFn, arg: Any, inboxes: List[List[Message]]
+    ) -> List[RankOutcome]:
+        return [
+            run_rank_step(
+                fn, arg, rank, self.size, self._shared_input,
+                self._local_states[rank], inboxes[rank], self._trace,
+            )
+            for rank in range(self.size)
+        ]
+
+    def _fall_back_local(self, fn: StepFn, reason: BaseException) -> None:
+        warnings.warn(
+            f"process backend: superstep {getattr(fn, '__qualname__', fn)!r} "
+            f"is not picklable ({reason}); the session falls back to "
+            "in-process serial execution. Use module-level superstep "
+            "functions to run on the worker pool.",
+            RuntimeWarning,
+            stacklevel=4,
+        )
+        self._mode = "local"
+        self._local_states = [{} for _ in range(self.size)]
+
+    # -- remote path ---------------------------------------------------
+    def _open_remote(self) -> None:
+        handles = self._backend._ensure_pool()
+        used = min(len(handles), self.size)
+        self._owners = [
+            (
+                handles[w],
+                [r for r in range(self.size) if r % used == w],
+            )
+            for w in range(used)
+        ]
+        inline, specs, segments = _pack_shared(self._shared_input)
+        self._segments = segments
+        open_msg = ("open", self._sid, self.size, inline, specs,
+                    self._trace)
+        for worker, _ranks in self._owners:
+            worker.send(open_msg)
+        self._collect_acks("open")
+        self._mode = "remote"
+
+    def _collect_acks(self, what: str) -> None:
+        errors: List[str] = []
+        for worker, _ranks in self._owners:
+            tag, payload = worker.recv()
+            if tag != "ok":
+                errors.append(str(payload))
+        if errors:
+            raise BackendError(
+                f"{what} failed on {len(errors)} worker(s):\n"
+                + "\n".join(errors)
+            )
+
+    def _run_step(
+        self, fn: StepFn, arg: Any, inboxes: List[List[Message]]
+    ) -> List[RankOutcome]:
+        if self._mode == "local":
+            return self._run_local(fn, arg, inboxes)
+        try:
+            pickle.dumps((fn, arg), protocol=pickle.HIGHEST_PROTOCOL)
+        except (pickle.PicklingError, AttributeError, TypeError) as exc:
+            if self._mode == "pending":
+                self._fall_back_local(fn, exc)
+                return self._run_local(fn, arg, inboxes)
+            raise BackendError(
+                "superstep function/argument is not picklable and the "
+                "session already has remote per-rank state; use "
+                "module-level superstep functions"
+            ) from exc
+        if self._mode == "pending":
+            self._open_remote()
+        for worker, ranks in self._owners:
+            tasks = [(r, inboxes[r]) for r in ranks]
+            worker.send(("step", self._sid, fn, arg, tasks))
+        by_rank: Dict[int, RankOutcome] = {}
+        errors: List[str] = []
+        for worker, _ranks in self._owners:
+            tag, payload = worker.recv()
+            if tag != "ok":
+                errors.append(str(payload))
+                continue
+            for rank, value, sends, records, span_dict in payload:
+                spans = (
+                    Span.from_dict(span_dict)
+                    if span_dict is not None
+                    else None
+                )
+                by_rank[rank] = RankOutcome(value, sends, records, spans)
+        if errors:
+            raise BackendError(
+                f"superstep failed on {len(errors)} worker(s):\n"
+                + "\n".join(errors)
+            )
+        return [by_rank[rank] for rank in range(self.size)]
+
+    # ------------------------------------------------------------------
+    def _close(self) -> None:
+        try:
+            if self._mode == "remote":
+                alive = []
+                for worker, _ranks in self._owners:
+                    try:
+                        worker.send(("close", self._sid))
+                        alive.append(worker)
+                    except BackendError:
+                        pass
+                for worker in alive:
+                    try:
+                        worker.recv()
+                    except BackendError:
+                        pass
+        finally:
+            for seg in self._segments:
+                seg.close()
+                try:
+                    seg.unlink()
+                except FileNotFoundError:  # pragma: no cover
+                    pass
+            self._segments = []
+            self._local_states = []
+            self._owners = []
+
+
+# ----------------------------------------------------------------------
+# backend
+# ----------------------------------------------------------------------
+
+
+class ProcessBackend(Backend):
+    """Persistent ``multiprocessing`` worker pool backend."""
+
+    name = "process"
+
+    def __init__(
+        self,
+        workers: Optional[int] = None,
+        start_method: Optional[str] = None,
+    ) -> None:
+        if workers is None:
+            workers = default_workers()
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        self.workers = workers
+        if start_method is None:
+            # fork (where available) keeps pool startup in the low
+            # milliseconds, which is what lets per-step sessions win
+            try:
+                get_context("fork")
+                start_method = "fork"
+            except ValueError:  # pragma: no cover - non-POSIX
+                start_method = None
+        self._ctx = get_context(start_method)
+        self._pool: Optional[List[_WorkerHandle]] = None
+        self._sids = itertools.count()
+        self._atexit_registered = False
+
+    def _ensure_pool(self) -> List[_WorkerHandle]:
+        if self._pool is None:
+            self._pool = [
+                _WorkerHandle(self._ctx, i) for i in range(self.workers)
+            ]
+            if not self._atexit_registered:
+                atexit.register(self.close)
+                self._atexit_registered = True
+        return self._pool
+
+    def open_session(
+        self,
+        size: int,
+        ledger: Optional[CommLedger] = None,
+        tracer: Optional[TracerBase] = None,
+        shared: Optional[Mapping[str, Any]] = None,
+    ) -> SpmdSession:
+        return ProcessSession(
+            size, ledger, tracer, shared, self, next(self._sids)
+        )
+
+    def close(self) -> None:
+        if self._pool is not None:
+            for worker in self._pool:
+                worker.stop()
+            self._pool = None
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"ProcessBackend(workers={self.workers})"

@@ -1,0 +1,105 @@
+"""Thread-pool backend: concurrent ranks, one process.
+
+Ranks of a superstep run concurrently on a persistent
+:class:`~concurrent.futures.ThreadPoolExecutor`.  Python's GIL keeps
+pure-Python work serialised, so this backend exists to exercise the
+synchronisation protocol (are supersteps really side-effect-free per
+rank? does the rank-ordered merge hold under arbitrary interleaving?)
+cheaply, and to overlap NumPy/SciPy kernels that release the GIL.
+
+Superstep functions must confine mutation to ``ctx.state`` and treat
+``ctx.shared`` as read-only — the same contract the process backend
+enforces physically by address-space separation.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ThreadPoolExecutor
+from typing import Any, Dict, List, Mapping, Optional
+
+from repro.obs.tracer import TracerBase
+from repro.runtime.backends.base import (
+    Backend,
+    Message,
+    RankOutcome,
+    SpmdSession,
+    StepFn,
+    default_workers,
+    run_rank_step,
+)
+from repro.runtime.ledger import CommLedger
+
+
+class ThreadSession(SpmdSession):
+    """Session whose ranks run on the backend's thread pool."""
+
+    def __init__(
+        self,
+        size: int,
+        ledger: Optional[CommLedger],
+        tracer: Optional[TracerBase],
+        shared: Optional[Mapping[str, Any]],
+        pool: ThreadPoolExecutor,
+    ) -> None:
+        super().__init__(size, ledger, tracer)
+        self._shared: Mapping[str, Any] = dict(shared) if shared else {}
+        self._states: List[Dict[str, Any]] = [{} for _ in range(size)]
+        self._trace = bool(getattr(self.tracer, "enabled", False))
+        self._pool = pool
+
+    def _run_step(
+        self, fn: StepFn, arg: Any, inboxes: List[List[Message]]
+    ) -> List[RankOutcome]:
+        futures = [
+            self._pool.submit(
+                run_rank_step, fn, arg, rank, self.size, self._shared,
+                self._states[rank], inboxes[rank], self._trace,
+            )
+            for rank in range(self.size)
+        ]
+        # collect in rank order; exceptions propagate to the caller
+        return [f.result() for f in futures]
+
+    def _close(self) -> None:
+        self._states = []
+
+
+class ThreadBackend(Backend):
+    """Run ranks concurrently on a persistent thread pool."""
+
+    name = "thread"
+
+    def __init__(self, workers: Optional[int] = None) -> None:
+        if workers is None:
+            workers = default_workers()
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        self.workers = workers
+        self._pool: Optional[ThreadPoolExecutor] = None
+
+    def _ensure_pool(self) -> ThreadPoolExecutor:
+        if self._pool is None:
+            self._pool = ThreadPoolExecutor(
+                max_workers=self.workers,
+                thread_name_prefix="repro-spmd",
+            )
+        return self._pool
+
+    def open_session(
+        self,
+        size: int,
+        ledger: Optional[CommLedger] = None,
+        tracer: Optional[TracerBase] = None,
+        shared: Optional[Mapping[str, Any]] = None,
+    ) -> SpmdSession:
+        return ThreadSession(
+            size, ledger, tracer, shared, self._ensure_pool()
+        )
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"ThreadBackend(workers={self.workers})"

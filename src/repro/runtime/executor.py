@@ -1,38 +1,69 @@
-"""Bulk-synchronous SPMD execution over the simulated communicator.
+"""Bulk-synchronous SPMD execution over the pluggable backends.
 
 ``spmd_run`` executes a list of superstep functions; within each
-superstep every rank's function runs once (sequentially, in rank
-order), then the barrier delivers the queued messages. Return values
-are collected per superstep per rank, so drivers can fold local results
-into global answers — the simulated analogue of a gather.
+superstep every rank's function runs once — sequentially in rank order
+on the default :class:`~repro.runtime.backends.serial.SerialBackend`,
+concurrently on the thread or process backends — then the barrier
+delivers the queued messages.  Return values are collected per
+superstep per rank, so drivers can fold local results into global
+answers — the analogue of a gather.
+
+Algorithms that interleave coordinator logic between supersteps (the
+distributed tree induction, RCB, and k-way modules) use the underlying
+:meth:`~repro.runtime.backends.base.Backend.open_session` /
+:meth:`~repro.runtime.backends.base.SpmdSession.step` protocol
+directly; ``spmd_run`` is the convenience wrapper for straight-line
+superstep pipelines.
 """
 
 from __future__ import annotations
 
-from typing import Any, Callable, List, Optional, Sequence
+from functools import partial
+from typing import Any, Callable, List, Mapping, Optional, Sequence
 
-from repro.runtime.comm import RankContext, SimComm
+from repro.obs.tracer import TracerBase
+from repro.runtime.backends.base import (
+    BackendSpec,
+    SpmdContext,
+    call_without_arg,
+    resolve_backend,
+)
 from repro.runtime.ledger import CommLedger
 
-SuperstepFn = Callable[[RankContext], Any]
+SuperstepFn = Callable[[SpmdContext], Any]
 
 
 def spmd_run(
     size: int,
     supersteps: Sequence[SuperstepFn],
     ledger: Optional[CommLedger] = None,
+    backend: BackendSpec = None,
+    tracer: Optional[TracerBase] = None,
+    shared: Optional[Mapping[str, Any]] = None,
 ) -> List[List[Any]]:
-    """Run ``supersteps`` on a ``size``-rank simulated machine.
+    """Run ``supersteps`` on a ``size``-rank SPMD machine.
 
     Returns ``results[step][rank]``. All ranks execute superstep ``i``
     before any executes ``i+1`` (messages sent in step ``i`` are
     readable from the inbox in step ``i+1``).
+
+    ``backend`` selects where ranks execute (instance, spec string like
+    ``"process:4"``, or ``None`` for the configured default — see
+    :func:`repro.runtime.backends.resolve_backend`). ``shared`` is a
+    read-only mapping distributed to every rank as ``ctx.shared``; on
+    the process backend its NumPy arrays travel via shared memory.
+    Superstep functions must be module-level (picklable) to execute on
+    the process pool.
     """
-    comm = SimComm(size, ledger)
-    contexts = [RankContext(rank=r, comm=comm) for r in range(size)]
+    if size < 1:
+        raise ValueError(
+            f"spmd_run needs at least one rank, got size={size}"
+        )
+    resolved = resolve_backend(backend)
     results: List[List[Any]] = []
-    for fn in supersteps:
-        step_results = [fn(ctx) for ctx in contexts]
-        comm.barrier()
-        results.append(step_results)
+    with resolved.open_session(
+        size, ledger=ledger, tracer=tracer, shared=shared
+    ) as session:
+        for fn in supersteps:
+            results.append(session.step(partial(call_without_arg, fn)))
     return results

@@ -54,3 +54,16 @@ def grid_3d():
 @pytest.fixture()
 def rng():
     return np.random.default_rng(1234)
+
+
+@pytest.fixture(scope="session", params=["serial", "thread", "process"])
+def spmd_backend(request):
+    """Each of the three execution backends, session-scoped so the
+    process backend's worker pool is spun up once for the whole run.
+    Tests using this fixture assert backend-independence: identical
+    results and ledgers on every backend."""
+    from repro.runtime.backends import make_backend
+
+    backend = make_backend(request.param, workers=2)
+    yield backend
+    backend.close()

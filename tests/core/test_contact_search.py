@@ -89,9 +89,10 @@ def search_scene(mid_sequence):
 
 
 class TestParallelEqualsSerial:
-    def test_tree_filter_complete(self, search_scene):
+    def test_tree_filter_complete(self, search_scene, spmd_backend):
         """MCML+DT parallel search finds exactly the serial candidate
-        set — the decision-tree filter loses nothing."""
+        set — the decision-tree filter loses nothing, on every
+        execution backend, with identical ledger accounting."""
         snap, pt, k = search_scene
         tree, _ = pt.build_descriptors(snap)
         plan = pt.search_plan(snap, tree)
@@ -104,7 +105,7 @@ class TestParallelEqualsSerial:
         )
         parallel, ledger = parallel_contact_search(
             plan, boxes, snap.contact_faces, coords,
-            snap.contact_nodes, point_part, k,
+            snap.contact_nodes, point_part, k, backend=spmd_backend,
         )
         assert parallel == serial
         assert ledger.items("contact-exchange") == plan.n_remote
@@ -142,6 +143,28 @@ class TestParallelEqualsSerial:
             ledger.sent_by_rank[("contact-exchange", r)] for r in range(k)
         )
         assert total == plan.n_remote
+
+    def test_backends_bit_identical(self, search_scene, spmd_backend):
+        """The thread/process backends reproduce the serial backend's
+        candidate set and ledger exactly (not just the serial search
+        reference) — the determinism guarantee of the runtime."""
+        snap, pt, k = search_scene
+        plan = pt.search_plan(snap)
+        boxes = padded_boxes(snap)
+        coords = snap.mesh.nodes[snap.contact_nodes]
+        point_part = pt.part[snap.contact_nodes]
+
+        reference, ref_ledger = parallel_contact_search(
+            plan, boxes, snap.contact_faces, coords,
+            snap.contact_nodes, point_part, k, backend="serial",
+        )
+        got, ledger = parallel_contact_search(
+            plan, boxes, snap.contact_faces, coords,
+            snap.contact_nodes, point_part, k, backend=spmd_backend,
+        )
+        assert got == reference
+        assert ledger.summary() == ref_ledger.summary()
+        assert dict(ledger.sent_by_rank) == dict(ref_ledger.sent_by_rank)
 
     def test_serial_search_nontrivial(self, search_scene):
         """Sanity: the scene actually produces contact candidates

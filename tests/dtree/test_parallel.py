@@ -21,13 +21,34 @@ def clustered(seed=0, n_per=40, k=3):
 
 
 class TestParallelInduction:
-    def test_classifies_exactly_like_serial(self):
+    def test_classifies_exactly_like_serial(self, spmd_backend):
         pts, labels = clustered()
         tree, ledger = parallel_induce_pure_tree(
-            pts, labels, 3, owner_rank=labels, n_ranks=3
+            pts, labels, 3, owner_rank=labels, n_ranks=3,
+            backend=spmd_backend,
         )
         tree.validate()
         assert np.array_equal(predict_partition(tree, pts), labels)
+
+    def test_backends_bit_identical(self, spmd_backend):
+        """Same tree (node for node), same ledger, on every backend."""
+        pts, labels = clustered(seed=9, n_per=60, k=4)
+        rng = np.random.default_rng(10)
+        owner = rng.integers(0, 4, len(pts))
+        ref_tree, ref_ledger = parallel_induce_pure_tree(
+            pts, labels, 4, owner_rank=owner, n_ranks=4, backend="serial"
+        )
+        tree, ledger = parallel_induce_pure_tree(
+            pts, labels, 4, owner_rank=owner, n_ranks=4,
+            backend=spmd_backend,
+        )
+        assert len(tree.nodes) == len(ref_tree.nodes)
+        for got, ref in zip(tree.nodes, ref_tree.nodes):
+            assert (got.dim, got.threshold, got.left, got.right,
+                    got.label) == (
+                ref.dim, ref.threshold, ref.left, ref.right, ref.label
+            )
+        assert ledger.summary() == ref_ledger.summary()
 
     def test_works_with_arbitrary_distribution(self):
         """Ownership need not correlate with class."""

@@ -9,13 +9,29 @@ from repro.geometry.parallel_rcb import parallel_rcb
 
 
 class TestParallelRcb:
-    def test_balanced_counts(self):
+    def test_balanced_counts(self, spmd_backend):
         rng = np.random.default_rng(0)
         pts = rng.random((256, 2))
         owner = rng.integers(0, 4, 256)
-        labels, ledger = parallel_rcb(pts, 8, owner, 4)
+        labels, ledger = parallel_rcb(
+            pts, 8, owner, 4, backend=spmd_backend
+        )
         counts = np.bincount(labels, minlength=8)
         assert counts.min() >= 24 and counts.max() <= 40
+
+    def test_backends_bit_identical(self, spmd_backend):
+        """Identical labels and ledger on every execution backend."""
+        rng = np.random.default_rng(12)
+        pts = rng.random((500, 3))
+        owner = rng.integers(0, 4, 500)
+        ref_labels, ref_ledger = parallel_rcb(
+            pts, 6, owner, 4, backend="serial"
+        )
+        labels, ledger = parallel_rcb(
+            pts, 6, owner, 4, backend=spmd_backend
+        )
+        assert np.array_equal(labels, ref_labels)
+        assert ledger.summary() == ref_ledger.summary()
 
     def test_non_power_of_two(self):
         rng = np.random.default_rng(1)

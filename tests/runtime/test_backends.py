@@ -1,0 +1,276 @@
+"""Tests for the pluggable SPMD execution backends.
+
+The contract under test: every backend runs the same superstep
+protocol (messages visible next step, self-sends dropped, per-rank
+state persistent) and produces *bit-identical* results, ledgers, and
+merged spans — the serial backend is the reference, the thread and
+process backends must be indistinguishable from it.
+"""
+
+import os
+import pickle
+import warnings
+
+import numpy as np
+import pytest
+
+from repro.obs.tracer import Tracer
+from repro.runtime.backends import (
+    BACKEND_ENV,
+    WORKERS_ENV,
+    Backend,
+    BackendError,
+    ProcessBackend,
+    SerialBackend,
+    SpmdSession,
+    ThreadBackend,
+    make_backend,
+    resolve_backend,
+    set_default_backend,
+)
+from repro.runtime.executor import spmd_run
+from repro.runtime.ledger import CommLedger
+
+
+# ----------------------------------------------------------------------
+# module-level supersteps (picklable, usable on the process pool)
+# ----------------------------------------------------------------------
+
+
+def _ring_send(ctx):
+    dst = (ctx.rank + 1) % ctx.size
+    ctx.send(dst, ("hello", ctx.rank), phase="ring", items=1)
+    ctx.state["sent_to"] = dst
+
+
+def _ring_recv(ctx):
+    got = ctx.inbox()
+    return (ctx.rank, ctx.state["sent_to"], got)
+
+
+def _sum_shared(ctx, scale):
+    return float(ctx.shared["values"][ctx.rank :: ctx.size].sum()) * scale
+
+
+def _traced(ctx):
+    with ctx.span("work"):
+        ctx.count("visits", 1)
+    return ctx.rank
+
+
+def _boom(ctx):
+    if ctx.rank == 1:
+        raise RuntimeError("rank 1 explodes")
+    return ctx.rank
+
+
+def _all_backends():
+    return [SerialBackend(), ThreadBackend(workers=2),
+            ProcessBackend(workers=2)]
+
+
+# ----------------------------------------------------------------------
+# resolution and validation
+# ----------------------------------------------------------------------
+
+
+class TestResolution:
+    def test_make_backend_names(self):
+        assert isinstance(make_backend("serial"), SerialBackend)
+        assert isinstance(make_backend("thread"), ThreadBackend)
+        assert isinstance(make_backend("process"), ProcessBackend)
+
+    def test_make_backend_spec_with_workers(self):
+        be = make_backend("process:3")
+        assert be.workers == 3
+
+    def test_make_backend_unknown(self):
+        with pytest.raises(ValueError, match="unknown backend"):
+            make_backend("gpu")
+
+    def test_make_backend_bad_workers(self):
+        with pytest.raises(ValueError, match="worker count"):
+            make_backend("process:0")
+        with pytest.raises(ValueError, match="invalid worker count"):
+            make_backend("thread:lots")
+
+    def test_resolve_passthrough_and_default(self, monkeypatch):
+        monkeypatch.delenv(BACKEND_ENV, raising=False)
+        be = SerialBackend()
+        assert resolve_backend(be) is be
+        assert isinstance(resolve_backend(None), SerialBackend)
+
+    def test_resolve_set_default(self, monkeypatch):
+        monkeypatch.delenv(BACKEND_ENV, raising=False)
+        be = ThreadBackend(workers=1)
+        set_default_backend(be)
+        try:
+            assert resolve_backend(None) is be
+        finally:
+            set_default_backend(None)
+        assert isinstance(resolve_backend(None), SerialBackend)
+
+    def test_resolve_env(self, monkeypatch):
+        monkeypatch.setenv(BACKEND_ENV, "thread:2")
+        resolved = resolve_backend(None)
+        assert isinstance(resolved, ThreadBackend)
+
+    def test_env_workers(self, monkeypatch):
+        monkeypatch.setenv(BACKEND_ENV, "process")
+        monkeypatch.setenv(WORKERS_ENV, "5")
+        resolved = resolve_backend(None)
+        assert isinstance(resolved, ProcessBackend)
+        assert resolved.workers == 5
+
+
+class TestValidation:
+    def test_session_size_must_be_positive(self):
+        with pytest.raises(ValueError, match="size must be >= 1"):
+            SpmdSession(0, None, None)
+        for be in _all_backends():
+            with be:
+                with pytest.raises(ValueError, match=">= 1"):
+                    be.open_session(0)
+                with pytest.raises(ValueError, match=">= 1"):
+                    be.open_session(-3)
+
+    def test_spmd_run_size_validation(self):
+        with pytest.raises(ValueError, match="at least one rank"):
+            spmd_run(0, [_traced])
+        with pytest.raises(ValueError, match="size=-1"):
+            spmd_run(-1, [_traced])
+
+    def test_send_validation(self):
+        be = SerialBackend()
+        with be.open_session(2) as sess:
+
+            def bad_dst(ctx, _arg):
+                ctx.send(7, None, phase="p", items=1)
+
+            with pytest.raises(ValueError, match="out of range"):
+                sess.step(bad_dst)
+
+    def test_account_validation(self):
+        with SerialBackend().open_session(2) as sess:
+            with pytest.raises(ValueError, match="out of range"):
+                sess.account("p", 0, 5, 1)
+
+
+# ----------------------------------------------------------------------
+# cross-backend equivalence
+# ----------------------------------------------------------------------
+
+
+class TestEquivalence:
+    def test_ring_program_identical_everywhere(self):
+        reference = None
+        for be in _all_backends():
+            with be:
+                ledger = CommLedger()
+                results = spmd_run(
+                    4, [_ring_send, _ring_recv], ledger=ledger, backend=be
+                )
+                outcome = (results[1], ledger.summary())
+                if reference is None:
+                    reference = outcome
+                else:
+                    assert outcome == reference, be.name
+        # every rank got exactly the message from its predecessor
+        for rank, sent_to, got in reference[0]:
+            assert sent_to == (rank + 1) % 4
+            assert got == [((rank - 1) % 4, ("hello", (rank - 1) % 4))]
+        assert reference[1] == {"ring": (4, 4)}
+
+    def test_shared_arrays_reach_every_rank(self):
+        values = np.arange(1000, dtype=float)
+        expect = [
+            float(values[r::3].sum()) * 2.0 for r in range(3)
+        ]
+        for be in _all_backends():
+            with be:
+                with be.open_session(3, shared={"values": values}) as s:
+                    assert s.step(_sum_shared, 2.0) == expect
+
+    def test_state_persists_across_steps(self):
+        for be in _all_backends():
+            with be:
+                results = spmd_run(3, [_ring_send, _ring_recv], backend=be)
+                for rank, sent_to, _got in results[1]:
+                    assert sent_to == (rank + 1) % 3
+
+    def test_spans_merge_per_rank(self):
+        for be in _all_backends():
+            with be:
+                tracer = Tracer()
+                with tracer.span("run"):
+                    spmd_run(4, [_traced], backend=be, tracer=tracer)
+                root = tracer.finish()
+                work = root.find("run/work")
+                assert work is not None, be.name
+                assert work.n_calls == 4
+                assert work.counters["visits"] == 4
+
+
+# ----------------------------------------------------------------------
+# process-backend specifics
+# ----------------------------------------------------------------------
+
+
+class TestProcessBackend:
+    def test_closure_falls_back_with_warning(self):
+        captured = {}
+
+        def closure_step(ctx):  # not picklable: a closure
+            captured.setdefault("ranks", []).append(ctx.rank)
+            return ctx.rank * 10
+
+        with ProcessBackend(workers=2) as be:
+            with pytest.warns(RuntimeWarning, match="not picklable"):
+                results = spmd_run(3, [closure_step], backend=be)
+        assert results[0] == [0, 10, 20]
+        assert captured["ranks"] == [0, 1, 2]  # ran in-process
+
+    def test_worker_exception_propagates(self):
+        with ProcessBackend(workers=2) as be:
+            with pytest.raises(BackendError, match="rank 1 explodes"):
+                spmd_run(2, [_boom], backend=be)
+
+    def test_pool_is_reused_across_sessions(self):
+        with ProcessBackend(workers=2) as be:
+            spmd_run(2, [_traced], backend=be)
+            first = {h.proc.pid for h in be._pool}
+            spmd_run(4, [_traced], backend=be)
+            assert {h.proc.pid for h in be._pool} == first
+
+    def test_backend_error_is_picklable(self):
+        err = BackendError("boom")
+        assert str(pickle.loads(pickle.dumps(err))) == "boom"
+
+    def test_more_ranks_than_workers(self):
+        with ProcessBackend(workers=2) as be:
+            ledger = CommLedger()
+            results = spmd_run(
+                7, [_ring_send, _ring_recv], ledger=ledger, backend=be
+            )
+            assert [r for r, _s, _g in results[1]] == list(range(7))
+            assert ledger.summary() == {"ring": (7, 7)}
+
+
+class TestBackendProtocol:
+    def test_base_backend_is_abstract(self):
+        with pytest.raises(NotImplementedError):
+            Backend().open_session(1)
+
+    def test_session_rejects_use_after_close(self):
+        sess = SerialBackend().open_session(2)
+        sess.close()
+        with pytest.raises(BackendError, match="closed"):
+            sess.step(_traced)
+
+    def test_env_propagates_to_subprocess(self):
+        # the documented way to run the whole suite on a backend:
+        # REPRO_BACKEND=process — resolution must read it at call time
+        env_before = os.environ.get(BACKEND_ENV)
+        assert env_before is None or env_before in (
+            "serial", "thread", "process",
+        )
