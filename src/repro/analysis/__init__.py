@@ -8,7 +8,14 @@ vectorised.  This package machine-checks those contracts with a small
 AST-walking lint engine so they cannot silently rot as the system
 grows (see ``docs/STATIC_ANALYSIS.md`` for the rule catalogue).
 
-Run it as ``repro-lint src/repro`` or ``repro-contact lint``.
+On top of the per-file rules sits a project-level *dataflow pass*
+(:mod:`repro.analysis.dataflow` + :mod:`repro.analysis.spmd`) that
+locates every superstep handed to the SPMD runtime and proves it
+race-free, picklable, and deterministic (SPMD001–003, DET001,
+FLOAT001); its findings are validated dynamically by the race
+sentinel backend (:mod:`repro.runtime.backends.sentinel`).
+
+Run it as ``repro-lint --spmd src/repro`` or ``repro-contact lint``.
 """
 
 from repro.analysis.engine import (
@@ -17,20 +24,31 @@ from repro.analysis.engine import (
     LintEngine,
     LintRule,
     all_rules,
+    build_file_context,
     get_rule,
     register_rule,
 )
-from repro.analysis.reporters import format_human, format_json
+from repro.analysis.reporters import (
+    format_human,
+    format_json,
+    format_sarif,
+    format_statistics,
+)
 from repro.analysis import rules as _rules  # noqa: F401  (registers rules)
+from repro.analysis.spmd import SpmdAnalyzer  # noqa: F401  (registers rules)
 
 __all__ = [
     "Diagnostic",
     "FileContext",
     "LintEngine",
     "LintRule",
+    "SpmdAnalyzer",
     "all_rules",
+    "build_file_context",
     "get_rule",
     "register_rule",
     "format_human",
     "format_json",
+    "format_sarif",
+    "format_statistics",
 ]

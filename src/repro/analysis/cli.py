@@ -4,12 +4,18 @@ Examples::
 
     repro-lint src/repro              # lint the library, human output
     repro-lint --format json src      # machine-readable diagnostics
+    repro-lint --format sarif src > lint.sarif
     repro-lint --select ARR001,RNG001 src/repro
+    repro-lint --spmd src/repro tests # + project-level SPMD pass
+    repro-lint --statistics src/repro
     repro-lint --list-rules
 
-With no paths the installed ``repro`` package is linted.  Exit
-status: 0 when clean, 1 when diagnostics were found, 2 on usage
-errors (unknown rule code, nonexistent path).
+With no paths the installed ``repro`` package is linted.  ``--spmd``
+adds the project-level dataflow pass (SPMD001–003, DET001, FLOAT001 —
+see ``docs/STATIC_ANALYSIS.md``); it analyses every target file as one
+program, so pass the whole tree.  Exit status: 0 when clean, 1 when
+diagnostics were found, 2 on usage errors (unknown rule code,
+nonexistent path).
 """
 
 from __future__ import annotations
@@ -20,7 +26,13 @@ from pathlib import Path
 from typing import List, Optional
 
 from repro.analysis.engine import LintEngine, all_rules
-from repro.analysis.reporters import format_human, format_json
+from repro.analysis.reporters import (
+    format_human,
+    format_json,
+    format_sarif,
+    format_statistics,
+)
+from repro.analysis.spmd import SpmdAnalyzer
 
 
 def _split_codes(value: str) -> List[str]:
@@ -43,7 +55,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--format",
-        choices=("human", "json"),
+        choices=("human", "json", "sarif"),
         default="human",
         help="output format (default: human)",
     )
@@ -60,6 +72,29 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         metavar="CODES",
         help="comma-separated rule codes to skip",
+    )
+    parser.add_argument(
+        "--exclude",
+        action="append",
+        default=[],
+        metavar="GLOB",
+        help=(
+            "fnmatch pattern of paths to skip (repeatable; e.g. "
+            "'tests/analysis/spmd_fixtures/*')"
+        ),
+    )
+    parser.add_argument(
+        "--spmd",
+        action="store_true",
+        help=(
+            "also run the project-level SPMD dataflow pass "
+            "(SPMD001-003, DET001, FLOAT001) over the target set"
+        ),
+    )
+    parser.add_argument(
+        "--statistics",
+        action="store_true",
+        help="append per-code counts (human format only)",
     )
     parser.add_argument(
         "--list-rules",
@@ -93,13 +128,27 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 2
 
     try:
-        diagnostics = engine.lint_paths(paths)
+        diagnostics = engine.lint_paths(paths, exclude=args.exclude)
+        if args.spmd:
+            analyzer = SpmdAnalyzer(
+                select=args.select, ignore=args.ignore
+            )
+            diagnostics = sorted(
+                set(diagnostics)
+                | set(analyzer.analyze_paths(paths, exclude=args.exclude))
+            )
     except FileNotFoundError as exc:
         print(f"repro-lint: {exc}", file=sys.stderr)
         return 2
 
-    reporter = format_json if args.format == "json" else format_human
-    print(reporter(diagnostics))
+    if args.format == "json":
+        print(format_json(diagnostics))
+    elif args.format == "sarif":
+        print(format_sarif(diagnostics))
+    else:
+        print(format_human(diagnostics))
+        if args.statistics and diagnostics:
+            print(format_statistics(diagnostics))
     return 1 if diagnostics else 0
 
 

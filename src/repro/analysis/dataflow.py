@@ -1,0 +1,607 @@
+"""Package-wide dataflow summaries for the SPMD safety analysis.
+
+The per-file rules of :mod:`repro.analysis.rules` see one syntax tree
+at a time; the SPMD rule family (:mod:`repro.analysis.spmd`) must
+instead reason about *functions* — what a superstep captures from its
+enclosing scope, which module-level mutables it touches, and which
+other functions it reaches transitively.  This module builds those
+summaries:
+
+* :class:`FunctionSummary` — per-function scope facts: parameters,
+  local bindings, ``global``/``nonlocal`` declarations, closure
+  captures (with the enclosing binding's value expression when it can
+  be found), module-level reads, every call site, and every mutation
+  of a name (assignment, augmented assignment, subscript/attribute
+  store, deletion, or a call of a known mutating method).
+* :class:`ModuleSummary` — one parsed file: its functions (keyed by
+  qualified name), import aliases, module-level bindings, and the
+  session-variable names used to recognise ``session.step`` call
+  sites.
+* :class:`ProjectIndex` — the whole analysed file set, with name
+  resolution (local functions, ``from m import f``, ``m.f`` through
+  import aliases) and transitive reachability over the call graph.
+
+The analysis is deliberately conservative where Python is dynamic:
+names that cannot be resolved are skipped, never guessed, so the SPMD
+rules under-approximate rather than cry wolf.
+"""
+
+from __future__ import annotations
+
+import ast
+import builtins
+from dataclasses import dataclass, field
+from typing import (
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+    Union,
+)
+
+#: method names that mutate their receiver in place
+MUTATING_METHODS = frozenset(
+    {
+        "append",
+        "extend",
+        "insert",
+        "add",
+        "update",
+        "setdefault",
+        "pop",
+        "popitem",
+        "remove",
+        "discard",
+        "clear",
+        "sort",
+        "reverse",
+        "fill",
+        "partial_fit",
+        "put",
+    }
+)
+
+_BUILTIN_NAMES = frozenset(dir(builtins))
+
+
+def dotted_parts(node: ast.AST) -> Optional[Tuple[str, ...]]:
+    """Render a ``Name``/``Attribute`` chain as its components
+    (``ctx.shared["k"]`` → ``("ctx", "shared")``; subscripts are
+    transparent), or ``None`` when the chain is not rooted at a name."""
+    parts: List[str] = []
+    while True:
+        if isinstance(node, ast.Attribute):
+            parts.append(node.attr)
+            node = node.value
+        elif isinstance(node, ast.Subscript):
+            node = node.value
+        elif isinstance(node, ast.Name):
+            parts.append(node.id)
+            return tuple(reversed(parts))
+        else:
+            return None
+
+
+def dotted_text(node: ast.AST) -> Optional[str]:
+    """``dotted_parts`` joined with dots (``None`` when unrooted)."""
+    parts = dotted_parts(node)
+    return ".".join(parts) if parts is not None else None
+
+
+@dataclass
+class Mutation:
+    """One in-place modification of a name visible in a function."""
+
+    #: components of the mutated target (root name first)
+    chain: Tuple[str, ...]
+    #: ``assign`` / ``augassign`` / ``store`` (subscript or attribute
+    #: write) / ``delete`` / ``method`` (mutating-method call)
+    kind: str
+    node: ast.AST
+    #: for ``kind == "method"``: the method's name
+    method: str = ""
+
+    @property
+    def root(self) -> str:
+        return self.chain[0]
+
+    def describe(self) -> str:
+        """Human form of the mutated path (``acc.append(...)``)."""
+        path = ".".join(self.chain)
+        if self.kind == "method":
+            return f"{path}.{self.method}(...)"
+        if self.kind == "store":
+            return f"{path}[...]"
+        return path
+
+
+@dataclass
+class CallSite:
+    """A call expression inside a function."""
+
+    name: str  # dotted callee text (``np.zeros``, ``_hist_step``)
+    node: ast.Call
+
+
+@dataclass
+class FunctionSummary:
+    """Scope and behaviour facts about one function or lambda."""
+
+    module: str
+    path: str
+    qualname: str
+    name: str
+    node: ast.AST  # FunctionDef | AsyncFunctionDef | Lambda
+    parent: Optional["FunctionSummary"] = None
+    params: Set[str] = field(default_factory=set)
+    #: names bound inside this scope (assignments, loop/with targets,
+    #: imports, nested def/class statements, comprehension targets)
+    bound: Set[str] = field(default_factory=set)
+    #: name → value expression of its (last seen) binding in this scope
+    bindings: Dict[str, ast.AST] = field(default_factory=dict)
+    global_decls: Set[str] = field(default_factory=set)
+    nonlocal_decls: Set[str] = field(default_factory=set)
+    loads: Set[str] = field(default_factory=set)
+    calls: List[CallSite] = field(default_factory=list)
+    mutations: List[Mutation] = field(default_factory=list)
+    #: freevar → value expression of the enclosing binding (``None``
+    #: when the binding exists but its value is not a simple expression)
+    captured: Dict[str, Optional[ast.AST]] = field(default_factory=dict)
+    #: loads that resolve to module-level bindings
+    global_reads: Set[str] = field(default_factory=set)
+
+    def is_local(self, name: str) -> bool:
+        """Whether ``name`` is bound in this scope (param or local)."""
+        return (
+            name in self.params
+            or name in self.bound
+            or name in self.global_decls  # rebinding a global is not local,
+            # but it is *resolved*, so callers never treat it as captured
+        )
+
+    def lookup_binding(self, name: str) -> Optional[ast.AST]:
+        """Value expression bound to ``name`` here or in an enclosing
+        function scope (``None`` when unknown)."""
+        scope: Optional[FunctionSummary] = self
+        while scope is not None:
+            if name in scope.bindings:
+                return scope.bindings[name]
+            if name in scope.params:
+                return None
+            scope = scope.parent
+        return None
+
+
+@dataclass
+class ModuleSummary:
+    """Everything the project index knows about one parsed file."""
+
+    module: str
+    path: str
+    tree: ast.Module
+    #: qualified name (``outer.<locals>.step``) → summary
+    functions: Dict[str, FunctionSummary] = field(default_factory=dict)
+    #: local alias → dotted target (``np`` → ``numpy``,
+    #: ``induce_pure_tree`` → ``repro.dtree.induction.induce_pure_tree``)
+    imports: Dict[str, str] = field(default_factory=dict)
+    #: module-level name → value expression of its (last) binding
+    module_bindings: Dict[str, ast.AST] = field(default_factory=dict)
+    #: names of module-level functions (unqualified)
+    top_level_functions: Set[str] = field(default_factory=set)
+    #: local variable names that hold SPMD sessions (assigned or
+    #: ``with``-bound from an ``open_session(...)`` call)
+    session_names: Set[str] = field(default_factory=set)
+
+
+class _ScopeVisitor(ast.NodeVisitor):
+    """Build :class:`FunctionSummary` records for one module."""
+
+    def __init__(self, summary: ModuleSummary) -> None:
+        self.summary = summary
+        self.stack: List[Optional[FunctionSummary]] = [None]  # None = module
+        self._anon = 0
+
+    # -- helpers -------------------------------------------------------
+    @property
+    def current(self) -> Optional[FunctionSummary]:
+        return self.stack[-1]
+
+    def _bind(self, name: str, value: Optional[ast.AST]) -> None:
+        fn = self.current
+        if fn is None:
+            if value is not None:
+                self.summary.module_bindings[name] = value
+            else:
+                self.summary.module_bindings.setdefault(
+                    name, ast.Constant(value=None)
+                )
+            return
+        fn.bound.add(name)
+        if value is not None:
+            fn.bindings[name] = value
+
+    def _bind_target(self, target: ast.AST, value: Optional[ast.AST]) -> None:
+        if isinstance(target, ast.Name):
+            self._bind(target.id, value)
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            for elt in target.elts:
+                self._bind_target(elt, None)
+        elif isinstance(target, ast.Starred):
+            self._bind_target(target.value, None)
+        # attribute/subscript targets are mutations, handled separately
+
+    def _record_mutation(
+        self, target: ast.AST, kind: str, node: ast.AST, method: str = ""
+    ) -> None:
+        fn = self.current
+        if fn is None:
+            return
+        chain = dotted_parts(target)
+        if chain is None:
+            return
+        fn.mutations.append(
+            Mutation(chain=chain, kind=kind, node=node, method=method)
+        )
+
+    def _enter_function(
+        self, node: ast.AST, name: str, args: ast.arguments
+    ) -> FunctionSummary:
+        parent = self.current
+        prefix = f"{parent.qualname}.<locals>." if parent is not None else ""
+        fn = FunctionSummary(
+            module=self.summary.module,
+            path=self.summary.path,
+            qualname=f"{prefix}{name}",
+            name=name,
+            node=node,
+            parent=parent,
+        )
+        for a in (
+            list(args.posonlyargs)
+            + list(args.args)
+            + list(args.kwonlyargs)
+        ):
+            fn.params.add(a.arg)
+        if args.vararg is not None:
+            fn.params.add(args.vararg.arg)
+        if args.kwarg is not None:
+            fn.params.add(args.kwarg.arg)
+        self.summary.functions[fn.qualname] = fn
+        if parent is None:
+            self.summary.top_level_functions.add(name)
+        return fn
+
+    # -- scope-introducing nodes ---------------------------------------
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._function_def(node)
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self._function_def(node)
+
+    def _function_def(
+        self, node: "Union[ast.FunctionDef, ast.AsyncFunctionDef]"
+    ) -> None:
+        self._bind(node.name, node)
+        for dec in node.decorator_list:
+            self.visit(dec)
+        for default in list(node.args.defaults) + [
+            d for d in node.args.kw_defaults if d is not None
+        ]:
+            self.visit(default)
+        fn = self._enter_function(node, node.name, node.args)
+        self.stack.append(fn)
+        for stmt in node.body:
+            self.visit(stmt)
+        self.stack.pop()
+
+    def visit_Lambda(self, node: ast.Lambda) -> None:
+        self._anon += 1
+        fn = self._enter_function(node, f"<lambda-{self._anon}>", node.args)
+        self.stack.append(fn)
+        self.visit(node.body)
+        self.stack.pop()
+
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        self._bind(node.name, node)
+        # class bodies are walked in the enclosing scope; method `self`
+        # state is out of scope for this analysis
+        for dec in node.decorator_list:
+            self.visit(dec)
+        for base in node.bases:
+            self.visit(base)
+        for stmt in node.body:
+            self.visit(stmt)
+
+    # -- bindings ------------------------------------------------------
+    def visit_Assign(self, node: ast.Assign) -> None:
+        self.visit(node.value)
+        for target in node.targets:
+            self._bind_target(target, node.value)
+            if isinstance(target, (ast.Subscript, ast.Attribute)):
+                self._record_mutation(target, "store", node)
+                self.visit(target.value)
+            elif isinstance(target, ast.Name):
+                self._record_mutation(target, "assign", node)
+        self._scan_session_assignment(node.targets, node.value)
+
+    def visit_AnnAssign(self, node: ast.AnnAssign) -> None:
+        if node.value is not None:
+            self.visit(node.value)
+            self._bind_target(node.target, node.value)
+            if isinstance(node.target, (ast.Subscript, ast.Attribute)):
+                self._record_mutation(node.target, "store", node)
+            self._scan_session_assignment([node.target], node.value)
+
+    def visit_AugAssign(self, node: ast.AugAssign) -> None:
+        self.visit(node.value)
+        if isinstance(node.target, ast.Name):
+            self._bind(node.target.id, None)
+            self._record_mutation(node.target, "augassign", node)
+        else:
+            self._record_mutation(node.target, "augassign", node)
+            self.visit(node.target.value)
+
+    def visit_Delete(self, node: ast.Delete) -> None:
+        for target in node.targets:
+            if isinstance(target, (ast.Subscript, ast.Attribute)):
+                self._record_mutation(target, "delete", node)
+            self.generic_visit(target)
+
+    def visit_NamedExpr(self, node: ast.NamedExpr) -> None:
+        self.visit(node.value)
+        self._bind(node.target.id, node.value)
+
+    def visit_For(self, node: ast.For) -> None:
+        self._loop(node)
+
+    def visit_AsyncFor(self, node: ast.AsyncFor) -> None:
+        self._loop(node)
+
+    def _loop(self, node: "Union[ast.For, ast.AsyncFor]") -> None:
+        self.visit(node.iter)
+        self._bind_target(node.target, None)
+        for stmt in node.body + node.orelse:
+            self.visit(stmt)
+
+    def visit_With(self, node: ast.With) -> None:
+        self._with(node)
+
+    def visit_AsyncWith(self, node: ast.AsyncWith) -> None:
+        self._with(node)
+
+    def _with(self, node: "Union[ast.With, ast.AsyncWith]") -> None:
+        for item in node.items:
+            self.visit(item.context_expr)
+            if item.optional_vars is not None:
+                self._bind_target(item.optional_vars, item.context_expr)
+                self._scan_session_assignment(
+                    [item.optional_vars], item.context_expr
+                )
+        for stmt in node.body:
+            self.visit(stmt)
+
+    def visit_ExceptHandler(self, node: ast.ExceptHandler) -> None:
+        if node.name:
+            self._bind(node.name, None)
+        self.generic_visit(node)
+
+    def visit_Import(self, node: ast.Import) -> None:
+        for alias in node.names:
+            local = alias.asname or alias.name.split(".")[0]
+            target = alias.name if alias.asname else alias.name.split(".")[0]
+            self.summary.imports.setdefault(local, target)
+            self._bind(local, None)
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        if node.module is None:
+            return
+        for alias in node.names:
+            if alias.name == "*":
+                continue
+            local = alias.asname or alias.name
+            self.summary.imports.setdefault(
+                local, f"{node.module}.{alias.name}"
+            )
+            self._bind(local, None)
+
+    def visit_Global(self, node: ast.Global) -> None:
+        fn = self.current
+        if fn is not None:
+            fn.global_decls.update(node.names)
+
+    def visit_Nonlocal(self, node: ast.Nonlocal) -> None:
+        fn = self.current
+        if fn is not None:
+            fn.nonlocal_decls.update(node.names)
+
+    def visit_comprehension(self, node: ast.comprehension) -> None:
+        # comprehension targets are scoped to the comprehension in
+        # Python 3, but folding them into the enclosing function keeps
+        # the capture analysis simple without losing soundness
+        self.visit(node.iter)
+        self._bind_target(node.target, None)
+        for cond in node.ifs:
+            self.visit(cond)
+
+    # -- loads, calls --------------------------------------------------
+    def visit_Name(self, node: ast.Name) -> None:
+        fn = self.current
+        if fn is not None and isinstance(node.ctx, ast.Load):
+            fn.loads.add(node.id)
+
+    def visit_Call(self, node: ast.Call) -> None:
+        fn = self.current
+        name = dotted_text(node.func)
+        if fn is not None and name is not None:
+            fn.calls.append(CallSite(name=name, node=node))
+            if isinstance(node.func, ast.Attribute):
+                method = node.func.attr
+                if method in MUTATING_METHODS:
+                    chain = dotted_parts(node.func.value)
+                    if chain is not None:
+                        fn.mutations.append(
+                            Mutation(
+                                chain=chain,
+                                kind="method",
+                                node=node,
+                                method=method,
+                            )
+                        )
+        self.generic_visit(node)
+
+    # -- session-variable recognition ----------------------------------
+    def _scan_session_assignment(
+        self, targets: Sequence[ast.AST], value: ast.AST
+    ) -> None:
+        if not self._contains_open_session(value):
+            return
+        for target in targets:
+            if isinstance(target, ast.Name):
+                self.summary.session_names.add(target.id)
+
+    @staticmethod
+    def _contains_open_session(expr: ast.AST) -> bool:
+        for sub in ast.walk(expr):
+            if isinstance(sub, ast.Call):
+                name = dotted_text(sub.func)
+                if name is not None and name.rsplit(".", 1)[-1] == "open_session":
+                    return True
+        return False
+
+
+def _resolve_captures(summary: ModuleSummary) -> None:
+    """Classify each function's unresolved loads as captured (bound in
+    an enclosing function) or module-level reads."""
+    for fn in summary.functions.values():
+        names = sorted(fn.loads | fn.nonlocal_decls)
+        for name in names:
+            declared_nonlocal = name in fn.nonlocal_decls
+            if not declared_nonlocal and fn.is_local(name):
+                continue
+            scope = fn.parent
+            found = False
+            while scope is not None:
+                if name in scope.params or name in scope.bound:
+                    fn.captured[name] = scope.bindings.get(name)
+                    found = True
+                    break
+                scope = scope.parent
+            if found or declared_nonlocal:
+                if declared_nonlocal and name not in fn.captured:
+                    fn.captured[name] = None
+                continue
+            if (
+                name in summary.module_bindings
+                or name in summary.top_level_functions
+            ) and name not in summary.imports:
+                fn.global_reads.add(name)
+            # everything else: imports, builtins, or unresolved — the
+            # SPMD rules never guess about those
+
+
+def summarize_module(module: str, path: str, tree: ast.Module) -> ModuleSummary:
+    """Build the dataflow summary of one parsed file."""
+    summary = ModuleSummary(module=module, path=path, tree=tree)
+    _ScopeVisitor(summary).visit(tree)
+    _resolve_captures(summary)
+    return summary
+
+
+class ProjectIndex:
+    """The analysed file set: summaries plus cross-module resolution."""
+
+    def __init__(self, modules: Sequence[ModuleSummary]) -> None:
+        self.modules: Dict[str, ModuleSummary] = {
+            m.module: m for m in modules
+        }
+
+    @classmethod
+    def build(
+        cls, sources: Iterable[Tuple[str, str, ast.Module]]
+    ) -> "ProjectIndex":
+        """Index ``(module, path, tree)`` triples."""
+        return cls(
+            [summarize_module(mod, path, tree) for mod, path, tree in sources]
+        )
+
+    # ------------------------------------------------------------------
+    def resolve_function(
+        self, module: str, name: str
+    ) -> Optional[FunctionSummary]:
+        """Resolve a dotted callee ``name`` seen in ``module`` to a
+        module-level function summary in the index, or ``None``."""
+        summary = self.modules.get(module)
+        if summary is None:
+            return None
+        head, _, rest = name.partition(".")
+        if not rest:
+            if head in summary.top_level_functions:
+                return summary.functions.get(head)
+            target = summary.imports.get(head)
+            if target is not None:
+                target_mod, _, target_fn = target.rpartition(".")
+                if target_mod and target_fn:
+                    other = self.modules.get(target_mod)
+                    if other and target_fn in other.top_level_functions:
+                        return other.functions.get(target_fn)
+            return None
+        # dotted: resolve the head through the import table
+        target = summary.imports.get(head)
+        if target is None:
+            return None
+        other = self.modules.get(target)
+        if other is None or "." in rest:
+            return None
+        if rest in other.top_level_functions:
+            return other.functions.get(rest)
+        return None
+
+    def reachable(
+        self, roots: Iterable[FunctionSummary]
+    ) -> List[FunctionSummary]:
+        """Roots plus every function transitively called from them
+        (resolved within the index), in deterministic order."""
+        seen: Set[Tuple[str, str]] = set()
+        order: List[FunctionSummary] = []
+        stack = list(roots)
+        while stack:
+            fn = stack.pop(0)
+            key = (fn.module, fn.qualname)
+            if key in seen:
+                continue
+            seen.add(key)
+            order.append(fn)
+            # nested functions called by bare name resolve locally first
+            for call in fn.calls:
+                target = self._resolve_from(fn, call.name)
+                if target is not None:
+                    stack.append(target)
+        return order
+
+    def _resolve_from(
+        self, caller: FunctionSummary, name: str
+    ) -> Optional[FunctionSummary]:
+        summary = self.modules.get(caller.module)
+        if summary is None:
+            return None
+        head, _, rest = name.partition(".")
+        if not rest:
+            # a nested sibling or child function shadows module scope
+            scope: Optional[FunctionSummary] = caller
+            while scope is not None:
+                candidate = summary.functions.get(
+                    f"{scope.qualname}.<locals>.{head}"
+                )
+                if candidate is not None:
+                    return candidate
+                scope = scope.parent
+        return self.resolve_function(caller.module, name)
+
+
+def iter_functions(summary: ModuleSummary) -> Iterator[FunctionSummary]:
+    """All function summaries of a module in definition order."""
+    return iter(summary.functions.values())

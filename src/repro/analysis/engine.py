@@ -18,6 +18,7 @@ is accepted in both forms.
 from __future__ import annotations
 
 import ast
+import fnmatch
 import io
 import re
 import tokenize
@@ -45,9 +46,20 @@ _SUPPRESS_RE = re.compile(
 SYNTAX_ERROR_CODE = "E999"
 
 
+def _excluded(path: Path, patterns: Sequence[str]) -> bool:
+    """Whether ``path`` matches any exclude glob (POSIX matching)."""
+    text = path.as_posix()
+    return any(fnmatch.fnmatch(text, pat) for pat in patterns)
+
+
 @dataclass(frozen=True, order=True)
 class Diagnostic:
-    """One lint finding, sortable into (path, line, col, code) order."""
+    """One lint finding, sortable into (path, line, col, code) order.
+
+    ``col`` is 1-based, like every mainstream linter's output (the
+    ``ast`` module reports 0-based offsets; :meth:`LintRule.diag` and
+    the syntax-error path perform the shift at construction time).
+    """
 
     path: str
     line: int
@@ -121,11 +133,11 @@ class LintRule:
     def diag(
         self, ctx: FileContext, node: ast.AST, message: Optional[str] = None
     ) -> Diagnostic:
-        """Build a diagnostic anchored at ``node``."""
+        """Build a diagnostic anchored at ``node`` (1-based column)."""
         return Diagnostic(
             path=ctx.path,
             line=getattr(node, "lineno", 1),
-            col=getattr(node, "col_offset", 0),
+            col=getattr(node, "col_offset", 0) + 1,
             code=self.code,
             message=message if message is not None else self.description,
         )
@@ -199,6 +211,46 @@ def _collect_suppressions(
     return per_line, per_file
 
 
+def _extend_decorator_suppressions(
+    tree: ast.Module, per_line: Dict[int, Set[str]]
+) -> None:
+    """A suppression comment on a decorator line also covers the
+    decorated ``def``/``class`` statement.
+
+    Rules anchor their diagnostics at the *definition* line (that is
+    where ``ast`` puts ``lineno``), but authors naturally write the
+    comment next to the decorator that prompted it; both placements
+    silence the finding.
+    """
+    for node in ast.walk(tree):
+        if not isinstance(
+            node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+        ):
+            continue
+        for dec in node.decorator_list:
+            codes = per_line.get(dec.lineno)
+            if codes:
+                per_line.setdefault(node.lineno, set()).update(codes)
+
+
+def build_file_context(
+    source: str, module: str = "<string>", path: str = "<string>"
+) -> FileContext:
+    """Parse ``source`` into a :class:`FileContext` with suppressions
+    collected; raises ``SyntaxError`` on unparsable input."""
+    tree = ast.parse(source)
+    per_line, per_file = _collect_suppressions(source)
+    _extend_decorator_suppressions(tree, per_line)
+    return FileContext(
+        path=path,
+        module=module,
+        source=source,
+        tree=tree,
+        line_suppressions=per_line,
+        file_suppressions=per_file,
+    )
+
+
 class LintEngine:
     """Run a set of rules over files, directories, or raw source.
 
@@ -235,26 +287,17 @@ class LintEngine:
     ) -> List[Diagnostic]:
         """Lint a source string (unit-test friendly)."""
         try:
-            tree = ast.parse(source)
+            ctx = build_file_context(source, module=module, path=path)
         except SyntaxError as exc:
             return [
                 Diagnostic(
                     path=path,
                     line=exc.lineno or 1,
-                    col=(exc.offset or 1) - 1,
+                    col=exc.offset or 1,
                     code=SYNTAX_ERROR_CODE,
                     message=f"syntax error: {exc.msg}",
                 )
             ]
-        per_line, per_file = _collect_suppressions(source)
-        ctx = FileContext(
-            path=path,
-            module=module,
-            source=source,
-            tree=tree,
-            line_suppressions=per_line,
-            file_suppressions=per_file,
-        )
         found: List[Diagnostic] = []
         for rule in self.rules:
             if not rule.applies_to(ctx):
@@ -277,19 +320,25 @@ class LintEngine:
         )
 
     def lint_paths(
-        self, paths: Iterable[Union[str, Path]]
+        self,
+        paths: Iterable[Union[str, Path]],
+        exclude: Sequence[str] = (),
     ) -> List[Diagnostic]:
         """Lint files and (recursively) directories; returns sorted
-        diagnostics.  Missing paths raise ``FileNotFoundError``."""
+        diagnostics.  Missing paths raise ``FileNotFoundError``.
+        ``exclude`` holds ``fnmatch`` glob patterns matched against the
+        POSIX form of each candidate path (fixture trees that seed
+        deliberate violations are excluded this way in CI)."""
         found: List[Diagnostic] = []
-        for f in self._iter_target_files(paths):
+        for f in self._iter_target_files(paths, exclude):
             found.extend(self.lint_file(f))
         return sorted(found)
 
     # ------------------------------------------------------------------
     @staticmethod
     def _iter_target_files(
-        paths: Iterable[Union[str, Path]]
+        paths: Iterable[Union[str, Path]],
+        exclude: Sequence[str] = (),
     ) -> Iterator[Path]:
         for raw in paths:
             p = Path(raw)
@@ -297,8 +346,11 @@ class LintEngine:
                 for f in sorted(p.rglob("*.py")):
                     if any(part.startswith(".") for part in f.parts):
                         continue
+                    if _excluded(f, exclude):
+                        continue
                     yield f
             elif p.is_file():
-                yield p
+                if not _excluded(p, exclude):
+                    yield p
             else:
                 raise FileNotFoundError(f"no such file or directory: {p}")

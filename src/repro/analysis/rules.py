@@ -103,9 +103,18 @@ def _callee_tail(node: ast.Call) -> Optional[str]:
 
 
 def _is_test_module(module: str) -> bool:
+    """Test and benchmark modules: exempt from library-only rules.
+
+    Benchmarks count — they assert their own results and seed their own
+    generators exactly like tests do.
+    """
     parts = module.split(".")
     return any(
-        p == "conftest" or p == "tests" or p.startswith("test_")
+        p == "conftest"
+        or p == "tests"
+        or p == "benchmarks"
+        or p.startswith("test_")
+        or p.startswith("bench_")
         for p in parts
     )
 
@@ -194,7 +203,9 @@ class CentralRngRule(LintRule):
     description = "np.random used outside repro.utils.rng"
 
     def applies_to(self, ctx: FileContext) -> bool:
-        return ctx.module != RNG_MODULE
+        # tests/benchmarks construct their own seeded generators on
+        # purpose; the centralisation contract binds library code only
+        return ctx.module != RNG_MODULE and not _is_test_module(ctx.module)
 
     def check(self, ctx: FileContext) -> Iterator[Diagnostic]:
         for node in ast.walk(ctx.tree):

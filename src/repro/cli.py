@@ -13,7 +13,7 @@ algorithms under the phase tracer and prints/serializes the run report
 for any experiment command; the ``trace`` subcommand additionally
 prints the report to the terminal.
 
-``--backend {serial,thread,process}`` and ``--workers N`` (global,
+``--backend {serial,thread,process,sentinel}`` and ``--workers N`` (global,
 also accepted after the subcommand) select the SPMD execution backend
 for every parallel stage in the run (``docs/PARALLELISM.md``); results
 are bit-identical across backends.
@@ -57,7 +57,7 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--backend",
-        choices=("serial", "thread", "process"),
+        choices=("serial", "thread", "process", "sentinel"),
         default=None,
         help=(
             "execution backend for the parallel stages (default: "
@@ -87,7 +87,7 @@ def _build_parser() -> argparse.ArgumentParser:
         )
         p.add_argument(
             "--backend",
-            choices=("serial", "thread", "process"),
+            choices=("serial", "thread", "process", "sentinel"),
             default=argparse.SUPPRESS,
             help="execution backend for the parallel stages",
         )

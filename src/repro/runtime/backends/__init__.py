@@ -20,6 +20,10 @@ from repro.runtime.backends.base import (
     set_default_backend,
 )
 from repro.runtime.backends.process import ProcessBackend
+from repro.runtime.backends.sentinel import (
+    SentinelBackend,
+    SharedStateMutationError,
+)
 from repro.runtime.backends.serial import SerialBackend
 from repro.runtime.backends.thread import ThreadBackend
 
@@ -30,7 +34,9 @@ __all__ = [
     "Backend",
     "BackendError",
     "ProcessBackend",
+    "SentinelBackend",
     "SerialBackend",
+    "SharedStateMutationError",
     "SpmdContext",
     "SpmdSession",
     "ThreadBackend",

@@ -74,7 +74,7 @@ BACKEND_ENV = "REPRO_BACKEND"
 #: environment variable with the default worker count
 WORKERS_ENV = "REPRO_WORKERS"
 
-BACKEND_NAMES = ("serial", "thread", "process")
+BACKEND_NAMES = ("serial", "thread", "process", "sentinel")
 
 
 class BackendError(RuntimeError):
@@ -300,7 +300,8 @@ class Backend:
     the startup cost.
     """
 
-    #: short identifier (``serial`` / ``thread`` / ``process``)
+    #: short identifier (``serial`` / ``thread`` / ``process`` /
+    #: ``sentinel``)
     name: str = "base"
 
     def open_session(
@@ -388,6 +389,10 @@ def make_backend(spec: str, workers: Optional[int] = None) -> Backend:
         from repro.runtime.backends.process import ProcessBackend
 
         return ProcessBackend(workers=workers)
+    if name == "sentinel":
+        from repro.runtime.backends.sentinel import SentinelBackend
+
+        return SentinelBackend(workers=workers)
     raise ValueError(
         f"unknown backend {spec!r}; expected one of {BACKEND_NAMES}"
     )

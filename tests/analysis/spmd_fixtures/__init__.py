@@ -1,0 +1,8 @@
+"""Seeded SPMD-rule violations (linted as a project in tests).
+
+Each module plants exactly the violations its name says; the SPMD001
+cases double as *runnable* entry points so the race sentinel can
+reproduce every static finding dynamically (see
+``tests/runtime/test_sentinel.py``).  This tree is excluded from the
+real CI lint run.
+"""

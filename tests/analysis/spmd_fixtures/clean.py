@@ -1,0 +1,18 @@
+"""A clean SPMD module: every pattern the rules must permit."""
+
+from repro.runtime.executor import spmd_run
+
+
+def _local_fold(ctx):
+    ctx.state["acc"] = float(ctx.rank)
+    values = [0.25, 0.5, 0.25]
+    total = 0.0
+    for v in values:
+        total += v
+    return sum(values) + total
+
+
+def run_clean(backend=None):
+    results = spmd_run(2, [_local_fold], backend=backend)
+    # step results arrive rank-ordered, so this fold is deterministic
+    return sum(results[0])

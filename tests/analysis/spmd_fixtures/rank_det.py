@@ -1,0 +1,26 @@
+"""DET001 seeds: nondeterminism sources in rank code."""
+
+import time
+
+from repro.runtime.executor import spmd_run
+
+
+def _stamp(ctx):
+    return time.perf_counter()  # DET001: wall-clock read
+
+
+def _set_fold(ctx):
+    pending = {3, 1, 2}
+    order = []
+    for item in pending:  # DET001: set iteration feeding a result
+        order.append(item)
+    return order
+
+
+def _id_order(ctx):
+    items = [object() for _ in range(3)]
+    return sorted(items, key=id)  # DET001: allocation-address ordering
+
+
+def run_det(backend=None):
+    return spmd_run(2, [_stamp, _set_fold, _id_order], backend=backend)

@@ -1,0 +1,19 @@
+"""FLOAT001 seeds: float accumulation over unordered containers."""
+
+from repro.runtime.executor import spmd_run
+
+
+def _fold_set(ctx):
+    weights = {0.1, 0.2, 0.7}
+    return sum(weights)  # FLOAT001: set (hash order)
+
+
+def _fold_values(ctx):
+    parts = {}
+    for src, val in ctx.inbox():
+        parts[src] = val
+    return sum(parts.values())  # FLOAT001: arrival-order dict in rank code
+
+
+def run_float(backend=None):
+    return spmd_run(2, [_fold_set, _fold_values], backend=backend)

@@ -1,0 +1,46 @@
+"""SPMD003 seeds: superstep closures over non-picklable objects."""
+
+import threading
+
+from repro.runtime.executor import spmd_run
+
+
+def run_lock_capture(backend=None):
+    guard = threading.Lock()
+
+    def _locked(ctx):  # SPMD003: captures a lock
+        with guard:
+            return ctx.rank
+
+    return spmd_run(2, [_locked], backend=backend)
+
+
+def run_file_capture(backend=None):
+    log = open("/dev/null", "w")
+
+    def _logged(ctx):  # SPMD003: captures a file handle
+        log.write(str(ctx.rank))
+        return ctx.rank
+
+    return spmd_run(2, [_logged], backend=backend)
+
+
+def run_generator_capture(backend=None):
+    stream = (i * i for i in range(8))
+
+    def _pull(ctx):  # SPMD003: captures a generator
+        return next(stream)
+
+    return spmd_run(2, [_pull], backend=backend)
+
+
+def run_local_class_capture(backend=None):
+    class Acc:
+        pass
+
+    box = Acc()
+
+    def _boxed(ctx):  # SPMD003: captures a local-class instance
+        return (box, ctx.rank)
+
+    return spmd_run(2, [_boxed], backend=backend)

@@ -1,0 +1,55 @@
+"""SPMD001 seeds: supersteps that mutate state shared across ranks.
+
+Every violation has a ``run_*`` entry point so the dynamic race
+sentinel can reproduce the static finding; ``run_clean`` exercises the
+permitted pattern (mutation confined to ``ctx.state``).
+"""
+
+from repro.runtime.executor import spmd_run
+
+TOTALS = []
+CACHE = {}
+
+
+def _append_global(ctx):
+    TOTALS.append(ctx.rank)  # SPMD001: module-level list
+
+
+def _store_global(ctx):
+    CACHE[ctx.rank] = ctx.size  # SPMD001: module-level dict
+
+
+def _write_shared(ctx):
+    ctx.shared["acc"].append(ctx.rank)  # SPMD001: broadcast mapping
+
+
+def _clean_state(ctx):
+    ctx.state["seen"] = ctx.rank
+    ctx.state.setdefault("log", []).append(ctx.size)
+    return ctx.state["seen"]
+
+
+def run_append_global(backend=None):
+    return spmd_run(2, [_append_global], backend=backend)
+
+
+def run_store_global(backend=None):
+    return spmd_run(2, [_store_global], backend=backend)
+
+
+def run_write_shared(backend=None):
+    return spmd_run(2, [_write_shared], backend=backend, shared={"acc": []})
+
+
+def run_closure_append(backend=None):
+    acc = []
+
+    def _append_closure(ctx):
+        acc.append(ctx.rank)  # SPMD001: captured from enclosing scope
+
+    spmd_run(2, [_append_closure], backend=backend)
+    return acc
+
+
+def run_clean(backend=None):
+    return spmd_run(2, [_clean_state], backend=backend)

@@ -1,0 +1,29 @@
+"""SPMD002 seeds: module-level RNG streams inside rank code.
+
+Uses the raw ``open_session``/``step`` protocol so the analyzer's
+session-variable recognition is exercised too.
+"""
+
+import random
+
+import numpy as np
+
+from repro.runtime.backends.base import resolve_backend
+
+
+def _draw_numpy(ctx, arg):
+    return np.random.random()  # SPMD002: process-global numpy stream
+
+
+def _draw_stdlib(ctx, arg):
+    return random.random()  # SPMD002: process-global stdlib stream
+
+
+def run_draws(backend=None):
+    sess = resolve_backend(backend).open_session(2)
+    try:
+        first = sess.step(_draw_numpy)
+        second = sess.step(_draw_stdlib)
+    finally:
+        sess.close()
+    return first, second

@@ -8,6 +8,7 @@ from repro.analysis.cli import main as lint_main
 from repro.cli import main as contact_main
 
 FIXTURES = Path(__file__).parent / "fixtures"
+SPMD_FIXTURES = Path(__file__).parent / "spmd_fixtures"
 LIBRARY = Path(repro.__file__).parent
 
 
@@ -57,6 +58,56 @@ class TestOptions:
         out = capsys.readouterr().out
         for code in ("ARR001", "ARR002", "RNG001", "ASSERT001", "VAL001", "LOOP001"):
             assert code in out
+
+    def test_list_rules_includes_spmd_family(self, capsys):
+        lint_main(["--list-rules"])
+        out = capsys.readouterr().out
+        for code in ("SPMD001", "SPMD002", "SPMD003", "DET001", "FLOAT001"):
+            assert code in out
+
+    def test_sarif_format(self, capsys):
+        assert lint_main(["--format", "sarif", str(FIXTURES)]) == 1
+        log = json.loads(capsys.readouterr().out)
+        assert log["version"] == "2.1.0"
+        assert log["runs"][0]["results"]
+
+    def test_statistics_appended(self, capsys):
+        assert lint_main(["--statistics", str(FIXTURES)]) == 1
+        out = capsys.readouterr().out
+        assert "total" in out.splitlines()[-1]
+
+    def test_exclude_pattern(self, capsys):
+        code = lint_main(
+            [str(FIXTURES), "--exclude", "*/fixtures/*"]
+        )
+        assert code == 0
+        assert "no issues found" in capsys.readouterr().out
+
+
+class TestSpmdFlag:
+    def test_spmd_flag_finds_seeded_violations(self, capsys):
+        assert lint_main(["--spmd", str(SPMD_FIXTURES)]) == 1
+        out = capsys.readouterr().out
+        for code in ("SPMD001", "SPMD002", "SPMD003", "DET001", "FLOAT001"):
+            assert code in out
+
+    def test_without_flag_fixtures_are_clean(self, capsys):
+        # the SPMD family is project-level; the per-file engine alone
+        # must not fire on the fixture tree
+        assert lint_main([str(SPMD_FIXTURES)]) == 0
+
+    def test_spmd_select_narrows(self, capsys):
+        assert (
+            lint_main(["--spmd", "--select", "SPMD002", str(SPMD_FIXTURES)])
+            == 1
+        )
+        out = capsys.readouterr().out
+        assert "SPMD002" in out and "SPMD001" not in out
+
+    def test_spmd_library_lints_clean(self, capsys):
+        """`repro-lint --spmd src/repro` must exit 0 (acceptance)."""
+        assert lint_main(["--spmd", str(LIBRARY)]) == 0
+        assert "no issues found" in capsys.readouterr().out
 
 
 class TestMetaSelfClean:

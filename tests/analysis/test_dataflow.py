@@ -1,0 +1,194 @@
+"""Unit coverage for the scope/capture/call-graph summaries."""
+
+import ast
+import textwrap
+
+from repro.analysis.dataflow import (
+    ProjectIndex,
+    dotted_parts,
+    dotted_text,
+    summarize_module,
+)
+
+
+def summarize(source, module="m", path="m.py"):
+    tree = ast.parse(textwrap.dedent(source))
+    return summarize_module(module, path, tree)
+
+
+class TestDottedParts:
+    def test_name(self):
+        assert dotted_parts(ast.parse("x", mode="eval").body) == ("x",)
+
+    def test_attribute_chain(self):
+        expr = ast.parse("a.b.c", mode="eval").body
+        assert dotted_parts(expr) == ("a", "b", "c")
+
+    def test_subscript_is_transparent(self):
+        expr = ast.parse("ctx.shared['k'].append", mode="eval").body
+        assert dotted_parts(expr) == ("ctx", "shared", "append")
+
+    def test_unrooted_chain_is_none(self):
+        expr = ast.parse("f().attr", mode="eval").body
+        assert dotted_parts(expr) is None
+        assert dotted_text(expr) is None
+
+
+class TestScopeFacts:
+    def test_params_locals_and_loads(self):
+        s = summarize(
+            """
+            def f(a, b=1, *args, kw=None, **extra):
+                local = a + other
+                return local
+            """
+        )
+        fn = s.functions["f"]
+        assert fn.params == {"a", "b", "args", "kw", "extra"}
+        assert "local" in fn.bound
+        assert "other" in fn.loads
+        assert fn.is_local("local") and not fn.is_local("other")
+
+    def test_mutations_recorded_by_kind(self):
+        s = summarize(
+            """
+            def f(ctx):
+                ctx.state["k"] = 1
+                acc = []
+                acc.append(2)
+                total = 0
+                total += 1
+                del ctx.state["k"]
+            """
+        )
+        kinds = {
+            (m.kind, m.chain) for m in s.functions["f"].mutations
+        }
+        assert ("store", ("ctx", "state")) in kinds
+        assert ("method", ("acc",)) in kinds
+        assert ("augassign", ("total",)) in kinds
+        assert ("delete", ("ctx", "state")) in kinds
+
+    def test_captures_resolve_to_enclosing_binding(self):
+        s = summarize(
+            """
+            def outer():
+                acc = []
+                def inner(ctx):
+                    acc.append(ctx.rank)
+                return inner
+            """
+        )
+        inner = s.functions["outer.<locals>.inner"]
+        assert "acc" in inner.captured
+        assert isinstance(inner.captured["acc"], ast.List)
+
+    def test_nonlocal_is_always_captured(self):
+        s = summarize(
+            """
+            def outer():
+                n = 0
+                def bump():
+                    nonlocal n
+                    n += 1
+                return bump
+            """
+        )
+        bump = s.functions["outer.<locals>.bump"]
+        assert "n" in bump.captured
+
+    def test_global_reads_exclude_imports_and_builtins(self):
+        s = summarize(
+            """
+            import numpy as np
+            TOTALS = []
+
+            def f(ctx):
+                TOTALS.append(len(np.zeros(1)))
+            """
+        )
+        fn = s.functions["f"]
+        assert fn.global_reads == {"TOTALS"}
+
+    def test_session_variable_recognised(self):
+        s = summarize(
+            """
+            def run(backend):
+                handle = backend.open_session(4)
+                with backend.open_session(2) as managed:
+                    pass
+            """
+        )
+        assert s.session_names == {"handle", "managed"}
+
+    def test_lambda_gets_a_summary(self):
+        s = summarize("f = lambda ctx: ctx.rank\n")
+        names = [fn.name for fn in s.functions.values()]
+        assert names == ["<lambda-1>"]
+
+
+class TestProjectIndex:
+    def test_resolves_from_import(self):
+        lib = summarize("def step(ctx):\n    return ctx.rank\n", "lib", "lib.py")
+        app_tree = ast.parse(
+            "from lib import step\n\ndef go():\n    step(None)\n"
+        )
+        index = ProjectIndex(
+            [lib, summarize_module("app", "app.py", app_tree)]
+        )
+        fn = index.resolve_function("app", "step")
+        assert fn is not None and fn.module == "lib"
+
+    def test_resolves_module_attribute(self):
+        lib = summarize("def step(ctx):\n    return 1\n", "lib", "lib.py")
+        app_tree = ast.parse("import lib\n\ndef go():\n    lib.step(None)\n")
+        index = ProjectIndex(
+            [lib, summarize_module("app", "app.py", app_tree)]
+        )
+        fn = index.resolve_function("app", "lib.step")
+        assert fn is not None and fn.qualname == "step"
+
+    def test_unknown_name_resolves_to_none(self):
+        lib = summarize("def step(ctx):\n    return 1\n", "lib", "lib.py")
+        index = ProjectIndex([lib])
+        assert index.resolve_function("lib", "missing") is None
+        assert index.resolve_function("nope", "step") is None
+
+    def test_reachable_closes_over_calls(self):
+        s = summarize(
+            """
+            def helper():
+                return leaf()
+
+            def leaf():
+                return 1
+
+            def root(ctx):
+                return helper()
+
+            def unrelated():
+                return 2
+            """
+        )
+        index = ProjectIndex([s])
+        reached = index.reachable([s.functions["root"]])
+        names = {fn.qualname for fn in reached}
+        assert names == {"root", "helper", "leaf"}
+
+    def test_reachable_prefers_nested_over_module(self):
+        s = summarize(
+            """
+            def helper():
+                return "module"
+
+            def root(ctx):
+                def helper():
+                    return "nested"
+                return helper()
+            """
+        )
+        index = ProjectIndex([s])
+        reached = index.reachable([s.functions["root"]])
+        names = {fn.qualname for fn in reached}
+        assert "root.<locals>.helper" in names
+        assert "helper" not in names

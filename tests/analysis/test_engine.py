@@ -55,6 +55,54 @@ class TestSuppressions:
         diags = LintEngine().lint_source(src, module="repro.m")
         assert [d.line for d in diags] == [3]
 
+    def test_file_level_disable_all(self):
+        src = (
+            "# repro-lint: disable-file=all\n"
+            "def f(x):\n    assert x\n"
+        )
+        assert LintEngine().lint_source(src, module="repro.m") == []
+
+    def test_multi_code_list_with_odd_whitespace(self):
+        src = (
+            "def f(x):\n"
+            "    assert x  #   repro-lint:   disable = ASSERT001 ,"
+            "   ARR001\n"
+        )
+        assert LintEngine().lint_source(src, module="repro.m") == []
+
+    def test_multi_code_list_only_named_codes_suppressed(self):
+        src = (
+            "def f(x):\n"
+            "    assert x  # repro-lint: disable=ARR001, RNG001\n"
+        )
+        codes = [
+            d.code for d in LintEngine().lint_source(src, module="repro.m")
+        ]
+        assert codes == ["ASSERT001"]
+
+    def test_suppression_on_decorator_line_covers_def(self):
+        # VAL001 anchors at the def statement, but authors write the
+        # comment next to the decorator — both placements must silence
+        src = (
+            "@wrapped  # repro-lint: disable=VAL001\n"
+            "def partition_kway(csr, k):\n"
+            "    return csr\n"
+        )
+        assert (
+            LintEngine().lint_source(src, module="repro.partition.kway")
+            == []
+        )
+
+    def test_undecorated_def_still_flagged(self):
+        src = "def partition_kway(csr, k):\n    return csr\n"
+        codes = [
+            d.code
+            for d in LintEngine().lint_source(
+                src, module="repro.partition.kway"
+            )
+        ]
+        assert codes == ["VAL001"]
+
 
 class TestSelection:
     def test_select_narrows(self):
@@ -121,6 +169,47 @@ class TestSyntaxErrors:
     def test_unparsable_source_reports_e999(self):
         diags = LintEngine().lint_source("def f(:\n", module="repro.m")
         assert [d.code for d in diags] == [SYNTAX_ERROR_CODE]
+        assert diags[0].col >= 1  # 1-based like every other column
+
+    def test_e999_file_inside_multi_target_run(self, tmp_path):
+        (tmp_path / "bad.py").write_text("def f(:\n")
+        (tmp_path / "flagged.py").write_text("def f(x):\n    assert x\n")
+        # module name must not look like a test module for ASSERT001
+        diags = LintEngine().lint_paths(
+            [tmp_path / "bad.py", tmp_path / "flagged.py"]
+        )
+        assert [d.code for d in diags] == [SYNTAX_ERROR_CODE, "ASSERT001"]
+
+    def test_e999_does_not_abort_directory_walk(self, tmp_path):
+        (tmp_path / "a_bad.py").write_text("def f(:\n")
+        (tmp_path / "b_ok.py").write_text("x = 1\n")
+        diags = LintEngine().lint_paths([tmp_path])
+        assert [d.code for d in diags] == [SYNTAX_ERROR_CODE]
+
+
+class TestExcludePatterns:
+    def test_exclude_glob_skips_matching_files(self, tmp_path):
+        sub = tmp_path / "fixtures"
+        sub.mkdir()
+        (sub / "seeded.py").write_text("def f(x):\n    assert x\n")
+        (tmp_path / "real.py").write_text("def f(x):\n    assert x\n")
+        diags = LintEngine().lint_paths(
+            [tmp_path], exclude=["*/fixtures/*"]
+        )
+        assert [Path(d.path).name for d in diags] == ["real.py"]
+
+    def test_exclude_applies_to_explicit_files(self, tmp_path):
+        target = tmp_path / "skip_me.py"
+        target.write_text("def f(x):\n    assert x\n")
+        assert LintEngine().lint_paths([target], exclude=["*skip_me*"]) == []
+
+
+class TestColumns:
+    def test_columns_are_one_based(self):
+        src = "def f(x):\n    assert x\n"
+        diags = LintEngine().lint_source(src, module="repro.m")
+        # the assert starts at 0-based offset 4 → reported column 5
+        assert [(d.line, d.col) for d in diags] == [(2, 5)]
 
 
 class TestDiagnostic:

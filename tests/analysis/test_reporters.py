@@ -1,13 +1,17 @@
-"""Reporter output contracts (human text + JSON schema v1)."""
+"""Reporter output contracts (human text, JSON schema v1, SARIF)."""
 
 import json
 
 from repro.analysis.engine import Diagnostic
 from repro.analysis.reporters import (
     JSON_SCHEMA_VERSION,
+    SARIF_VERSION,
     as_json_payload,
+    as_sarif_payload,
     format_human,
     format_json,
+    format_sarif,
+    format_statistics,
 )
 
 DIAGS = [
@@ -60,3 +64,61 @@ class TestJsonReporter:
         assert payload["count"] == 0
         assert payload["summary"] == {}
         assert payload["diagnostics"] == []
+
+
+class TestStatistics:
+    def test_per_code_counts_and_total(self):
+        lines = format_statistics(DIAGS).splitlines()
+        assert lines[0].split()[:2] == ["2", "ARR001"]
+        assert lines[1].split()[:2] == ["1", "RNG001"]
+        assert lines[-1].split() == ["3", "total"]
+
+    def test_known_codes_carry_descriptions(self):
+        out = format_statistics(DIAGS)
+        assert "explicit dtype" in out  # ARR001's description
+
+
+class TestSarifReporter:
+    def test_log_shape(self):
+        log = as_sarif_payload(DIAGS)
+        assert log["version"] == SARIF_VERSION
+        assert "sarif-2.1.0" in log["$schema"]
+        (run,) = log["runs"]
+        assert run["tool"]["driver"]["name"] == "repro-lint"
+        assert len(run["results"]) == 3
+
+    def test_result_locations_are_one_based(self):
+        log = as_sarif_payload(
+            [Diagnostic("pkg/mod.py", 7, 3, "ARR001", "msg")]
+        )
+        (result,) = log["runs"][0]["results"]
+        assert result["ruleId"] == "ARR001"
+        assert result["level"] == "error"
+        region = result["locations"][0]["physicalLocation"]["region"]
+        assert region == {"startLine": 7, "startColumn": 3}
+        uri = result["locations"][0]["physicalLocation"][
+            "artifactLocation"
+        ]["uri"]
+        assert uri == "pkg/mod.py"
+
+    def test_rules_metadata_covers_present_codes(self):
+        log = as_sarif_payload(DIAGS)
+        rules = log["runs"][0]["tool"]["driver"]["rules"]
+        assert [r["id"] for r in rules] == ["ARR001", "RNG001"]
+        assert all("shortDescription" in r for r in rules)
+
+    def test_e999_gets_fallback_metadata(self):
+        log = as_sarif_payload(
+            [Diagnostic("x.py", 1, 1, "E999", "syntax error: bad")]
+        )
+        (rule,) = log["runs"][0]["tool"]["driver"]["rules"]
+        assert rule["id"] == "E999"
+        assert rule["name"] == "syntax-error"
+
+    def test_format_sarif_parses_back(self):
+        assert json.loads(format_sarif(DIAGS)) == as_sarif_payload(DIAGS)
+
+    def test_empty_run_is_valid(self):
+        log = as_sarif_payload([])
+        assert log["runs"][0]["results"] == []
+        assert log["runs"][0]["tool"]["driver"]["rules"] == []

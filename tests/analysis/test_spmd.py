@@ -1,0 +1,346 @@
+"""The SPMD rule family: per-rule cases, discovery, and golden output.
+
+The fixture package under ``spmd_fixtures/`` seeds exactly the
+violations the analyzer must find (and only those); the JSON and SARIF
+renderings of that run are pinned as golden files.  The SPMD001 seeds
+are re-validated *dynamically* in ``tests/runtime/test_sentinel.py``.
+"""
+
+import dataclasses
+import json
+import textwrap
+from pathlib import Path
+
+from repro.analysis.engine import LintEngine
+from repro.analysis.reporters import as_json_payload, as_sarif_payload
+from repro.analysis.spmd import SpmdAnalyzer, spmd_rules
+
+FIXDIR = Path(__file__).parent / "spmd_fixtures"
+GOLDEN = Path(__file__).parent / "golden"
+
+
+def analyze(source, module="m", path="m.py", select=None, ignore=None):
+    analyzer = SpmdAnalyzer(select=select, ignore=ignore)
+    return analyzer.analyze_source(
+        textwrap.dedent(source), module=module, path=path
+    )
+
+
+def codes(source, **kwargs):
+    return [d.code for d in analyze(source, **kwargs)]
+
+
+class TestSPMD001:
+    def test_global_mutation_in_superstep(self):
+        src = """
+            ACC = []
+
+            def _step(ctx):
+                ACC.append(ctx.rank)
+
+            def run():
+                spmd_run(2, [_step])
+        """
+        assert codes(src) == ["SPMD001"]
+
+    def test_transitively_reached_helper_is_checked(self):
+        src = """
+            ACC = []
+
+            def _helper(ctx):
+                ACC.append(ctx.rank)
+
+            def _step(ctx):
+                return _helper(ctx)
+
+            def run():
+                spmd_run(2, [_step])
+        """
+        assert codes(src) == ["SPMD001"]
+
+    def test_ctx_state_mutation_is_clean(self):
+        src = """
+            def _step(ctx):
+                ctx.state["k"] = ctx.rank
+                ctx.state.setdefault("log", []).append(1)
+
+            def run():
+                spmd_run(2, [_step])
+        """
+        assert codes(src) == []
+
+    def test_local_mutation_is_clean(self):
+        src = """
+            def _step(ctx):
+                acc = []
+                acc.append(ctx.rank)
+                return acc
+
+            def run():
+                spmd_run(2, [_step])
+        """
+        assert codes(src) == []
+
+    def test_step_argument_mutation_flagged(self):
+        src = """
+            def _step(ctx, arg):
+                arg.append(ctx.rank)
+
+            def run(sess):
+                sess.step(_step, [])
+        """
+        assert codes(src) == ["SPMD001"]
+
+    def test_alias_of_shared_flagged(self):
+        src = """
+            def _step(ctx):
+                table = ctx.shared["table"]
+                table[ctx.rank] = 1
+
+            def run():
+                spmd_run(2, [_step])
+        """
+        assert codes(src) == ["SPMD001"]
+
+    def test_global_rebinding_flagged(self):
+        src = """
+            COUNT = 0
+
+            def _step(ctx):
+                global COUNT
+                COUNT = COUNT + 1
+
+            def run():
+                spmd_run(2, [_step])
+        """
+        assert codes(src) == ["SPMD001"]
+
+    def test_unregistered_function_not_checked(self):
+        src = """
+            ACC = []
+
+            def helper(ctx):
+                ACC.append(ctx.rank)
+        """
+        assert codes(src) == []
+
+
+class TestSPMD002:
+    def test_lambda_superstep_rng(self):
+        src = """
+            import numpy as np
+
+            def run():
+                spmd_run(2, [lambda ctx: np.random.random()])
+        """
+        assert codes(src) == ["SPMD002"]
+
+    def test_bare_import_from_random(self):
+        src = """
+            from random import randint
+
+            def _step(ctx):
+                return randint(0, 9)
+
+            def run():
+                spmd_run(2, [_step])
+        """
+        assert codes(src) == ["SPMD002"]
+
+    def test_non_rng_random_name_is_clean(self):
+        src = """
+            def random(): return 4
+
+            def _step(ctx):
+                return random()
+
+            def run():
+                spmd_run(2, [_step])
+        """
+        assert codes(src) == []
+
+
+class TestSPMD003:
+    def test_partial_wrapped_superstep(self):
+        src = """
+            from functools import partial
+            import threading
+
+            def run():
+                lock = threading.Lock()
+
+                def _step(ctx, arg):
+                    with lock:
+                        return arg
+
+                spmd_run(2, [partial(_step, 7)])
+        """
+        assert codes(src) == ["SPMD003"]
+
+    def test_module_level_superstep_never_flagged(self):
+        src = """
+            import threading
+            GUARD = threading.Lock()
+
+            def _step(ctx):
+                return ctx.rank
+
+            def run():
+                spmd_run(2, [_step])
+        """
+        assert codes(src) == []
+
+
+class TestDET001:
+    def test_coordinator_checked_too(self):
+        src = """
+            import time
+
+            def _step(ctx):
+                return ctx.rank
+
+            def run():
+                started = time.time()
+                spmd_run(2, [_step])
+                return started
+        """
+        assert codes(src) == ["DET001"]
+
+    def test_sorted_set_iteration_is_clean(self):
+        src = """
+            def _step(ctx):
+                pending = {3, 1, 2}
+                return [x for x in sorted(pending)]
+
+            def run():
+                spmd_run(2, [_step])
+        """
+        assert codes(src) == []
+
+
+class TestFLOAT001:
+    def test_values_sum_allowed_in_coordinator(self):
+        # coordinator-side dict folds are insertion-ordered by the
+        # deterministic rank-ordered merge (the dtree/_induce_rounds
+        # pattern) — only rank-side arrival-order folds are flagged
+        src = """
+            def _step(ctx):
+                return ctx.rank
+
+            def run():
+                hists = {}
+                spmd_run(2, [_step])
+                return sum(h for h in hists.values())
+        """
+        assert codes(src) == []
+
+    def test_fsum_over_set_flagged(self):
+        src = """
+            import math
+
+            def _step(ctx):
+                vals = {0.1, 0.2}
+                return math.fsum(vals)
+
+            def run():
+                spmd_run(2, [_step])
+        """
+        assert codes(src) == ["FLOAT001"]
+
+
+class TestAnalyzerPlumbing:
+    def test_rules_registered(self):
+        assert [r.code for r in spmd_rules()] == [
+            "DET001",
+            "FLOAT001",
+            "SPMD001",
+            "SPMD002",
+            "SPMD003",
+        ]
+
+    def test_select_and_ignore(self):
+        src = """
+            import numpy as np
+            ACC = []
+
+            def _step(ctx):
+                ACC.append(np.random.random())
+
+            def run():
+                spmd_run(2, [_step])
+        """
+        assert codes(src) == ["SPMD001", "SPMD002"]
+        assert codes(src, select=["SPMD002"]) == ["SPMD002"]
+        assert codes(src, ignore=["SPMD002"]) == ["SPMD001"]
+
+    def test_suppression_comment_honoured(self):
+        src = """
+            ACC = []
+
+            def _step(ctx):
+                ACC.append(ctx.rank)  # repro-lint: disable=SPMD001
+
+            def run():
+                spmd_run(2, [_step])
+        """
+        assert codes(src) == []
+
+    def test_unresolvable_step_is_skipped(self):
+        src = """
+            def run(steps):
+                spmd_run(2, steps)
+
+            def run2(sess, fn):
+                sess.step(fn)
+        """
+        assert codes(src) == []
+
+    def test_syntax_error_file_skipped(self, tmp_path):
+        (tmp_path / "bad.py").write_text("def f(:\n")
+        (tmp_path / "ok.py").write_text(
+            "ACC = []\n\n"
+            "def _step(ctx):\n    ACC.append(1)\n\n"
+            "def run():\n    spmd_run(2, [_step])\n"
+        )
+        diags = SpmdAnalyzer().analyze_paths([tmp_path])
+        assert [d.code for d in diags] == ["SPMD001"]
+
+
+class TestFixtureGoldens:
+    def _normalized(self):
+        diags = sorted(
+            set(LintEngine().lint_paths([FIXDIR]))
+            | set(SpmdAnalyzer().analyze_paths([FIXDIR]))
+        )
+        return sorted(
+            dataclasses.replace(d, path=Path(d.path).name) for d in diags
+        )
+
+    def test_exact_code_counts(self):
+        diags = self._normalized()
+        summary = as_json_payload(diags)["summary"]
+        assert summary == {
+            "DET001": 3,
+            "FLOAT001": 2,
+            "SPMD001": 4,
+            "SPMD002": 2,
+            "SPMD003": 4,
+        }
+
+    def test_clean_modules_stay_clean(self):
+        diags = self._normalized()
+        flagged = {d.path for d in diags}
+        assert "clean.py" not in flagged
+        assert "__init__.py" not in flagged
+
+    def test_matches_golden_json(self):
+        golden = json.loads((GOLDEN / "spmd_fixtures.json").read_text())
+        assert as_json_payload(self._normalized()) == golden
+
+    def test_matches_golden_sarif(self):
+        golden = json.loads((GOLDEN / "spmd_fixtures.sarif").read_text())
+        assert as_sarif_payload(self._normalized()) == golden
+
+    def test_real_tree_is_spmd_clean(self):
+        src_root = Path(__file__).resolve().parents[2] / "src" / "repro"
+        assert SpmdAnalyzer().analyze_paths([src_root]) == []

@@ -56,12 +56,16 @@ def rng():
     return np.random.default_rng(1234)
 
 
-@pytest.fixture(scope="session", params=["serial", "thread", "process"])
+@pytest.fixture(
+    scope="session", params=["serial", "thread", "process", "sentinel"]
+)
 def spmd_backend(request):
-    """Each of the three execution backends, session-scoped so the
-    process backend's worker pool is spun up once for the whole run.
-    Tests using this fixture assert backend-independence: identical
-    results and ledgers on every backend."""
+    """Each execution backend, session-scoped so the process backend's
+    worker pool is spun up once for the whole run.  Tests using this
+    fixture assert backend-independence: identical results and ledgers
+    on every backend.  The ``sentinel`` variant additionally proves the
+    supersteps never mutate shared state (it raises
+    ``SharedStateMutationError`` if one does)."""
     from repro.runtime.backends import make_backend
 
     backend = make_backend(request.param, workers=2)

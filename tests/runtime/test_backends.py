@@ -17,6 +17,7 @@ import pytest
 from repro.obs.tracer import Tracer
 from repro.runtime.backends import (
     BACKEND_ENV,
+    BACKEND_NAMES,
     WORKERS_ENV,
     Backend,
     BackendError,
@@ -221,7 +222,9 @@ class TestProcessBackend:
         captured = {}
 
         def closure_step(ctx):  # not picklable: a closure
-            captured.setdefault("ranks", []).append(ctx.rank)
+            # the capture is the point — it proves the in-process
+            # fallback (which runs ranks sequentially) actually ran
+            captured.setdefault("ranks", []).append(ctx.rank)  # repro-lint: disable=SPMD001
             return ctx.rank * 10
 
         with ProcessBackend(workers=2) as be:
@@ -271,6 +274,4 @@ class TestBackendProtocol:
         # the documented way to run the whole suite on a backend:
         # REPRO_BACKEND=process — resolution must read it at call time
         env_before = os.environ.get(BACKEND_ENV)
-        assert env_before is None or env_before in (
-            "serial", "thread", "process",
-        )
+        assert env_before is None or env_before.split(":")[0] in BACKEND_NAMES

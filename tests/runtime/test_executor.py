@@ -30,14 +30,12 @@ class TestSpmdRun:
         assert results[1] == [3, 0, 1, 2]
 
     def test_messages_not_visible_same_superstep(self):
-        seen = []
-
         def step(ctx):
             ctx.send((ctx.rank + 1) % ctx.size, "x", "p", 1)
-            seen.append(len(ctx.inbox()))
+            return len(ctx.inbox())
 
-        spmd_run(2, [step])
-        assert seen == [0, 0]
+        results = spmd_run(2, [step])
+        assert results[0] == [0, 0]
 
     def test_ledger_threading(self):
         led = CommLedger()
