@@ -69,9 +69,9 @@ def test_edgeweight_protects_contact_edges(benchmark, short_sequence):
             contact_edge_weight=weight, reshape=reshape,
             options=strong_options(),
         )
-        pt = MCMLDTPartitioner(K, params).fit(snap)
+        result = MCMLDTPartitioner(K, params).fit(snap)
         graph = build_contact_graph(snap, weight)
-        return cut_contact_edges(graph, snap, pt.part)
+        return cut_contact_edges(graph, snap, result.labels)
 
     cut1 = run(1, reshape=False)
     cut5 = run(5, reshape=False)

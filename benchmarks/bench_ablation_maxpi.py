@@ -77,8 +77,8 @@ def test_maxpi_in_window_beats_too_high(benchmark, short_sequence):
             max_i=max(1, int(n / K**ei)),
             options=strong_options(),
         )
-        pt = MCMLDTPartitioner(K, params).fit(snap)
-        return load_imbalance(graph, pt.part, K).max()
+        result = MCMLDTPartitioner(K, params).fit(snap)
+        return load_imbalance(graph, result.labels, K).max()
 
     in_window = run(1.25, 2.25)
     too_high = run(0.5, 1.5)

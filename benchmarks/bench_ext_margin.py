@@ -26,7 +26,8 @@ def test_margin_weight_sweep(benchmark, short_sequence, margin):
     params = MCMLDTParams(
         margin_weight=margin, pad=0.1, options=strong_options()
     )
-    pt = MCMLDTPartitioner(K, params).fit(snap)
+    pt = MCMLDTPartitioner(K, params)
+    pt.fit(snap)
 
     def per_step():
         tree, _ = pt.build_descriptors(snap)
@@ -49,7 +50,8 @@ def test_margin_trees_remain_correct(benchmark, short_sequence):
 
     snap = short_sequence[10]
     params = MCMLDTParams(margin_weight=0.2, options=strong_options())
-    pt = MCMLDTPartitioner(K, params).fit(snap)
+    pt = MCMLDTPartitioner(K, params)
+    pt.fit(snap)
 
     def build():
         return pt.build_descriptors(snap)

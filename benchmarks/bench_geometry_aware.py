@@ -75,7 +75,7 @@ def test_geometry_aware_variants(benchmark, variant, oblique):
         params = MCMLDTParams(
             reshape=(variant == "reshaped"), options=strong_options()
         )
-        return MCMLDTPartitioner(K, params).fit(snap).part
+        return MCMLDTPartitioner(K, params).fit(snap).labels
 
     part = benchmark.pedantic(fit, rounds=1, iterations=1)
     metrics = evaluate(snap, part, K)
@@ -104,7 +104,7 @@ def test_reshaping_helps_on_oblique(benchmark):
                 reshape=(variant == "reshaped"),
                 options=strong_options(seed=seed),
             )
-            part = MCMLDTPartitioner(K, params).fit(snap).part
+            part = MCMLDTPartitioner(K, params).fit(snap).labels
         cn = snap.contact_nodes
         tree, _ = induce_pure_tree(snap.mesh.nodes[cn], part[cn], K)
         return tree.n_nodes

@@ -88,7 +88,8 @@ def main() -> None:
     print(f"\nPartitioning with MCML+DT, k={k}...")
     pt = MCMLDTPartitioner(
         k, MCMLDTParams(pad=pad, options=PartitionOptions(seed=0))
-    ).fit(snap)
+    )
+    pt.fit(snap)
     d = pt.diagnostics
     print(
         f"  cut {d.edge_cut_final}, imbalance "

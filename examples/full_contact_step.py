@@ -65,7 +65,8 @@ def main() -> None:
     print(f"Stage 1: MCML+DT decomposition (k={K}, once per run)")
     pt = MCMLDTPartitioner(
         K, MCMLDTParams(pad=PAD, options=PartitionOptions(seed=0))
-    ).fit(snap0)
+    )
+    pt.fit(snap0)
     print(
         f"  imbalance {pt.diagnostics.imbalance_final.round(3).tolist()}\n"
     )

@@ -31,7 +31,8 @@ def main() -> None:
 
     pt = MCMLDTPartitioner(
         K, MCMLDTParams(options=PartitionOptions(seed=0))
-    ).fit(snap0)
+    )
+    pt.fit(snap0)
     print(
         f"MCML+DT k={K}: imbalance "
         f"{pt.diagnostics.imbalance_final.round(3).tolist()}"

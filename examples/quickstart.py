@@ -40,7 +40,8 @@ def main() -> None:
     print(f"\n2. Fitting MCML+DT for k={k} partitions...")
     pt = MCMLDTPartitioner(
         k, MCMLDTParams(options=PartitionOptions(seed=0))
-    ).fit(snap)
+    )
+    pt.fit(snap)
     graph = build_contact_graph(snap)
     imb = load_imbalance(graph, pt.part, k)
     print(

@@ -24,6 +24,9 @@ from repro.core import (
     MCMLDTPartitioner,
     MLRCBParams,
     MLRCBPartitioner,
+    PartitionDiagnostics,
+    Partitioner,
+    PartitionResult,
     build_contact_graph,
     evaluate_mcml_dt,
     evaluate_ml_rcb,
@@ -44,6 +47,9 @@ __all__ = [
     "MCMLDTPartitioner",
     "MLRCBParams",
     "MLRCBPartitioner",
+    "Partitioner",
+    "PartitionDiagnostics",
+    "PartitionResult",
     "build_contact_graph",
     "evaluate_mcml_dt",
     "evaluate_ml_rcb",

@@ -11,8 +11,9 @@ Unlike the per-file rules of :mod:`repro.analysis.rules`, the SPMD
 family is a *project-level* pass: :class:`SpmdAnalyzer` parses the
 whole target set, finds every superstep handed to ``spmd_run`` or
 ``session.step`` (direct references, lambdas, ``functools.partial``
-wrappers, and nested functions), closes over the call graph, and runs
-the rules over the reachable rank code:
+and :class:`~repro.runtime.faults.ChaosStep` wrappers, and nested
+functions), closes over the call graph, and runs the rules over the
+reachable rank code:
 
 ========  ===========================================================
 SPMD001   superstep mutates a captured or global mutable (thread race)
@@ -165,6 +166,12 @@ def _iter_calls_with_scope(
     return rec(summary.tree, None)
 
 
+#: wrapper factories whose first argument is the real superstep; the
+#: resolver looks through them (functools.partial, and the fault
+#: harness's ChaosStep / retry-disarm wrapper)
+STEP_WRAPPER_NAMES = frozenset({"partial", "ChaosStep", "_disarm_step"})
+
+
 def _callee_tail(node: ast.Call) -> Optional[str]:
     parts = dotted_parts(node.func)
     return parts[-1] if parts else None
@@ -184,7 +191,7 @@ def _resolve_step_expr(
         return None
     if isinstance(expr, ast.Call):
         tail = _callee_tail(expr)
-        if tail == "partial" and expr.args:
+        if tail in STEP_WRAPPER_NAMES and expr.args:
             return _resolve_step_expr(index, summary, scope, expr.args[0])
         return None
     if isinstance(expr, ast.Name):

@@ -13,15 +13,19 @@ algorithms under the phase tracer and prints/serializes the run report
 for any experiment command; the ``trace`` subcommand additionally
 prints the report to the terminal.
 
-``--backend {serial,thread,process,sentinel}`` and ``--workers N`` (global,
-also accepted after the subcommand) select the SPMD execution backend
-for every parallel stage in the run (``docs/PARALLELISM.md``); results
-are bit-identical across backends.
+``--backend {serial,thread,process,sentinel,chaos}`` and ``--workers N``
+(global, also accepted after the subcommand) select the SPMD execution
+backend for every parallel stage in the run (``docs/PARALLELISM.md``);
+results are bit-identical across backends. ``--fault-plan PLAN``
+(e.g. ``kill@2.1,hang@5.0:12``) injects deterministic worker faults
+through the chaos harness — implied ``--backend chaos`` — to exercise
+the recovery machinery (``docs/FAULT_TOLERANCE.md``).
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import List, Optional
 
@@ -57,7 +61,7 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--backend",
-        choices=("serial", "thread", "process", "sentinel"),
+        choices=("serial", "thread", "process", "sentinel", "chaos"),
         default=None,
         help=(
             "execution backend for the parallel stages (default: "
@@ -74,6 +78,16 @@ def _build_parser() -> argparse.ArgumentParser:
             "$REPRO_WORKERS or the CPU count); implies --backend process"
         ),
     )
+    parser.add_argument(
+        "--fault-plan",
+        metavar="PLAN",
+        default=None,
+        help=(
+            "deterministic fault-injection plan, e.g. "
+            "'kill@2.1,hang@5.0:12' (KIND@STEP.RANK[:SECONDS]); "
+            "implies --backend chaos (docs/FAULT_TOLERANCE.md)"
+        ),
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     def add_trace_json(p: argparse.ArgumentParser) -> None:
@@ -87,7 +101,7 @@ def _build_parser() -> argparse.ArgumentParser:
         )
         p.add_argument(
             "--backend",
-            choices=("serial", "thread", "process", "sentinel"),
+            choices=("serial", "thread", "process", "sentinel", "chaos"),
             default=argparse.SUPPRESS,
             help="execution backend for the parallel stages",
         )
@@ -97,6 +111,12 @@ def _build_parser() -> argparse.ArgumentParser:
             metavar="N",
             default=argparse.SUPPRESS,
             help="worker count (implies --backend process)",
+        )
+        p.add_argument(
+            "--fault-plan",
+            metavar="PLAN",
+            default=argparse.SUPPRESS,
+            help="fault-injection plan (implies --backend chaos)",
         )
 
     t1 = sub.add_parser("table1", help="regenerate Table 1")
@@ -290,17 +310,24 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     # install the requested execution backend as the process default so
     # every parallel stage in the run picks it up (--workers alone
-    # implies a process pool)
+    # implies a process pool, --fault-plan implies the chaos harness)
     backend_name = getattr(args, "backend", None)
     workers = getattr(args, "workers", None)
+    fault_plan = getattr(args, "fault_plan", None)
+    if fault_plan is not None:
+        from repro.runtime.backends.base import FAULT_PLAN_ENV
+
+        os.environ[FAULT_PLAN_ENV] = fault_plan
+        if backend_name is None:
+            backend_name = "chaos"
     if workers is not None and backend_name is None:
         backend_name = "process"
     args.backend = backend_name or "serial"
     if backend_name is not None:
-        from repro.runtime.backends import make_backend, set_default_backend
+        from repro.runtime.backends import resolve_backend, set_default_backend
 
         try:
-            set_default_backend(make_backend(backend_name, workers))
+            set_default_backend(resolve_backend(backend_name, workers))
         except ValueError as exc:
             print(f"error: {exc}", file=sys.stderr)
             return 2
@@ -382,7 +409,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         from repro.dtree.render import render_descriptors, render_tree
 
         snap = seq[min(args.snapshot, len(seq) - 1)]
-        pt = MCMLDTPartitioner(args.k).fit(snap, tracer=tracer)
+        pt = MCMLDTPartitioner(args.k)
+        pt.fit(snap, tracer=tracer)
         coords = snap.mesh.nodes[snap.contact_nodes]
         labels = pt.part[snap.contact_nodes]
         # project to the two dominant lateral axes for display

@@ -15,6 +15,11 @@
 """
 
 from repro.core.weights import build_contact_graph
+from repro.core.partitioner import (
+    PartitionDiagnostics,
+    PartitionResult,
+    Partitioner,
+)
 from repro.core.mcml_dt import MCMLDTParams, MCMLDTPartitioner
 from repro.core.ml_rcb import MLRCBParams, MLRCBPartitioner
 from repro.core.apriori import AprioriParams, AprioriPartitioner
@@ -28,7 +33,7 @@ from repro.core.local_search import (
     penetration_summary,
     resolve_candidates,
 )
-from repro.core.driver import ContactStepDriver, StepResult
+from repro.core.driver import ContactStepDriver, RecoveryPolicy, StepResult
 from repro.core.update import UpdateStrategy, replay_sequence
 from repro.core.pipeline import (
     SequenceResult,
@@ -40,6 +45,9 @@ from repro.core.pipeline import (
 
 __all__ = [
     "build_contact_graph",
+    "Partitioner",
+    "PartitionDiagnostics",
+    "PartitionResult",
     "MCMLDTParams",
     "MCMLDTPartitioner",
     "MLRCBParams",
@@ -53,6 +61,7 @@ __all__ = [
     "penetration_summary",
     "resolve_candidates",
     "ContactStepDriver",
+    "RecoveryPolicy",
     "StepResult",
     "UpdateStrategy",
     "replay_sequence",

@@ -21,6 +21,7 @@ import numpy as np
 from scipy.spatial import cKDTree
 
 from repro.core.contact_search import face_owner_partition
+from repro.core.partitioner import PartitionResult, make_result
 from repro.core.weights import build_contact_graph
 from repro.dtree.induction import induce_pure_tree
 from repro.dtree.query import tree_filter_search
@@ -28,8 +29,11 @@ from repro.geometry.bbox import element_bboxes
 from repro.geometry.boxsearch import SearchPlan
 from repro.graph.build import from_edge_list
 from repro.graph.csr import CSRGraph
+from repro.graph.metrics import edge_cut
+from repro.obs.tracer import TracerBase, ensure_tracer
 from repro.partition.config import PartitionOptions
 from repro.partition.kway import partition_kway
+from repro.runtime.ledger import CommLedger
 from repro.sim.sequence import ContactSnapshot
 
 
@@ -103,7 +107,14 @@ class AprioriParams:
 
 
 class AprioriPartitioner:
-    """§3 first-class contact decomposition driver."""
+    """§3 first-class contact decomposition driver.
+
+    Implements the :class:`~repro.core.partitioner.Partitioner`
+    protocol.
+    """
+
+    #: method tag carried into :class:`PartitionResult`
+    method = "apriori"
 
     def __init__(self, k: int, params: Optional[AprioriParams] = None):
         if k < 1:
@@ -113,18 +124,40 @@ class AprioriPartitioner:
         self.part: Optional[np.ndarray] = None
         self.predicted_pairs: Optional[np.ndarray] = None
 
-    def fit(self, snapshot: ContactSnapshot) -> "AprioriPartitioner":
-        """Predict pairs, augment the graph, partition."""
+    def fit(
+        self,
+        snapshot: ContactSnapshot,
+        tracer: Optional[TracerBase] = None,
+        ledger: Optional[CommLedger] = None,
+    ) -> PartitionResult:
+        """Predict pairs, augment the graph, partition.
+
+        The returned result's diagnostics carry ``edge_cut_final``,
+        ``n_predicted_pairs``, and ``colocation_fraction``.
+        """
+        tracer = ensure_tracer(tracer)
         p = self.params
-        self.predicted_pairs = predict_contact_pairs(
-            snapshot, p.prediction_radius
+        with tracer.span("fit") as fit_span:
+            self.predicted_pairs = predict_contact_pairs(
+                snapshot, p.prediction_radius
+            )
+            graph = build_apriori_graph(
+                snapshot, self.predicted_pairs,
+                p.contact_edge_weight, p.virtual_edge_weight,
+            )
+            with tracer.span("partition"):
+                self.part = partition_kway(
+                    graph, self.k, p.options, tracer=tracer
+                )
+            diagnostics = {
+                "edge_cut_final": edge_cut(graph, self.part),
+                "n_predicted_pairs": int(len(self.predicted_pairs)),
+                "colocation_fraction": self.colocation_fraction(),
+            }
+        return make_result(
+            self, self.method, self.k, self.part, diagnostics,
+            ledger, fit_span,
         )
-        graph = build_apriori_graph(
-            snapshot, self.predicted_pairs,
-            p.contact_edge_weight, p.virtual_edge_weight,
-        )
-        self.part = partition_kway(graph, self.k, p.options)
-        return self
 
     def colocation_fraction(self) -> float:
         """Fraction of predicted pairs whose endpoints landed in the

@@ -6,13 +6,19 @@ stateful — the partition vector, the driver's update-strategy phase,
 and the accumulated communication totals — as a plain ``.npz`` (no
 pickled code, so checkpoints are portable across library versions that
 keep the schema).
+
+Targets may be paths or binary file objects; the driver's step-level
+fault recovery (``docs/FAULT_TOLERANCE.md``) uses the in-memory
+variants :func:`dump_driver_bytes` / :func:`restore_driver_state` to
+roll a live driver back to its last good step without touching disk.
 """
 
 from __future__ import annotations
 
+import io
 import json
 from pathlib import Path
-from typing import Union
+from typing import Any, BinaryIO, Dict, Tuple, Union
 
 import numpy as np
 
@@ -21,8 +27,17 @@ from repro.core.mcml_dt import MCMLDTParams, MCMLDTPartitioner
 from repro.core.update import UpdateStrategy
 from repro.partition.config import PartitionOptions
 from repro.runtime.backends.base import BackendSpec
+from repro.runtime.ledger import CommLedger, PhaseTotals
 
 PathLike = Union[str, Path]
+Target = Union[str, Path, BinaryIO]
+
+
+def _coerce_target(target: Target) -> Union[Path, BinaryIO]:
+    """Paths stay paths; open binary files pass through untouched."""
+    if hasattr(target, "read") or hasattr(target, "write"):
+        return target  # type: ignore[return-value]
+    return Path(target)  # type: ignore[arg-type]
 
 # v1 stored per-phase totals only; v2 adds the per-rank sent/received
 # breakdown so a restarted run continues the full accounting, plus the
@@ -32,8 +47,9 @@ _SCHEMA_VERSION = 2
 _READABLE_SCHEMAS = (1, 2)
 
 
-def save_driver(path: PathLike, driver: ContactStepDriver) -> None:
-    """Write a restartable snapshot of ``driver`` to ``path``."""
+def save_driver(path: Target, driver: ContactStepDriver) -> None:
+    """Write a restartable snapshot of ``driver`` to ``path`` (a path
+    or a writable binary file object)."""
     if driver.partitioner.part is None:
         raise ValueError("driver is not initialized; nothing to checkpoint")
     p = driver.params
@@ -75,14 +91,73 @@ def save_driver(path: PathLike, driver: ContactStepDriver) -> None:
         "backend": driver.backend.name,
     }
     np.savez_compressed(
-        Path(path),
+        _coerce_target(path),
         part=driver.partitioner.part,
         meta=np.array(json.dumps(meta)),
     )
 
 
+def dump_driver_bytes(driver: ContactStepDriver) -> bytes:
+    """Serialize ``driver`` to checkpoint bytes (same schema as
+    :func:`save_driver`, no filesystem round-trip)."""
+    buf = io.BytesIO()
+    save_driver(buf, driver)
+    return buf.getvalue()
+
+
+def _read_checkpoint(source: Target) -> Tuple[Dict[str, Any], np.ndarray]:
+    """Load and schema-check a checkpoint; returns ``(meta, part)``."""
+    with np.load(_coerce_target(source), allow_pickle=False) as data:
+        meta = json.loads(str(data["meta"]))
+        part = data["part"]
+    if meta.get("schema") not in _READABLE_SCHEMAS:
+        raise ValueError(
+            f"unsupported checkpoint schema {meta.get('schema')!r}"
+        )
+    return meta, part
+
+
+def _ledger_from_meta(meta: Dict[str, Any]) -> CommLedger:
+    """Rebuild the communication ledger a checkpoint recorded."""
+    ledger = CommLedger()
+    for phase, (n_msg, n_items) in meta["ledger"].items():
+        ledger.phases[phase] = PhaseTotals(
+            n_messages=n_msg, n_items=n_items
+        )
+    ranks = meta.get("ledger_ranks", {})
+    for phase, rank, items in ranks.get("sent", []):
+        ledger.sent_by_rank[(phase, int(rank))] = int(items)
+    for phase, rank, items in ranks.get("received", []):
+        ledger.received_by_rank[(phase, int(rank))] = int(items)
+    return ledger
+
+
+def restore_driver_state(
+    driver: ContactStepDriver, source: Target
+) -> ContactStepDriver:
+    """Roll a *live* driver back to a checkpoint, in place.
+
+    Restores the partition vector, the accumulated ledger totals, and
+    the update-strategy phase; the driver's configuration (``k``,
+    params, backend, tracer) and step history are left alone.  This is
+    the driver's step-level recovery path: a failed superstep restores
+    the last good checkpoint and re-executes deterministically.
+    """
+    meta, part = _read_checkpoint(source)
+    if meta["k"] != driver.k:
+        raise ValueError(
+            f"checkpoint was taken at k={meta['k']}, driver has "
+            f"k={driver.k}"
+        )
+    driver.partitioner.part = part
+    driver.ledger = _ledger_from_meta(meta)
+    driver._steps_since_repartition = meta["steps_since_repartition"]
+    driver._initialized = True
+    return driver
+
+
 def load_driver(
-    path: PathLike, backend: "BackendSpec" = None
+    path: Target, backend: "BackendSpec" = None
 ) -> ContactStepDriver:
     """Reconstruct a driver from a checkpoint.
 
@@ -92,13 +167,7 @@ def load_driver(
     ``backend`` selects the restarted run's execution backend (default:
     the usual resolution — checkpoints restore state, not placement).
     """
-    with np.load(Path(path), allow_pickle=False) as data:
-        meta = json.loads(str(data["meta"]))
-        part = data["part"]
-    if meta.get("schema") not in _READABLE_SCHEMAS:
-        raise ValueError(
-            f"unsupported checkpoint schema {meta.get('schema')!r}"
-        )
+    meta, part = _read_checkpoint(path)
     pm = meta["params"]
     params = MCMLDTParams(
         contact_edge_weight=pm["contact_edge_weight"],
@@ -121,16 +190,5 @@ def load_driver(
     driver.partitioner.part = part
     driver._initialized = True
     driver._steps_since_repartition = meta["steps_since_repartition"]
-    from repro.runtime.ledger import PhaseTotals
-
-    for phase, (n_msg, n_items) in meta["ledger"].items():
-        driver.ledger.phases[phase] = PhaseTotals(
-            n_messages=n_msg, n_items=n_items
-        )
-    for phase, rank, items in meta.get("ledger_ranks", {}).get("sent", []):
-        driver.ledger.sent_by_rank[(phase, int(rank))] = int(items)
-    for phase, rank, items in meta.get("ledger_ranks", {}).get(
-        "received", []
-    ):
-        driver.ledger.received_by_rank[(phase, int(rank))] = int(items)
+    driver.ledger = _ledger_from_meta(meta)
     return driver

@@ -17,12 +17,22 @@ driver is the executable version of the paper's full per-iteration
 pipeline. Pass ``backend="process:4"`` (or set ``$REPRO_BACKEND``) to
 run the search ranks on a real worker pool; results are bit-identical
 across backends.
+
+Fault tolerance (``docs/FAULT_TOLERANCE.md``): the driver keeps a
+recovery point — a schema-v2 checkpoint, in memory by default — of its
+last good state. When a step's execution backend fails unrecoverably
+(:class:`~repro.runtime.backends.base.BackendError`), the driver
+restores the recovery point and re-executes the step, so a faulted run
+ends bit-identical to a clean one. Tune or disable with
+:class:`RecoveryPolicy`.
 """
 
 from __future__ import annotations
 
+import io
 from dataclasses import dataclass, field
-from typing import List, Optional, Set, Tuple
+from pathlib import Path
+from typing import List, Optional, Set, Tuple, Union
 
 import numpy as np
 
@@ -40,9 +50,32 @@ from repro.metrics.comm import fe_comm
 from repro.obs.tracer import TracerBase, ensure_tracer
 from repro.partition.repartition import diffusion_repartition
 from repro.runtime.backends import resolve_backend
-from repro.runtime.backends.base import BackendSpec
+from repro.runtime.backends.base import BackendError, BackendSpec
 from repro.runtime.ledger import CommLedger
 from repro.sim.sequence import ContactSnapshot
+
+
+@dataclass(frozen=True)
+class RecoveryPolicy:
+    """Step-level fault recovery knobs.
+
+    ``max_step_retries``
+        How many times a failed step is restored-and-re-executed
+        before the :class:`BackendError` propagates. ``0`` disables
+        recovery (and recovery-point upkeep).
+    ``checkpoint_path``
+        Where recovery points live. ``None`` (default) keeps them as
+        in-memory checkpoint bytes; a path additionally leaves the
+        last good checkpoint on disk, so an operator can restart the
+        whole process from it with ``load_driver``.
+    """
+
+    max_step_retries: int = 1
+    checkpoint_path: Optional[Union[str, Path]] = None
+
+    def __post_init__(self) -> None:
+        if self.max_step_retries < 0:
+            raise ValueError("max_step_retries must be >= 0")
 
 
 @dataclass
@@ -77,6 +110,7 @@ class ContactStepDriver:
         resolve_local: bool = True,
         tracer: Optional[TracerBase] = None,
         backend: BackendSpec = None,
+        recovery: Optional[RecoveryPolicy] = None,
     ):
         if k < 1:
             raise ValueError("k must be >= 1")
@@ -91,9 +125,11 @@ class ContactStepDriver:
         self.partitioner = MCMLDTPartitioner(k, self.params)
         self.ledger = CommLedger()
         self.tracer = ensure_tracer(tracer)
+        self.recovery = recovery if recovery is not None else RecoveryPolicy()
         self.history: List[StepResult] = []
         self._initialized = False
         self._steps_since_repartition = 0
+        self._recovery_point: Optional[bytes] = None
 
     # ------------------------------------------------------------------
     def initialize(self, snapshot: ContactSnapshot) -> "ContactStepDriver":
@@ -101,16 +137,61 @@ class ContactStepDriver:
         self.partitioner.fit(snapshot, tracer=self.tracer)
         self._initialized = True
         self._steps_since_repartition = 0
+        self._save_recovery_point()
         return self
 
     def step(self, snapshot: ContactSnapshot) -> StepResult:
-        """Run one contact-detection time step."""
+        """Run one contact-detection time step.
+
+        If the execution backend fails unrecoverably mid-step, the
+        driver restores its last recovery point and re-executes the
+        step (up to ``recovery.max_step_retries`` times). A failed
+        attempt never reaches ``history``, and the re-execution starts
+        from exactly the pre-step state, so a recovered run is
+        bit-identical to one that never faulted.
+        """
         if not self._initialized:
             raise RuntimeError("call initialize() before step()")
         with self.tracer.span("step"):
-            result = self._step_traced(snapshot)
+            result = self._step_with_recovery(snapshot)
         self.history.append(result)
+        self._save_recovery_point()
         return result
+
+    def _step_with_recovery(self, snapshot: ContactSnapshot) -> StepResult:
+        attempt = 0
+        while True:
+            try:
+                return self._step_traced(snapshot)
+            except BackendError:
+                attempt += 1
+                if (
+                    attempt > self.recovery.max_step_retries
+                    or self._recovery_point is None
+                    and self.recovery.checkpoint_path is None
+                ):
+                    raise
+                with self.tracer.span("recovery"):
+                    self.tracer.count("step_recoveries", 1)
+                    self._restore_recovery_point()
+
+    # -- recovery-point plumbing (docs/FAULT_TOLERANCE.md) -------------
+    def _save_recovery_point(self) -> None:
+        if self.recovery.max_step_retries < 1:
+            return
+        from repro.core.checkpoint import dump_driver_bytes, save_driver
+
+        self._recovery_point = dump_driver_bytes(self)
+        if self.recovery.checkpoint_path is not None:
+            save_driver(self.recovery.checkpoint_path, self)
+
+    def _restore_recovery_point(self) -> None:
+        from repro.core.checkpoint import restore_driver_state
+
+        if self._recovery_point is not None:
+            restore_driver_state(self, io.BytesIO(self._recovery_point))
+        else:
+            restore_driver_state(self, self.recovery.checkpoint_path)
 
     def _step_traced(self, snapshot: ContactSnapshot) -> StepResult:
         tracer = self.tracer

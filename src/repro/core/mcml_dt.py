@@ -23,6 +23,7 @@ from typing import Optional, Tuple
 import numpy as np
 
 from repro.core.contact_search import face_owner_partition
+from repro.core.partitioner import PartitionResult, make_result
 from repro.core.weights import build_contact_graph
 from repro.dtree.induction import (
     induce_bounded_tree,
@@ -47,6 +48,7 @@ from repro.partition.config import PartitionOptions
 from repro.partition.kway import partition_kway
 from repro.partition.refine_kway import greedy_kway_refine, rebalance_kway
 from repro.partition.refine_kway_fm import kway_fm_refine
+from repro.runtime.ledger import CommLedger
 from repro.sim.sequence import ContactSnapshot
 from repro.utils.arrays import relabel_contiguous
 
@@ -80,7 +82,14 @@ class FitDiagnostics:
 
 
 class MCMLDTPartitioner:
-    """Stateful MCML+DT driver over a snapshot sequence."""
+    """Stateful MCML+DT driver over a snapshot sequence.
+
+    Implements the :class:`~repro.core.partitioner.Partitioner`
+    protocol.
+    """
+
+    #: method tag carried into :class:`PartitionResult`
+    method = "mcml-dt"
 
     def __init__(self, k: int, params: Optional[MCMLDTParams] = None):
         if k < 1:
@@ -95,8 +104,15 @@ class MCMLDTPartitioner:
         self,
         snapshot: ContactSnapshot,
         tracer: Optional[TracerBase] = None,
-    ) -> "MCMLDTPartitioner":
+        ledger: Optional[CommLedger] = None,
+    ) -> PartitionResult:
         """Compute the contact-friendly multi-constraint partition.
+
+        Returns a :class:`~repro.core.partitioner.PartitionResult`
+        whose diagnostics carry the :class:`FitDiagnostics` keys
+        (``edge_cut_initial``/``edge_cut_final``, the three imbalance
+        vectors, ``reshape_tree_nodes``/``reshape_moved``,
+        ``max_p``/``max_i``).
 
         With a recording ``tracer``, the fit opens a ``fit`` span with
         nested ``build-graph``, ``partition`` (→ ``coarsen`` /
@@ -105,7 +121,7 @@ class MCMLDTPartitioner:
         """
         tracer = ensure_tracer(tracer)
         p = self.params
-        with tracer.span("fit"):
+        with tracer.span("fit") as fit_span:
             with tracer.span("build-graph"):
                 graph = build_contact_graph(snapshot, p.contact_edge_weight)
             with tracer.span("partition"):
@@ -123,7 +139,9 @@ class MCMLDTPartitioner:
             tracer.count("edgecut_final", diag.edge_cut_final)
             tracer.count("reshape_moved", diag.reshape_moved)
         self.part = part
-        return self
+        return make_result(
+            self, self.method, self.k, part, vars(diag), ledger, fit_span
+        )
 
     def _reshape(
         self,

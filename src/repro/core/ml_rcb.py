@@ -24,6 +24,7 @@ from typing import Optional
 import numpy as np
 
 from repro.core.contact_search import face_owner_partition
+from repro.core.partitioner import PartitionResult, make_result
 from repro.geometry.bbox import element_bboxes
 from repro.geometry.boxsearch import SearchPlan, bbox_filter_search
 from repro.geometry.rcb import RCBTree, rcb_partition
@@ -31,8 +32,10 @@ from repro.graph.csr import CSRGraph
 from repro.mesh.nodal_graph import nodal_graph
 from repro.metrics.mapping import m2m_comm, update_comm
 from repro.obs.tracer import SPAN_MAP_TRANSFER, TracerBase, ensure_tracer
+from repro.graph.metrics import edge_cut, load_imbalance
 from repro.partition.config import PartitionOptions
 from repro.partition.kway import partition_kway
+from repro.runtime.ledger import CommLedger
 from repro.sim.sequence import ContactSnapshot
 
 
@@ -45,7 +48,14 @@ class MLRCBParams:
 
 
 class MLRCBPartitioner:
-    """Stateful ML+RCB driver over a snapshot sequence."""
+    """Stateful ML+RCB driver over a snapshot sequence.
+
+    Implements the :class:`~repro.core.partitioner.Partitioner`
+    protocol.
+    """
+
+    #: method tag carried into :class:`PartitionResult`
+    method = "ml-rcb"
 
     def __init__(self, k: int, params: Optional[MLRCBParams] = None):
         if k < 1:
@@ -63,10 +73,19 @@ class MLRCBPartitioner:
         self,
         snapshot: ContactSnapshot,
         tracer: Optional[TracerBase] = None,
-    ) -> "MLRCBPartitioner":
-        """Build both decompositions from the first snapshot."""
+        ledger: Optional[CommLedger] = None,
+    ) -> PartitionResult:
+        """Build both decompositions from the first snapshot.
+
+        Returns a :class:`~repro.core.partitioner.PartitionResult`
+        whose ``labels`` are the FE decomposition and whose
+        diagnostics carry ``edge_cut_initial``/``edge_cut_final``
+        (equal — no reshape pass here), ``imbalance_final`` of the FE
+        partition, and ``n_contact_points``/``rcb_leaves`` of the RCB
+        side.
+        """
         tracer = ensure_tracer(tracer)
-        with tracer.span("fit"):
+        with tracer.span("fit") as fit_span:
             mesh = snapshot.mesh
             n = mesh.num_nodes
             with tracer.span("fe-partition"):
@@ -83,9 +102,24 @@ class MLRCBPartitioner:
                 self.rcb_labels, self.rcb_tree = rcb_partition(
                     coords, self.k
                 )
+            cut = edge_cut(graph, self.part_fe)
+            diagnostics = {
+                "edge_cut_initial": cut,
+                "edge_cut_final": cut,
+                "imbalance_final": load_imbalance(
+                    graph, self.part_fe, self.k
+                ),
+                "n_contact_points": int(len(cn)),
+                "rcb_leaves": int(self.rcb_labels.max()) + 1
+                if len(cn)
+                else 0,
+            }
         self.contact_ids = cn.copy()
         self.last_upd_comm = 0
-        return self
+        return make_result(
+            self, self.method, self.k, self.part_fe, diagnostics,
+            ledger, fit_span,
+        )
 
     def update(
         self,

@@ -87,7 +87,8 @@ def evaluate_mcml_dt(
     descriptor re-induction (the paper's §5 protocol)."""
     params = params or MCMLDTParams()
     tracer = ensure_tracer(tracer)
-    pt = MCMLDTPartitioner(k, params).fit(seq[0], tracer=tracer)
+    pt = MCMLDTPartitioner(k, params)
+    pt.fit(seq[0], tracer=tracer)
     result = SequenceResult(algorithm="MCML+DT", k=k)
     for snapshot in seq:
         graph = build_contact_graph(snapshot, params.contact_edge_weight)
@@ -117,7 +118,8 @@ def evaluate_ml_rcb(
     updates, bbox-filter search."""
     params = params or MLRCBParams()
     tracer = ensure_tracer(tracer)
-    pt = MLRCBPartitioner(k, params).fit(seq[0], tracer=tracer)
+    pt = MLRCBPartitioner(k, params)
+    pt.fit(seq[0], tracer=tracer)
     result = SequenceResult(algorithm="ML+RCB", k=k)
     for snapshot in seq:
         if snapshot.step > 0:

@@ -87,7 +87,8 @@ def replay_sequence(
         raise ValueError("period must be >= 1")
     params = params or MCMLDTParams()
     tracer = ensure_tracer(tracer)
-    pt = MCMLDTPartitioner(k, params).fit(seq[0], tracer=tracer)
+    pt = MCMLDTPartitioner(k, params)
+    pt.fit(seq[0], tracer=tracer)
     result = ReplayResult(strategy=strategy, k=k)
 
     for snapshot in seq:

@@ -23,6 +23,18 @@ from repro.runtime.ledger import CommLedger
 MetaValue = Union[str, int, float, bool, None]
 PathLike = Union[str, Path]
 
+#: counters the fault-tolerant runtime emits (chaos harness, supervised
+#: process backend, driver step recovery — docs/FAULT_TOLERANCE.md)
+RECOVERY_COUNTERS = (
+    "faults_injected",
+    "step_retries",
+    "worker_deaths",
+    "deadline_timeouts",
+    "worker_respawns",
+    "ranks_degraded",
+    "step_recoveries",
+)
+
 
 @dataclass
 class RunReport:
@@ -153,6 +165,25 @@ class RunReport:
             table.add_row(phase, [msgs, items])
         return table
 
+    def recovery_totals(self) -> Dict[str, float]:
+        """Fault-recovery counters summed over the whole span tree
+        (only the nonzero ones; empty for a clean run)."""
+        totals = {name: 0.0 for name in RECOVERY_COUNTERS}
+        for _path, span in self.spans.walk():
+            for name, value in span.counters.items():
+                if name in totals:
+                    totals[name] += value
+        return {name: value for name, value in totals.items() if value}
+
+    def recovery_seconds(self) -> float:
+        """Wall seconds spent inside ``recovery`` spans anywhere in the
+        tree — the run's total fault-handling overhead."""
+        return sum(
+            span.total_s
+            for _path, span in self.spans.walk()
+            if span.name == "recovery"
+        )
+
     def counter_lines(self) -> List[str]:
         """``path: name=value`` lines for every span counter."""
         lines: List[str] = []
@@ -167,6 +198,13 @@ class RunReport:
         counters = self.counter_lines()
         if counters:
             blocks.append("Counters\n--------\n" + "\n".join(counters))
+        recovery = self.recovery_totals()
+        if recovery:
+            lines = [f"{name}={value:g}" for name, value in recovery.items()]
+            lines.append(f"recovery_wall_s={self.recovery_seconds():.3f}")
+            blocks.append(
+                "Fault recovery\n--------------\n" + "\n".join(lines)
+            )
         if self.comm:
             blocks.append(self.comm_table().render())
         if self.meta:

@@ -9,6 +9,10 @@ per-rank spans surface in run reports).
 from repro.runtime.backends.base import (
     BACKEND_ENV,
     BACKEND_NAMES,
+    CHAOS_INNER_ENV,
+    FAULT_PLAN_ENV,
+    MAX_RETRIES_ENV,
+    STEP_DEADLINE_ENV,
     WORKERS_ENV,
     Backend,
     BackendError,
@@ -19,7 +23,7 @@ from repro.runtime.backends.base import (
     resolve_backend,
     set_default_backend,
 )
-from repro.runtime.backends.process import ProcessBackend
+from repro.runtime.backends.process import ProcessBackend, SupervisorConfig
 from repro.runtime.backends.sentinel import (
     SentinelBackend,
     SharedStateMutationError,
@@ -30,6 +34,10 @@ from repro.runtime.backends.thread import ThreadBackend
 __all__ = [
     "BACKEND_ENV",
     "BACKEND_NAMES",
+    "CHAOS_INNER_ENV",
+    "FAULT_PLAN_ENV",
+    "MAX_RETRIES_ENV",
+    "STEP_DEADLINE_ENV",
     "WORKERS_ENV",
     "Backend",
     "BackendError",
@@ -39,6 +47,7 @@ __all__ = [
     "SharedStateMutationError",
     "SpmdContext",
     "SpmdSession",
+    "SupervisorConfig",
     "ThreadBackend",
     "default_workers",
     "make_backend",

@@ -73,8 +73,17 @@ StepFn = Callable[["SpmdContext", Any], Any]
 BACKEND_ENV = "REPRO_BACKEND"
 #: environment variable with the default worker count
 WORKERS_ENV = "REPRO_WORKERS"
+#: fault plan injected by the ``chaos`` backend (see
+#: :mod:`repro.runtime.faults` for the grammar)
+FAULT_PLAN_ENV = "REPRO_FAULT_PLAN"
+#: execution backend the ``chaos`` backend wraps (default ``process``)
+CHAOS_INNER_ENV = "REPRO_CHAOS_INNER"
+#: per-superstep deadline (seconds) for the supervised process backend
+STEP_DEADLINE_ENV = "REPRO_STEP_DEADLINE"
+#: per-superstep retry budget for the supervised process backend
+MAX_RETRIES_ENV = "REPRO_MAX_RETRIES"
 
-BACKEND_NAMES = ("serial", "thread", "process", "sentinel")
+BACKEND_NAMES = ("serial", "thread", "process", "sentinel", "chaos")
 
 
 class BackendError(RuntimeError):
@@ -224,6 +233,21 @@ class SpmdSession:
     def _close(self) -> None:
         """Release backend resources (hook; base is a no-op)."""
 
+    # -- rollback hooks (used by the chaos harness) --------------------
+    def _state_snapshot(self) -> Any:
+        """Snapshot per-rank state so a failed step can be retried.
+
+        Sessions that cannot roll back return ``None`` (the default);
+        :meth:`_state_restore` then refuses the retry.
+        """
+        return None
+
+    def _state_restore(self, snapshot: Any) -> None:
+        """Restore a snapshot taken by :meth:`_state_snapshot`."""
+        raise BackendError(
+            f"{type(self).__name__} cannot roll back per-rank state"
+        )
+
     # ------------------------------------------------------------------
     def step(self, fn: StepFn, arg: Any = None) -> List[Any]:
         """Run ``fn(ctx, arg)`` on every rank, then play the barrier.
@@ -301,7 +325,7 @@ class Backend:
     """
 
     #: short identifier (``serial`` / ``thread`` / ``process`` /
-    #: ``sentinel``)
+    #: ``sentinel`` / ``chaos``)
     name: str = "base"
 
     def open_session(
@@ -340,7 +364,7 @@ BackendSpec = Union[None, str, Backend]
 
 _default_backend: Optional[Backend] = None
 _env_backend: Optional[Backend] = None
-_env_backend_key: Optional[Tuple[str, str]] = None
+_env_backend_key: Optional[Tuple[str, ...]] = None
 
 
 def _parse_workers(text: str, source: str) -> int:
@@ -393,6 +417,10 @@ def make_backend(spec: str, workers: Optional[int] = None) -> Backend:
         from repro.runtime.backends.sentinel import SentinelBackend
 
         return SentinelBackend(workers=workers)
+    if name == "chaos":
+        from repro.runtime.faults import ChaosBackend
+
+        return ChaosBackend(workers=workers)
     raise ValueError(
         f"unknown backend {spec!r}; expected one of {BACKEND_NAMES}"
     )
@@ -413,24 +441,47 @@ def _backend_from_env() -> Optional[Backend]:
     spec = os.environ.get(BACKEND_ENV)
     if not spec:
         return None
-    key = (spec, os.environ.get(WORKERS_ENV, ""))
+    key = tuple(
+        os.environ.get(var, "")
+        for var in (
+            BACKEND_ENV,
+            WORKERS_ENV,
+            FAULT_PLAN_ENV,
+            CHAOS_INNER_ENV,
+            STEP_DEADLINE_ENV,
+            MAX_RETRIES_ENV,
+        )
+    )
     if _env_backend is None or _env_backend_key != key:
         _env_backend = make_backend(spec)
         _env_backend_key = key
     return _env_backend
 
 
-def resolve_backend(backend: BackendSpec = None) -> Backend:
+def resolve_backend(
+    backend: BackendSpec = None, workers: Optional[int] = None
+) -> Backend:
     """Normalise a backend argument to a usable instance.
 
-    Resolution order: explicit instance or spec string → the default
-    installed with :func:`set_default_backend` → ``$REPRO_BACKEND`` →
-    a fresh :class:`SerialBackend`.
+    The single backend-selection entry point (used by ``spmd_run``,
+    ``ContactStepDriver``, and the CLI).  Resolution order:
+
+    1. an explicit :class:`Backend` instance — returned as-is
+       (``workers`` is ignored; the instance already has its pool),
+    2. an explicit spec string (``name`` / ``name:count``) — built via
+       :func:`make_backend`; ``workers`` applies when the spec embeds
+       no count,
+    3. ``workers`` alone — implies a ``process`` pool of that size,
+    4. the default installed with :func:`set_default_backend`,
+    5. ``$REPRO_BACKEND`` (with ``$REPRO_WORKERS``),
+    6. a fresh :class:`SerialBackend`.
     """
     if isinstance(backend, Backend):
         return backend
     if isinstance(backend, str):
-        return make_backend(backend)
+        return make_backend(backend, workers)
+    if workers is not None:
+        return make_backend("process", workers)
     if _default_backend is not None:
         return _default_backend
     env = _backend_from_env()

@@ -20,27 +20,45 @@ session whose *first* superstep is not picklable falls back to
 in-process serial execution with a :class:`RuntimeWarning` instead of
 failing — closures keep working everywhere, they just never leave the
 process.
+
+Supervision: every superstep dispatch runs under a
+:class:`SupervisorConfig` policy — an optional per-step deadline, a
+worker heartbeat timeout, and a bounded retry budget with exponential
+backoff.  When a worker dies (or blows the deadline) mid-step, the
+session kills and respawns the lost workers, resets the survivors, and
+deterministically *replays* the session's successful step history into
+the fresh pool before retrying the failed step, so recovery is
+invisible in the results.  When the retry budget is exhausted the
+session degrades to in-process serial execution (``RuntimeWarning``;
+ledger accounting preserved) — or raises :class:`BackendError` when
+``degrade`` is off.  See ``docs/FAULT_TOLERANCE.md``.
 """
 
 from __future__ import annotations
 
 import atexit
+import copy
 import itertools
+import os
 import pickle
 import struct
+import time
 import traceback
 import warnings
+from dataclasses import dataclass
 from multiprocessing import get_context
 from multiprocessing.connection import Connection
 from multiprocessing.context import BaseContext
 from multiprocessing.process import BaseProcess
 from multiprocessing.shared_memory import SharedMemory
-from typing import Any, Dict, List, Mapping, Optional, Tuple
+from typing import Any, Dict, List, Mapping, Optional, Set, Tuple
 
 import numpy as np
 
 from repro.obs.tracer import Span, TracerBase
 from repro.runtime.backends.base import (
+    MAX_RETRIES_ENV,
+    STEP_DEADLINE_ENV,
     Backend,
     BackendError,
     Message,
@@ -57,6 +75,105 @@ CHUNK_BYTES = 1 << 24
 
 #: (key, shm segment name, dtype str, shape) describing one shared array
 ArraySpec = Tuple[str, str, str, Tuple[int, ...]]
+
+
+# ----------------------------------------------------------------------
+# supervision policy
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class SupervisorConfig:
+    """Supervision policy for the process backend's worker pool.
+
+    ``step_deadline_s``
+        Wall-clock budget for one superstep dispatch; a worker that has
+        not replied when it expires is treated as hung and respawned.
+        ``None`` (the default) waits forever.
+    ``heartbeat_timeout_s``
+        How long health checks and survivor resets wait for a reply
+        before declaring a worker unresponsive.
+    ``max_retries``
+        How many times a failed superstep is retried (with the lost
+        workers respawned and the session history replayed) before the
+        session gives up.
+    ``backoff_base_s`` / ``backoff_factor``
+        Exponential backoff between retries: the first retry sleeps
+        ``backoff_base_s``, each further retry multiplies the delay.
+    ``shutdown_grace_s`` / ``kill_grace_s``
+        Shutdown escalation budget: graceful join, then ``terminate``
+        with another ``shutdown_grace_s`` join, then ``kill``.
+    ``degrade``
+        After the retry budget is exhausted: ``True`` degrades the
+        session to in-process serial execution (``RuntimeWarning``,
+        ledger accounting preserved); ``False`` raises
+        :class:`BackendError`.
+    """
+
+    step_deadline_s: Optional[float] = None
+    heartbeat_timeout_s: float = 2.0
+    max_retries: int = 2
+    backoff_base_s: float = 0.05
+    backoff_factor: float = 2.0
+    shutdown_grace_s: float = 5.0
+    kill_grace_s: float = 1.0
+    degrade: bool = True
+
+    def __post_init__(self) -> None:
+        if self.step_deadline_s is not None and self.step_deadline_s <= 0:
+            raise ValueError("step_deadline_s must be positive or None")
+        if self.max_retries < 0:
+            raise ValueError("max_retries must be >= 0")
+        if self.backoff_base_s < 0 or self.backoff_factor < 1.0:
+            raise ValueError("invalid backoff configuration")
+
+    @classmethod
+    def from_env(cls) -> "SupervisorConfig":
+        """Policy from ``$REPRO_STEP_DEADLINE`` / ``$REPRO_MAX_RETRIES``
+        (unset variables keep the defaults)."""
+        kwargs: Dict[str, Any] = {}
+        deadline = os.environ.get(STEP_DEADLINE_ENV)
+        if deadline:
+            try:
+                value = float(deadline)
+            except ValueError:
+                raise ValueError(
+                    f"invalid ${STEP_DEADLINE_ENV}={deadline!r}; "
+                    "expected seconds as a float"
+                ) from None
+            kwargs["step_deadline_s"] = value if value > 0 else None
+        retries = os.environ.get(MAX_RETRIES_ENV)
+        if retries:
+            try:
+                kwargs["max_retries"] = max(0, int(retries))
+            except ValueError:
+                raise ValueError(
+                    f"invalid ${MAX_RETRIES_ENV}={retries!r}; "
+                    "expected an integer"
+                ) from None
+        return cls(**kwargs)
+
+
+def _disarm_step(fn: StepFn) -> StepFn:
+    """Strip a one-shot fault wrapper (the chaos harness's
+    ``ChaosStep``) so retries and history replays run the plain
+    superstep — injected faults fire on the first attempt only."""
+    disarm = getattr(fn, "disarm", None)
+    if callable(disarm):
+        return disarm()  # type: ignore[no-any-return]
+    return fn
+
+
+class _WorkerLoss(Exception):
+    """Internal: one dispatch lost workers (died or blew the deadline)."""
+
+    def __init__(
+        self, dead: List["_WorkerHandle"], hung: List["_WorkerHandle"]
+    ) -> None:
+        self.dead = dead
+        self.hung = hung
+        names = [w.proc.name for w in dead + hung]
+        super().__init__(f"lost worker(s): {', '.join(names)}")
 
 
 # ----------------------------------------------------------------------
@@ -207,8 +324,11 @@ def _worker_main(conn: Connection) -> None:
         tag = msg[0]
         if tag == "shutdown":
             break
+        reply: Tuple[str, Any]
         try:
-            if tag == "open":
+            if tag == "ping":
+                reply = ("ok", "pong")
+            elif tag == "open":
                 _, sid, size, inline, specs, trace = msg
                 shared, segments = _attach_shared(
                     inline, specs, unregister_shared
@@ -216,7 +336,22 @@ def _worker_main(conn: Connection) -> None:
                 sessions[sid] = _WorkerSessionState(
                     shared, segments, size, trace
                 )
-                reply: Tuple[str, Any] = ("ok", None)
+                reply = ("ok", None)
+            elif tag == "replay":
+                # deterministic state reconstruction after a respawn:
+                # re-execute the session's successful step history for
+                # this worker's ranks, discarding the outcomes (they
+                # were already merged when the steps first succeeded)
+                _, sid, entries = msg
+                sess = sessions[sid]
+                for fn, arg, tasks in entries:
+                    for rank, inbox in tasks:
+                        state = sess.states.setdefault(rank, {})
+                        run_rank_step(
+                            fn, arg, rank, sess.size, sess.shared,
+                            state, inbox, False,
+                        )
+                reply = ("ok", None)
             elif tag == "step":
                 _, sid, fn, arg, tasks = msg
                 sess = sessions[sid]
@@ -262,6 +397,7 @@ class _WorkerHandle:
     """Parent-side handle to one pooled worker process."""
 
     def __init__(self, ctx: BaseContext, index: int) -> None:
+        self.index = index
         parent_conn, child_conn = ctx.Pipe(duplex=True)
         self.proc: BaseProcess = ctx.Process(
             target=_worker_main,
@@ -282,6 +418,14 @@ class _WorkerHandle:
                 f"(exitcode={self.proc.exitcode})"
             ) from exc
 
+    def poll(self, timeout: Optional[float]) -> bool:
+        """Whether a reply is readable within ``timeout`` seconds
+        (a dead worker reads as readable — ``recv`` surfaces it)."""
+        try:
+            return bool(self.conn.poll(timeout))
+        except (EOFError, OSError):
+            return True
+
     def recv(self) -> Tuple[str, Any]:
         try:
             reply = _recv_msg(self.conn)
@@ -294,16 +438,50 @@ class _WorkerHandle:
             raise BackendError(f"malformed worker reply: {reply!r}")
         return reply
 
-    def stop(self) -> None:
+    def ping(self, timeout: float) -> bool:
+        """Request/reply heartbeat (only valid between supersteps)."""
+        if not self.proc.is_alive():
+            return False
+        try:
+            _send_msg(self.conn, ("ping",))
+        except (BrokenPipeError, OSError):
+            return False
+        if not self.poll(timeout):
+            return False
+        try:
+            tag, payload = self.recv()
+        except BackendError:
+            return False
+        return tag == "ok" and payload == "pong"
+
+    def stop(self, grace: float = 5.0, kill_grace: float = 1.0) -> None:
+        """Graceful shutdown, escalating join → terminate → kill."""
         try:
             _send_msg(self.conn, ("shutdown",))
         except (BrokenPipeError, OSError):
             pass
-        self.proc.join(timeout=5.0)
-        if self.proc.is_alive():  # pragma: no cover - stuck worker
+        self.proc.join(timeout=grace)
+        if self.proc.is_alive():
             self.proc.terminate()
-            self.proc.join(timeout=1.0)
+            self.proc.join(timeout=grace)
+            if self.proc.is_alive():  # pragma: no cover - wedged worker
+                self.proc.kill()
+                self.proc.join(timeout=kill_grace)
         self.conn.close()
+
+    def destroy(self, grace: float = 1.0, kill_grace: float = 1.0) -> None:
+        """Forcible teardown for a dead or hung worker (no shutdown
+        handshake — the command loop may never read it)."""
+        try:
+            self.conn.close()
+        except OSError:  # pragma: no cover - already closed
+            pass
+        if self.proc.is_alive():
+            self.proc.terminate()
+            self.proc.join(timeout=grace)
+            if self.proc.is_alive():  # pragma: no cover - wedged worker
+                self.proc.kill()
+                self.proc.join(timeout=kill_grace)
 
 
 # ----------------------------------------------------------------------
@@ -336,10 +514,17 @@ class ProcessSession(SpmdSession):
             dict(shared) if shared else {}
         )
         self._trace = bool(getattr(self.tracer, "enabled", False))
-        self._mode = "pending"  # -> "remote" | "local"
+        self._mode = "pending"  # -> "remote" | "local" | "failed"
         self._owners: List[Tuple[_WorkerHandle, List[int]]] = []
         self._segments: List[SharedMemory] = []
         self._local_states: List[Dict[str, Any]] = []
+        # (disarmed fn, arg, per-rank inbox copies) of every successful
+        # step — replayed into respawned workers to rebuild rank state
+        self._history: List[
+            Tuple[StepFn, Any, List[List[Message]]]
+        ] = []
+        self._inline: Dict[str, Any] = {}
+        self._specs: List[ArraySpec] = []
 
     # -- local fallback ------------------------------------------------
     def _run_local(
@@ -366,7 +551,7 @@ class ProcessSession(SpmdSession):
         self._local_states = [{} for _ in range(self.size)]
 
     # -- remote path ---------------------------------------------------
-    def _open_remote(self) -> None:
+    def _map_owners(self) -> None:
         handles = self._backend._ensure_pool()
         used = min(len(handles), self.size)
         self._owners = [
@@ -376,7 +561,11 @@ class ProcessSession(SpmdSession):
             )
             for w in range(used)
         ]
+
+    def _open_remote(self) -> None:
+        self._map_owners()
         inline, specs, segments = _pack_shared(self._shared_input)
+        self._inline, self._specs = inline, specs
         self._segments = segments
         open_msg = ("open", self._sid, self.size, inline, specs,
                     self._trace)
@@ -400,6 +589,10 @@ class ProcessSession(SpmdSession):
     def _run_step(
         self, fn: StepFn, arg: Any, inboxes: List[List[Message]]
     ) -> List[RankOutcome]:
+        if self._mode == "failed":
+            raise BackendError(
+                "session lost its workers and cannot continue"
+            )
         if self._mode == "local":
             return self._run_local(fn, arg, inboxes)
         try:
@@ -415,13 +608,82 @@ class ProcessSession(SpmdSession):
             ) from exc
         if self._mode == "pending":
             self._open_remote()
+        cfg = self._backend.supervisor
+        attempt = 0
+        delay = cfg.backoff_base_s
+        while True:
+            try:
+                outcomes = self._dispatch(fn, arg, inboxes)
+            except _WorkerLoss as loss:
+                attempt += 1
+                if attempt > cfg.max_retries:
+                    if cfg.degrade:
+                        self._degrade(loss)
+                        return self._run_local(fn, arg, inboxes)
+                    self._abandon_remote(loss)
+                    raise BackendError(
+                        f"superstep lost "
+                        f"{len(loss.dead) + len(loss.hung)} worker(s) "
+                        f"({loss}) and the retry budget "
+                        f"({cfg.max_retries}) is exhausted"
+                    ) from None
+                with self.tracer.span("recovery"):
+                    self.tracer.count("step_retries", 1)
+                    self.tracer.count("worker_deaths", len(loss.dead))
+                    self.tracer.count(
+                        "deadline_timeouts", len(loss.hung)
+                    )
+                    self._recover(loss)
+                    time.sleep(delay)
+                delay *= cfg.backoff_factor
+                # injected one-shot faults (chaos harness) fire on the
+                # first attempt only — retries run the plain superstep
+                fn = _disarm_step(fn)
+                continue
+            self._history.append(
+                (
+                    _disarm_step(fn),
+                    arg,
+                    [list(box) for box in inboxes],
+                )
+            )
+            return outcomes
+
+    def _dispatch(
+        self, fn: StepFn, arg: Any, inboxes: List[List[Message]]
+    ) -> List[RankOutcome]:
+        """One dispatch attempt: send the step to every owner, collect
+        replies under the deadline, classify losses."""
+        cfg = self._backend.supervisor
+        dead: List[_WorkerHandle] = []
+        hung: List[_WorkerHandle] = []
+        pending: List[_WorkerHandle] = []
         for worker, ranks in self._owners:
             tasks = [(r, inboxes[r]) for r in ranks]
-            worker.send(("step", self._sid, fn, arg, tasks))
+            try:
+                worker.send(("step", self._sid, fn, arg, tasks))
+            except BackendError:
+                dead.append(worker)
+                continue
+            pending.append(worker)
+        deadline = (
+            time.monotonic() + cfg.step_deadline_s
+            if cfg.step_deadline_s is not None
+            else None
+        )
         by_rank: Dict[int, RankOutcome] = {}
         errors: List[str] = []
-        for worker, _ranks in self._owners:
-            tag, payload = worker.recv()
+        for worker in pending:
+            if deadline is not None:
+                remaining = max(0.0, deadline - time.monotonic())
+                if not worker.poll(remaining):
+                    hung.append(worker)
+                    continue
+            try:
+                tag, payload = worker.recv()
+            except BackendError:
+                dead.append(worker)
+                continue
             if tag != "ok":
                 errors.append(str(payload))
                 continue
@@ -432,14 +694,149 @@ class ProcessSession(SpmdSession):
                     else None
                 )
                 by_rank[rank] = RankOutcome(value, sends, records, spans)
+        if dead or hung:
+            raise _WorkerLoss(dead, hung)
         if errors:
+            # the superstep itself raised — an application bug, not a
+            # worker loss; retrying would fail identically
             raise BackendError(
                 f"superstep failed on {len(errors)} worker(s):\n"
                 + "\n".join(errors)
             )
         return [by_rank[rank] for rank in range(self.size)]
 
+    # -- recovery ------------------------------------------------------
+    def _reset_survivor(self, worker: _WorkerHandle) -> bool:
+        """Drop the session's state on a surviving worker so the replay
+        can rebuild it from scratch; False marks the worker lost too."""
+        cfg = self._backend.supervisor
+        try:
+            worker.send(("close", self._sid))
+        except BackendError:
+            return False
+        if not worker.poll(cfg.heartbeat_timeout_s):
+            return False
+        try:
+            tag, _payload = worker.recv()
+        except BackendError:
+            return False
+        return tag == "ok"
+
+    def _recover(self, loss: _WorkerLoss) -> None:
+        """Respawn lost workers and deterministically rebuild the whole
+        session (open + history replay) on the refreshed pool."""
+        lost: Set[_WorkerHandle] = set(loss.dead) | set(loss.hung)
+        for worker, _ranks in self._owners:
+            if worker not in lost and not self._reset_survivor(worker):
+                lost.add(worker)
+        for worker in lost:
+            self._backend._respawn(worker)
+        self.tracer.count("worker_respawns", len(lost))
+        self._map_owners()
+        open_msg = ("open", self._sid, self.size, self._inline,
+                    self._specs, self._trace)
+        for worker, _ranks in self._owners:
+            worker.send(open_msg)
+        self._collect_acks("recovery re-open")
+        for worker, ranks in self._owners:
+            entries = [
+                (
+                    hist_fn,
+                    hist_arg,
+                    [(r, list(hist_inboxes[r])) for r in ranks],
+                )
+                for hist_fn, hist_arg, hist_inboxes in self._history
+            ]
+            worker.send(("replay", self._sid, entries))
+        self._collect_acks("recovery replay")
+
+    def _rebuild_local_states(self) -> None:
+        """In-process replay of the step history (outcomes discarded —
+        their ledger/span contributions were merged when the steps
+        first succeeded)."""
+        self._local_states = [{} for _ in range(self.size)]
+        for hist_fn, hist_arg, hist_inboxes in self._history:
+            for rank in range(self.size):
+                run_rank_step(
+                    hist_fn, hist_arg, rank, self.size,
+                    self._shared_input, self._local_states[rank],
+                    list(hist_inboxes[rank]), False,
+                )
+
+    def _teardown_remote(self, loss: _WorkerLoss) -> None:
+        """Respawn the lost workers (the pool stays healthy for other
+        sessions), reset the survivors, release the shared segments."""
+        lost: Set[_WorkerHandle] = set(loss.dead) | set(loss.hung)
+        for worker in lost:
+            self._backend._respawn(worker)
+        for worker, _ranks in self._owners:
+            if worker not in lost:
+                self._reset_survivor(worker)
+        self._release_segments()
+        self._owners = []
+
+    def _degrade(self, loss: _WorkerLoss) -> None:
+        cfg = self._backend.supervisor
+        warnings.warn(
+            f"process backend: {len(loss.dead) + len(loss.hung)} "
+            f"worker(s) unrecoverable after {cfg.max_retries} "
+            "retr(y/ies); the session degrades to in-process serial "
+            "execution.",
+            RuntimeWarning,
+            stacklevel=6,
+        )
+        with self.tracer.span("recovery"):
+            self.tracer.count("worker_deaths", len(loss.dead))
+            self.tracer.count("deadline_timeouts", len(loss.hung))
+            self.tracer.count("worker_respawns",
+                              len(loss.dead) + len(loss.hung))
+            self.tracer.count("ranks_degraded", self.size)
+            self._teardown_remote(loss)
+            self._mode = "local"
+            self._rebuild_local_states()
+
+    def _abandon_remote(self, loss: _WorkerLoss) -> None:
+        with self.tracer.span("recovery"):
+            self.tracer.count("worker_deaths", len(loss.dead))
+            self.tracer.count("deadline_timeouts", len(loss.hung))
+            self.tracer.count("worker_respawns",
+                              len(loss.dead) + len(loss.hung))
+            self._teardown_remote(loss)
+            self._mode = "failed"
+
+    # -- rollback hooks (chaos harness) --------------------------------
+    def _state_snapshot(self) -> Any:
+        if self._mode == "local":
+            return ("local", copy.deepcopy(self._local_states))
+        return (self._mode, None)
+
+    def _state_restore(self, snapshot: Any) -> None:
+        kind, payload = snapshot
+        if self._mode == "local":
+            if kind == "local":
+                self._local_states = payload
+            else:
+                # the session went local mid-attempt (degrade or pickle
+                # fallback); rebuild rank state from the step history
+                self._rebuild_local_states()
+            return
+        if self._mode == "failed":
+            raise BackendError(
+                "session lost its workers and cannot roll back"
+            )
+        # pending/remote: a failed attempt never commits worker state
+        # (recovery replays the successful history), nothing to restore
+
     # ------------------------------------------------------------------
+    def _release_segments(self) -> None:
+        for seg in self._segments:
+            seg.close()
+            try:
+                seg.unlink()
+            except FileNotFoundError:  # pragma: no cover
+                pass
+        self._segments = []
+
     def _close(self) -> None:
         try:
             if self._mode == "remote":
@@ -456,15 +853,10 @@ class ProcessSession(SpmdSession):
                     except BackendError:
                         pass
         finally:
-            for seg in self._segments:
-                seg.close()
-                try:
-                    seg.unlink()
-                except FileNotFoundError:  # pragma: no cover
-                    pass
-            self._segments = []
+            self._release_segments()
             self._local_states = []
             self._owners = []
+            self._history = []
 
 
 # ----------------------------------------------------------------------
@@ -473,7 +865,8 @@ class ProcessSession(SpmdSession):
 
 
 class ProcessBackend(Backend):
-    """Persistent ``multiprocessing`` worker pool backend."""
+    """Persistent ``multiprocessing`` worker pool backend (supervised:
+    see :class:`SupervisorConfig`)."""
 
     name = "process"
 
@@ -481,12 +874,17 @@ class ProcessBackend(Backend):
         self,
         workers: Optional[int] = None,
         start_method: Optional[str] = None,
+        supervisor: Optional[SupervisorConfig] = None,
     ) -> None:
         if workers is None:
             workers = default_workers()
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
         self.workers = workers
+        self.supervisor = (
+            supervisor if supervisor is not None
+            else SupervisorConfig.from_env()
+        )
         if start_method is None:
             # fork (where available) keeps pool startup in the low
             # milliseconds, which is what lets per-step sessions win
@@ -510,6 +908,33 @@ class ProcessBackend(Backend):
                 self._atexit_registered = True
         return self._pool
 
+    def _respawn(self, handle: _WorkerHandle) -> _WorkerHandle:
+        """Replace a dead/hung worker with a fresh one at the same pool
+        slot (the old process is terminated, escalating to kill)."""
+        cfg = self.supervisor
+        handle.destroy(cfg.shutdown_grace_s, cfg.kill_grace_s)
+        fresh = _WorkerHandle(self._ctx, handle.index)
+        pool = self._ensure_pool()
+        for slot, existing in enumerate(pool):
+            if existing is handle:
+                pool[slot] = fresh
+                break
+        else:  # pragma: no cover - handle already rotated out
+            pool[handle.index % len(pool)] = fresh
+        return fresh
+
+    def health_check(
+        self, timeout: Optional[float] = None
+    ) -> Dict[str, bool]:
+        """Heartbeat every pooled worker (request/reply ping; only
+        valid between supersteps).  Returns ``{worker name: alive}``."""
+        if timeout is None:
+            timeout = self.supervisor.heartbeat_timeout_s
+        return {
+            worker.proc.name: worker.ping(timeout)
+            for worker in self._ensure_pool()
+        }
+
     def open_session(
         self,
         size: int,
@@ -523,8 +948,9 @@ class ProcessBackend(Backend):
 
     def close(self) -> None:
         if self._pool is not None:
+            cfg = self.supervisor
             for worker in self._pool:
-                worker.stop()
+                worker.stop(cfg.shutdown_grace_s, cfg.kill_grace_s)
             self._pool = None
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic

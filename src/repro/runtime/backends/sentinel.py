@@ -117,7 +117,16 @@ def _function_roots(fn: Callable[..., Any]) -> List[Tuple[str, Any]]:
     its code object."""
     roots: List[Tuple[str, Any]] = []
     seen_fns = 0
-    while isinstance(fn, functools.partial) and seen_fns < _MAX_DEPTH:
+    while seen_fns < _MAX_DEPTH:
+        wrapped = getattr(fn, "__wrapped__", None)
+        if wrapped is not None and not isinstance(fn, functools.partial):
+            # transparent wrappers (e.g. the chaos harness's ChaosStep)
+            # advertise the real superstep via __wrapped__
+            fn = wrapped
+            seen_fns += 1
+            continue
+        if not isinstance(fn, functools.partial):
+            break
         for i, a in enumerate(fn.args):
             if callable(a) and not isinstance(a, type):
                 roots.extend(
@@ -149,7 +158,14 @@ def _function_roots(fn: Callable[..., Any]) -> List[Tuple[str, Any]]:
 
 def _step_name(fn: Callable[..., Any]) -> str:
     depth = 0
-    while isinstance(fn, functools.partial) and depth < _MAX_DEPTH:
+    while depth < _MAX_DEPTH:
+        wrapped = getattr(fn, "__wrapped__", None)
+        if wrapped is not None and not isinstance(fn, functools.partial):
+            fn = wrapped
+            depth += 1
+            continue
+        if not isinstance(fn, functools.partial):
+            break
         inner = next(
             (a for a in fn.args if callable(a) and not isinstance(a, type)),
             None,

@@ -14,6 +14,7 @@ enforces physically by address-space separation.
 
 from __future__ import annotations
 
+import copy
 from concurrent.futures import ThreadPoolExecutor
 from typing import Any, Dict, List, Mapping, Optional
 
@@ -57,8 +58,27 @@ class ThreadSession(SpmdSession):
             )
             for rank in range(self.size)
         ]
-        # collect in rank order; exceptions propagate to the caller
-        return [f.result() for f in futures]
+        # collect in rank order, but wait for *every* future before
+        # propagating the first failure — a retrying caller (the chaos
+        # harness) must never roll back state while a rank still runs
+        outcomes: List[Optional[RankOutcome]] = []
+        first_exc: Optional[BaseException] = None
+        for future in futures:
+            try:
+                outcomes.append(future.result())
+            except BaseException as exc:  # noqa: BLE001 - re-raised below
+                if first_exc is None:
+                    first_exc = exc
+                outcomes.append(None)
+        if first_exc is not None:
+            raise first_exc
+        return [out for out in outcomes if out is not None]
+
+    def _state_snapshot(self) -> Any:
+        return copy.deepcopy(self._states)
+
+    def _state_restore(self, snapshot: Any) -> None:
+        self._states = snapshot
 
     def _close(self) -> None:
         self._states = []

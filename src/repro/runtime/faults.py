@@ -1,0 +1,382 @@
+"""Deterministic fault injection for the SPMD runtime (`chaos`).
+
+The chaos backend wraps a real execution backend and injects faults —
+kill / hang / slow — into a chosen rank at a chosen superstep,
+according to a :class:`FaultPlan`.  Each fault fires exactly once
+(first dispatch attempt of its superstep), *before* the rank's
+superstep function runs, so a retried or replayed step re-executes
+from clean state and the run's results stay bit-identical to an
+uninjected run:
+
+* ``kill`` — on a process-pool worker the rank's process exits hard
+  (``os._exit``), exercising the supervised respawn/replay path of
+  :class:`~repro.runtime.backends.process.ProcessBackend`; in-process
+  (serial/thread/sentinel, or the process backend's local fallback) it
+  raises :class:`InjectedFault`, exercising the chaos harness's own
+  snapshot/rollback retry.
+* ``hang`` — the rank sleeps (default 30 s), long enough to blow the
+  supervisor's per-step deadline where one is configured.
+* ``slow`` — the rank sleeps briefly (default 10 ms) without failing;
+  a latency probe.
+
+Superstep indexes are global across the backend's lifetime (a run is
+usually many short sessions — e.g. one per driver step), so a plan
+like ``kill@2.1`` targets the third superstep *of the run*.  Use
+:meth:`ChaosBackend.reset` to restart the counter and re-arm a plan.
+
+Selection: ``--backend chaos`` / ``REPRO_BACKEND=chaos`` with the plan
+in ``$REPRO_FAULT_PLAN`` and the wrapped backend in
+``$REPRO_CHAOS_INNER`` (default ``process``).  See
+``docs/FAULT_TOLERANCE.md``.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import time
+from dataclasses import dataclass
+from typing import Any, Dict, List, Mapping, Optional, Set, Tuple, Union
+
+from repro.obs.tracer import TracerBase
+from repro.runtime.backends.base import (
+    CHAOS_INNER_ENV,
+    FAULT_PLAN_ENV,
+    Backend,
+    BackendError,
+    Message,
+    RankOutcome,
+    SpmdContext,
+    SpmdSession,
+    StepFn,
+    make_backend,
+)
+from repro.runtime.ledger import CommLedger
+
+__all__ = [
+    "ChaosBackend",
+    "ChaosSession",
+    "ChaosStep",
+    "FaultPlan",
+    "FaultSpec",
+    "InjectedFault",
+]
+
+#: recognised fault kinds
+FAULT_KINDS = ("kill", "hang", "slow")
+
+#: per-kind default duration (seconds; unused by ``kill``)
+DEFAULT_SECONDS = {"kill": 0.0, "hang": 30.0, "slow": 0.01}
+
+#: exit status of a killed worker (EX_SOFTWARE)
+KILL_EXIT_CODE = 70
+
+
+class InjectedFault(BackendError):
+    """An injected fault fired in the calling process (in-process
+    ``kill``); the chaos session rolls back and retries."""
+
+
+def _in_worker() -> bool:
+    """Whether this process is a process-pool worker (by the pool's
+    ``repro-spmd-*`` process naming — no import cycle with the
+    backend)."""
+    return multiprocessing.current_process().name.startswith("repro-spmd-")
+
+
+# ----------------------------------------------------------------------
+# fault plans
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One fault: inject ``kind`` into ``rank`` at global superstep
+    ``step`` (``seconds`` is the sleep for hang/slow)."""
+
+    kind: str
+    step: int
+    rank: int
+    seconds: float
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise ValueError(
+                f"unknown fault kind {self.kind!r}; "
+                f"expected one of {FAULT_KINDS}"
+            )
+        if self.step < 0 or self.rank < 0:
+            raise ValueError("fault step and rank must be >= 0")
+        if self.seconds < 0:
+            raise ValueError("fault seconds must be >= 0")
+
+    def to_text(self) -> str:
+        base = f"{self.kind}@{self.step}.{self.rank}"
+        if self.seconds != DEFAULT_SECONDS[self.kind]:
+            base += f":{self.seconds:g}"
+        return base
+
+
+def _parse_entry(entry: str) -> FaultSpec:
+    problem = (
+        f"invalid fault entry {entry!r}; expected "
+        f"KIND@STEP.RANK[:SECONDS] with KIND in {FAULT_KINDS}"
+    )
+    kind, at, rest = entry.partition("@")
+    kind = kind.strip().lower()
+    if not at or kind not in FAULT_KINDS:
+        raise ValueError(problem)
+    where, colon, secs_text = rest.partition(":")
+    step_text, dot, rank_text = where.partition(".")
+    if not dot:
+        raise ValueError(problem)
+    try:
+        step = int(step_text)
+        rank = int(rank_text)
+    except ValueError:
+        raise ValueError(problem) from None
+    seconds = DEFAULT_SECONDS[kind]
+    if colon:
+        try:
+            seconds = float(secs_text)
+        except ValueError:
+            raise ValueError(problem) from None
+    return FaultSpec(kind, step, rank, seconds)
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A deterministic schedule of faults (see the grammar below).
+
+    Text grammar: comma-separated ``KIND@STEP.RANK[:SECONDS]`` entries,
+    e.g. ``"kill@2.1,slow@5.0:0.02,hang@7.1:12"``.
+    """
+
+    faults: Tuple[FaultSpec, ...] = ()
+
+    @classmethod
+    def parse(cls, text: str) -> "FaultPlan":
+        specs: List[FaultSpec] = []
+        for raw in text.split(","):
+            entry = raw.strip()
+            if entry:
+                specs.append(_parse_entry(entry))
+        return cls(tuple(specs))
+
+    @classmethod
+    def from_env(cls) -> "FaultPlan":
+        """The plan in ``$REPRO_FAULT_PLAN`` (empty plan when unset)."""
+        return cls.parse(os.environ.get(FAULT_PLAN_ENV, ""))
+
+    def to_text(self) -> str:
+        return ",".join(spec.to_text() for spec in self.faults)
+
+    def __bool__(self) -> bool:
+        return bool(self.faults)
+
+
+# ----------------------------------------------------------------------
+# the injecting superstep wrapper
+# ----------------------------------------------------------------------
+
+
+def _trigger(kind: str, seconds: float, rank: int, step: int) -> None:
+    if kind in ("hang", "slow"):
+        time.sleep(seconds)
+        return
+    # kind == "kill" (FaultSpec validated the kind)
+    if _in_worker():
+        os._exit(KILL_EXIT_CODE)
+    raise InjectedFault(
+        f"injected kill of rank {rank} at superstep {step}"
+    )
+
+
+class ChaosStep:
+    """Picklable wrapper around one superstep: triggers this attempt's
+    armed faults *before* running the wrapped function, so a faulted
+    rank never half-mutates its state.
+
+    ``__wrapped__`` / ``disarm()`` let the sentinel backend, the SPMD
+    linter, and the process backend's retry/replay machinery reach the
+    plain superstep underneath.
+    """
+
+    def __init__(
+        self,
+        fn: StepFn,
+        step_index: int,
+        faults: Mapping[int, Tuple[str, float]],
+    ) -> None:
+        self.fn = fn
+        self.step_index = step_index
+        self.faults: Dict[int, Tuple[str, float]] = dict(faults)
+        self.__wrapped__ = fn
+        for attr in ("__name__", "__qualname__", "__doc__"):
+            try:
+                setattr(self, attr, getattr(fn, attr))
+            except AttributeError:
+                pass
+
+    def disarm(self) -> StepFn:
+        """The plain superstep (retries/replays run this)."""
+        return self.fn
+
+    def __call__(self, ctx: SpmdContext, arg: Any) -> Any:
+        fault = self.faults.get(ctx.rank)
+        if fault is not None:
+            kind, seconds = fault
+            _trigger(kind, seconds, ctx.rank, self.step_index)
+        return self.fn(ctx, arg)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"ChaosStep({getattr(self.fn, '__qualname__', self.fn)!r}, "
+            f"step={self.step_index}, faults={self.faults!r})"
+        )
+
+
+# ----------------------------------------------------------------------
+# session and backend
+# ----------------------------------------------------------------------
+
+
+class ChaosSession(SpmdSession):
+    """Session that injects the backend's plan into an inner session.
+
+    The inner session is driven through its ``_run_step`` hook (never
+    its public ``step``), so routing/ledger/span merging happens
+    exactly once, here, and failed attempts never pollute the run.
+    In-process ``kill`` faults raise :class:`InjectedFault`; the
+    session rolls the inner per-rank state back to the pre-attempt
+    snapshot and retries with the fault disarmed.
+    """
+
+    def __init__(
+        self,
+        size: int,
+        ledger: Optional[CommLedger],
+        tracer: Optional[TracerBase],
+        shared: Optional[Mapping[str, Any]],
+        backend: "ChaosBackend",
+    ) -> None:
+        super().__init__(size, ledger, tracer)
+        self._backend = backend
+        self._inner = backend.inner.open_session(
+            size, ledger=self.ledger, tracer=self.tracer, shared=shared
+        )
+
+    def _run_step(
+        self, fn: StepFn, arg: Any, inboxes: List[List[Message]]
+    ) -> List[RankOutcome]:
+        step_index = self._backend._next_step()
+        max_attempts = len(self._backend.plan.faults) + 1
+        attempt = 0
+        while True:
+            armed = (
+                self._backend._arm(step_index, self.size)
+                if attempt == 0
+                else {}
+            )
+            wrapped: StepFn = fn
+            if armed:
+                self.tracer.count("faults_injected", len(armed))
+                wrapped = ChaosStep(fn, step_index, armed)
+            snapshot = self._inner._state_snapshot()
+            try:
+                return self._inner._run_step(wrapped, arg, inboxes)
+            except InjectedFault:
+                attempt += 1
+                if attempt >= max_attempts:  # pragma: no cover - guard
+                    raise
+                with self.tracer.span("recovery"):
+                    self.tracer.count("step_retries", 1)
+                    self._inner._state_restore(snapshot)
+
+    def _state_snapshot(self) -> Any:
+        return self._inner._state_snapshot()
+
+    def _state_restore(self, snapshot: Any) -> None:
+        self._inner._state_restore(snapshot)
+
+    def _close(self) -> None:
+        self._inner.close()
+
+
+class ChaosBackend(Backend):
+    """Deterministic fault-injection harness around a real backend.
+
+    ``plan`` is a :class:`FaultPlan` (or its text form; default
+    ``$REPRO_FAULT_PLAN``); ``inner`` is a backend instance or spec
+    string (default ``$REPRO_CHAOS_INNER``, then ``process``).  Every
+    fault fires at most once; the backend keeps a *global* superstep
+    counter across all its sessions.
+    """
+
+    name = "chaos"
+
+    def __init__(
+        self,
+        plan: Union[None, str, FaultPlan] = None,
+        inner: Union[None, str, Backend] = None,
+        workers: Optional[int] = None,
+    ) -> None:
+        if plan is None:
+            plan = FaultPlan.from_env()
+        elif isinstance(plan, str):
+            plan = FaultPlan.parse(plan)
+        self.plan = plan
+        if inner is None:
+            inner = os.environ.get(CHAOS_INNER_ENV) or "process"
+        if isinstance(inner, str):
+            if inner.partition(":")[0].strip().lower() == "chaos":
+                raise ValueError("chaos backend cannot wrap itself")
+            inner = make_backend(inner, workers)
+        elif isinstance(inner, ChaosBackend):
+            raise ValueError("chaos backend cannot wrap itself")
+        self.inner: Backend = inner
+        self._step_counter = 0
+        self._fired: Set[int] = set()
+
+    # -- plan bookkeeping ----------------------------------------------
+    def _next_step(self) -> int:
+        index = self._step_counter
+        self._step_counter += 1
+        return index
+
+    def _arm(self, step_index: int, size: int) -> Dict[int, Tuple[str, float]]:
+        """One-shot faults scheduled for this superstep (a fault aimed
+        at a rank outside the session is skipped, not consumed)."""
+        armed: Dict[int, Tuple[str, float]] = {}
+        for idx, spec in enumerate(self.plan.faults):
+            if idx in self._fired or spec.step != step_index:
+                continue
+            if spec.rank >= size:
+                continue
+            self._fired.add(idx)
+            armed[spec.rank] = (spec.kind, spec.seconds)
+        return armed
+
+    def reset(self) -> None:
+        """Restart the global superstep counter and re-arm the plan."""
+        self._step_counter = 0
+        self._fired.clear()
+
+    # ------------------------------------------------------------------
+    def open_session(
+        self,
+        size: int,
+        ledger: Optional[CommLedger] = None,
+        tracer: Optional[TracerBase] = None,
+        shared: Optional[Mapping[str, Any]] = None,
+    ) -> SpmdSession:
+        return ChaosSession(size, ledger, tracer, shared, self)
+
+    def close(self) -> None:
+        self.inner.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"ChaosBackend(inner={self.inner!r}, "
+            f"plan={self.plan.to_text()!r})"
+        )

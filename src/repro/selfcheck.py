@@ -62,7 +62,8 @@ def run_selfcheck(verbose: bool = True) -> bool:
         snap = s["seq"][0]
         pt = MCMLDTPartitioner(
             4, MCMLDTParams(pad=0.2, options=PartitionOptions(seed=0))
-        ).fit(snap)
+        )
+        pt.fit(snap)
         g = build_contact_graph(snap)
         imb = load_imbalance(g, pt.part, 4)
         if imb.max() >= 1.6:

@@ -124,6 +124,34 @@ class TestSPMD001:
         """
         assert codes(src) == []
 
+    def test_chaos_step_wrapped_superstep_still_checked(self):
+        """The fault harness's ChaosStep wrapper is transparent to the
+        pass — the wrapped superstep's races are still found."""
+        src = """
+            from repro.runtime.faults import ChaosStep
+
+            ACC = []
+
+            def _step(ctx, arg):
+                ACC.append(ctx.rank)
+
+            def run(session):
+                session.step(ChaosStep(_step, 0, {}), None)
+        """
+        assert codes(src) == ["SPMD001"]
+
+    def test_chaos_step_wrapped_clean_superstep(self):
+        src = """
+            from repro.runtime.faults import ChaosStep
+
+            def _step(ctx, arg):
+                ctx.state["n"] = ctx.rank
+
+            def run(session):
+                session.step(ChaosStep(_step, 0, {}), None)
+        """
+        assert codes(src) == []
+
 
 class TestSPMD002:
     def test_lambda_superstep_rng(self):

@@ -57,7 +57,8 @@ def rng():
 
 
 @pytest.fixture(
-    scope="session", params=["serial", "thread", "process", "sentinel"]
+    scope="session",
+    params=["serial", "thread", "process", "sentinel", "chaos"],
 )
 def spmd_backend(request):
     """Each execution backend, session-scoped so the process backend's
@@ -65,7 +66,10 @@ def spmd_backend(request):
     fixture assert backend-independence: identical results and ledgers
     on every backend.  The ``sentinel`` variant additionally proves the
     supersteps never mutate shared state (it raises
-    ``SharedStateMutationError`` if one does)."""
+    ``SharedStateMutationError`` if one does); the ``chaos`` variant
+    exercises the fault-injection harness (a passthrough unless
+    ``$REPRO_FAULT_PLAN`` schedules faults — the chaos CI job does,
+    and results must STILL be identical)."""
     from repro.runtime.backends import make_backend
 
     backend = make_backend(request.param, workers=2)

@@ -81,10 +81,12 @@ class TestAprioriPartitioner:
         k = 6
         ap = AprioriPartitioner(
             k, AprioriParams(options=PartitionOptions(seed=0))
-        ).fit(snap)
+        )
+        ap.fit(snap)
         mc = MCMLDTPartitioner(
             k, MCMLDTParams(options=PartitionOptions(seed=0))
-        ).fit(snap)
+        )
+        mc.fit(snap)
         pairs = ap.predicted_pairs
         mc_coloc = float(
             (mc.part[pairs[:, 0]] == mc.part[pairs[:, 1]]).mean()
@@ -99,7 +101,8 @@ class TestAprioriPartitioner:
         k = 6
         ap = AprioriPartitioner(
             k, AprioriParams(options=PartitionOptions(seed=0))
-        ).fit(snap)
+        )
+        ap.fit(snap)
         g = build_contact_graph(snap)
         assert load_imbalance(g, ap.part, k).max() <= 1.20
 
@@ -107,7 +110,8 @@ class TestAprioriPartitioner:
         snap = touching_snapshot
         ap = AprioriPartitioner(
             4, AprioriParams(options=PartitionOptions(seed=0))
-        ).fit(snap)
+        )
+        ap.fit(snap)
         plan = ap.search_plan(snap)
         assert plan.n_remote >= 0
 

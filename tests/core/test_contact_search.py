@@ -84,7 +84,8 @@ def search_scene(mid_sequence):
     k = 6
     pt = MCMLDTPartitioner(
         k, MCMLDTParams(options=PartitionOptions(seed=0), pad=PAD)
-    ).fit(snap)
+    )
+    pt.fit(snap)
     return snap, pt, k
 
 
@@ -114,7 +115,8 @@ class TestParallelEqualsSerial:
         """ML+RCB parallel search also finds the full serial set."""
         snap, _, k = search_scene
         from repro.core.ml_rcb import MLRCBParams
-        ml = MLRCBPartitioner(k, MLRCBParams(pad=PAD)).fit(snap)
+        ml = MLRCBPartitioner(k, MLRCBParams(pad=PAD))
+        ml.fit(snap)
         plan = ml.search_plan(snap)
         boxes = padded_boxes(snap)
         coords = snap.mesh.nodes[ml.contact_ids]

@@ -16,7 +16,9 @@ K = 6
 @pytest.fixture(scope="module")
 def fitted(mid_sequence):
     params = MCMLDTParams(options=PartitionOptions(seed=0))
-    return MCMLDTPartitioner(K, params).fit(mid_sequence[0])
+    pt = MCMLDTPartitioner(K, params)
+    pt.fit(mid_sequence[0])
+    return pt
 
 
 class TestFit:
@@ -53,12 +55,14 @@ class TestFit:
 
     def test_reshape_off_ablation(self, mid_sequence):
         params = MCMLDTParams(reshape=False, options=PartitionOptions(seed=0))
-        pt = MCMLDTPartitioner(K, params).fit(mid_sequence[0])
+        pt = MCMLDTPartitioner(K, params)
+        pt.fit(mid_sequence[0])
         assert pt.diagnostics.reshape_tree_nodes == 0
         assert pt.diagnostics.reshape_moved == 0
 
     def test_k_one_trivial(self, mid_sequence):
-        pt = MCMLDTPartitioner(1).fit(mid_sequence[0])
+        pt = MCMLDTPartitioner(1)
+        pt.fit(mid_sequence[0])
         assert (pt.part == 0).all()
 
 
@@ -73,10 +77,12 @@ class TestReshapeGeometry:
         snap = mid_sequence[0]
         plain = MCMLDTPartitioner(
             K, MCMLDTParams(reshape=False, options=PartitionOptions(seed=0))
-        ).fit(snap)
+        )
+        plain.fit(snap)
         shaped = MCMLDTPartitioner(
             K, MCMLDTParams(options=PartitionOptions(seed=0))
-        ).fit(snap)
+        )
+        shaped.fit(snap)
         t_plain, _ = plain.build_descriptors(snap)
         t_shaped, _ = shaped.build_descriptors(snap)
         assert t_shaped.n_nodes <= 1.25 * t_plain.n_nodes
@@ -86,7 +92,8 @@ class TestReshapeGeometry:
         params = MCMLDTParams(
             max_p=50, max_i=10, options=PartitionOptions(seed=0)
         )
-        pt = MCMLDTPartitioner(K, params).fit(snap)
+        pt = MCMLDTPartitioner(K, params)
+        pt.fit(snap)
         assert pt.diagnostics.max_p == 50
         assert pt.diagnostics.max_i == 10
 

@@ -13,9 +13,9 @@ K = 6
 
 @pytest.fixture(scope="module")
 def fitted(mid_sequence):
-    return MLRCBPartitioner(
-        K, MLRCBParams(options=PartitionOptions(seed=0))
-    ).fit(mid_sequence[0])
+    pt = MLRCBPartitioner(K, MLRCBParams(options=PartitionOptions(seed=0)))
+    pt.fit(mid_sequence[0])
+    return pt
 
 
 class TestFit:
@@ -48,7 +48,8 @@ class TestUpdate:
     def test_update_tracks_contact_set(self, mid_sequence):
         pt = MLRCBPartitioner(
             K, MLRCBParams(options=PartitionOptions(seed=0))
-        ).fit(mid_sequence[0])
+        )
+        pt.fit(mid_sequence[0])
         for snap in mid_sequence.snapshots[1:6]:
             labels = pt.update(snap)
             assert len(labels) == len(snap.contact_nodes)
@@ -58,7 +59,8 @@ class TestUpdate:
     def test_rcb_balance_maintained_through_updates(self, mid_sequence):
         pt = MLRCBPartitioner(
             K, MLRCBParams(options=PartitionOptions(seed=0))
-        ).fit(mid_sequence[0])
+        )
+        pt.fit(mid_sequence[0])
         for snap in mid_sequence.snapshots[1:]:
             pt.update(snap)
         counts = np.bincount(pt.rcb_labels, minlength=K)
@@ -68,7 +70,8 @@ class TestUpdate:
     def test_static_snapshot_zero_updcomm(self, mid_sequence):
         pt = MLRCBPartitioner(
             K, MLRCBParams(options=PartitionOptions(seed=0))
-        ).fit(mid_sequence[0])
+        )
+        pt.fit(mid_sequence[0])
         pt.update(mid_sequence[0])  # same snapshot again
         assert pt.last_upd_comm == 0
 

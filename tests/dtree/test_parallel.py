@@ -142,7 +142,8 @@ class TestParallelInduction:
 
         snap = small_sequence[0]
         k = 4
-        pt = MCMLDTPartitioner(k).fit(snap)
+        pt = MCMLDTPartitioner(k)
+        pt.fit(snap)
         coords = snap.mesh.nodes[snap.contact_nodes]
         labels = pt.part[snap.contact_nodes]
         tree, ledger = parallel_induce_pure_tree(

@@ -75,7 +75,8 @@ class TestDescriptorsSvg:
         from repro.core.mcml_dt import MCMLDTPartitioner
 
         snap = small_sequence[0]
-        pt = MCMLDTPartitioner(3).fit(snap)
+        pt = MCMLDTPartitioner(3)
+        pt.fit(snap)
         coords = snap.mesh.nodes[snap.contact_nodes]
         labels = pt.part[snap.contact_nodes]
         pts2d = project_2d(coords)

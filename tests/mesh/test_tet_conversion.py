@@ -77,7 +77,8 @@ class TestTetSimulation:
             ImpactConfig(n_steps=10, refine=0.5, tet=True)
         )
         snap = seq[9]
-        pt = MCMLDTPartitioner(4).fit(snap)
+        pt = MCMLDTPartitioner(4)
+        pt.fit(snap)
         tree, _ = pt.build_descriptors(snap)
         plan = pt.search_plan(snap, tree)
         assert plan.n_remote >= 0

@@ -29,8 +29,8 @@ class TestTracingChangesNothing:
         nulled = MCMLDTPartitioner(5, params).fit(
             snap, tracer=NullTracer()
         )
-        np.testing.assert_array_equal(plain.part, traced.part)
-        np.testing.assert_array_equal(plain.part, nulled.part)
+        np.testing.assert_array_equal(plain.labels, traced.labels)
+        np.testing.assert_array_equal(plain.labels, nulled.labels)
 
     def test_traced_fit_records_required_phases(self, small_sequence):
         tracer = Tracer()

@@ -1,0 +1,270 @@
+"""Tests for the supervised process backend.
+
+The contract under test: worker death or hang at any superstep is
+invisible in the results — the supervisor respawns and replays, and
+when the pool is beyond saving it degrades to in-process serial
+execution (warning, never wrong answers).
+"""
+
+import multiprocessing
+import os
+import time
+import warnings
+
+import pytest
+
+from repro.obs.tracer import Tracer
+from repro.runtime.backends import (
+    MAX_RETRIES_ENV,
+    STEP_DEADLINE_ENV,
+    BackendError,
+    SerialBackend,
+    SupervisorConfig,
+)
+from repro.runtime.backends.process import ProcessBackend
+from repro.runtime.executor import spmd_run
+from repro.runtime.ledger import CommLedger
+
+
+# ----------------------------------------------------------------------
+# module-level supersteps.  Faulty behaviour is gated on actually being
+# in a pool worker, so the degraded (in-process) replay runs clean and,
+# critically, never kills the pytest process itself.
+# ----------------------------------------------------------------------
+
+
+def _in_pool_worker():
+    return multiprocessing.current_process().name.startswith("repro-spmd-")
+
+
+def _bump(ctx):
+    ctx.state["n"] = ctx.state.get("n", 0) + 1
+    ctx.send((ctx.rank + 1) % ctx.size, ctx.state["n"], phase="p", items=1)
+
+
+def _die_once_rank1(ctx):
+    marker = ctx.shared["marker"]
+    if ctx.rank == 1 and _in_pool_worker() and not os.path.exists(marker):
+        open(marker, "w").close()
+        os._exit(5)
+    _bump(ctx)
+
+
+def _hang_once_rank0(ctx):
+    marker = ctx.shared["marker"]
+    if ctx.rank == 0 and _in_pool_worker() and not os.path.exists(marker):
+        open(marker, "w").close()
+        time.sleep(30.0)
+    _bump(ctx)
+
+
+def _die_always_rank1(ctx):
+    if ctx.rank == 1 and _in_pool_worker():
+        os._exit(5)
+    _bump(ctx)
+
+
+def _report(ctx):
+    got = sorted(p for _s, p in ctx.inbox())
+    return (ctx.rank, ctx.state.get("n", 0), got)
+
+
+def _run(backend, steps, shared=None, tracer=None):
+    ledger = CommLedger()
+    results = spmd_run(
+        3, steps, ledger=ledger, backend=backend, tracer=tracer,
+        shared=shared,
+    )
+    return results, ledger
+
+
+def _counter_totals(tracer):
+    totals = {}
+    for _path, span in tracer.finish().walk():
+        for name, value in span.counters.items():
+            totals[name] = totals.get(name, 0) + value
+    return totals
+
+
+# ----------------------------------------------------------------------
+# recovery paths
+# ----------------------------------------------------------------------
+
+
+STEPS = (_bump, _die_once_rank1, _report)
+
+
+def _reference(steps):
+    return _run(SerialBackend(), steps, shared={"marker": os.devnull})
+
+
+class TestRespawn:
+    def test_kill_mid_run_matches_serial(self, tmp_path):
+        """Rank 1's worker dies once mid-step; the supervisor respawns
+        it, replays history, retries, and the run is bit-identical."""
+        ref_results, ref_ledger = _reference(STEPS)
+        tracer = Tracer()
+        backend = ProcessBackend(
+            workers=2,
+            supervisor=SupervisorConfig(
+                max_retries=2, backoff_base_s=0.01
+            ),
+        )
+        try:
+            results, ledger = _run(
+                backend, STEPS,
+                shared={"marker": str(tmp_path / "died")},
+                tracer=tracer,
+            )
+        finally:
+            backend.close()
+        assert results == ref_results
+        assert ledger.phases == ref_ledger.phases
+        assert ledger.sent_by_rank == ref_ledger.sent_by_rank
+        counters = _counter_totals(tracer)
+        assert counters.get("worker_deaths", 0) >= 1
+        assert counters.get("worker_respawns", 0) >= 1
+        assert counters.get("step_retries", 0) >= 1
+        assert "ranks_degraded" not in counters
+
+    def test_replay_preserves_earlier_state(self, tmp_path):
+        """Per-rank state accumulated in steps *before* the crash
+        survives the respawn (the recovery replays history)."""
+        steps = (_bump, _bump, _die_once_rank1, _report)
+        ref_results, _ = _reference(steps)
+        backend = ProcessBackend(
+            workers=2,
+            supervisor=SupervisorConfig(
+                max_retries=2, backoff_base_s=0.01
+            ),
+        )
+        try:
+            results, _ = _run(
+                backend, steps, shared={"marker": str(tmp_path / "died")}
+            )
+        finally:
+            backend.close()
+        assert results == ref_results
+        # state really did accumulate across the crash: n == 3
+        assert all(n == 3 for _r, n, _g in results[-1])
+
+    def test_hang_blows_deadline_and_recovers(self, tmp_path):
+        """A hung rank trips the per-step deadline and is treated like
+        a death: respawn, replay, retry — well before the hang ends."""
+        ref_results, _ = _reference((_bump, _hang_once_rank0, _report))
+        tracer = Tracer()
+        backend = ProcessBackend(
+            workers=2,
+            supervisor=SupervisorConfig(
+                step_deadline_s=0.5, max_retries=2, backoff_base_s=0.01
+            ),
+        )
+        start = time.monotonic()
+        try:
+            results, _ = _run(
+                backend, (_bump, _hang_once_rank0, _report),
+                shared={"marker": str(tmp_path / "hung")},
+                tracer=tracer,
+            )
+        finally:
+            backend.close()
+        assert results == ref_results
+        assert time.monotonic() - start < 15.0  # not the 30 s hang
+        counters = _counter_totals(tracer)
+        assert counters.get("deadline_timeouts", 0) >= 1
+        assert counters.get("worker_respawns", 0) >= 1
+
+
+class TestDegrade:
+    def test_persistent_failure_degrades_to_serial(self):
+        """When retries are exhausted the session warns and finishes
+        in-process — same results, ledger accounting preserved."""
+        ref_results, ref_ledger = _reference((_bump, _die_always_rank1,
+                                              _report))
+        tracer = Tracer()
+        backend = ProcessBackend(
+            workers=2,
+            supervisor=SupervisorConfig(
+                max_retries=1, backoff_base_s=0.01, degrade=True
+            ),
+        )
+        try:
+            with pytest.warns(RuntimeWarning, match="degrades"):
+                results, ledger = _run(
+                    backend, (_bump, _die_always_rank1, _report),
+                    tracer=tracer,
+                )
+        finally:
+            backend.close()
+        assert results == ref_results
+        assert ledger.phases == ref_ledger.phases
+        counters = _counter_totals(tracer)
+        assert counters.get("ranks_degraded") == 3
+
+    def test_degrade_disabled_raises(self):
+        backend = ProcessBackend(
+            workers=2,
+            supervisor=SupervisorConfig(
+                max_retries=0, backoff_base_s=0.01, degrade=False
+            ),
+        )
+        try:
+            with pytest.raises(BackendError, match="worker"):
+                _run(backend, (_bump, _die_always_rank1, _report))
+        finally:
+            backend.close()
+
+
+class TestHealthCheck:
+    def test_detects_dead_worker(self):
+        backend = ProcessBackend(workers=2)
+        try:
+            _run(backend, (_bump, _report))  # spin the pool up
+            health = backend.health_check(timeout=2.0)
+            assert health and all(health.values())
+            backend._ensure_pool()[0].proc.terminate()
+            time.sleep(0.2)
+            health = backend.health_check(timeout=2.0)
+            assert not all(health.values())
+        finally:
+            backend.close()
+
+    def test_close_survives_dead_worker(self):
+        backend = ProcessBackend(
+            workers=2,
+            supervisor=SupervisorConfig(shutdown_grace_s=1.0,
+                                        kill_grace_s=0.5),
+        )
+        try:
+            _run(backend, (_bump, _report))
+            backend._ensure_pool()[0].proc.kill()
+        finally:
+            backend.close()  # must not hang or raise
+
+
+class TestSupervisorConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SupervisorConfig(max_retries=-1)
+        with pytest.raises(ValueError):
+            SupervisorConfig(step_deadline_s=0.0)
+        with pytest.raises(ValueError):
+            SupervisorConfig(backoff_factor=0.5)
+
+    def test_from_env(self, monkeypatch):
+        monkeypatch.setenv(STEP_DEADLINE_ENV, "2.5")
+        monkeypatch.setenv(MAX_RETRIES_ENV, "4")
+        cfg = SupervisorConfig.from_env()
+        assert cfg.step_deadline_s == pytest.approx(2.5)
+        assert cfg.max_retries == 4
+
+    def test_from_env_deadline_disabled(self, monkeypatch):
+        monkeypatch.setenv(STEP_DEADLINE_ENV, "0")
+        assert SupervisorConfig.from_env().step_deadline_s is None
+
+    def test_from_env_defaults(self, monkeypatch):
+        monkeypatch.delenv(STEP_DEADLINE_ENV, raising=False)
+        monkeypatch.delenv(MAX_RETRIES_ENV, raising=False)
+        cfg = SupervisorConfig.from_env()
+        assert cfg.step_deadline_s is None
+        assert cfg.max_retries == 2

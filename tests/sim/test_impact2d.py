@@ -74,7 +74,8 @@ class TestPipeline2D:
 
         snap = seq2d[0]
         k = 4
-        pt = MCMLDTPartitioner(k).fit(snap)
+        pt = MCMLDTPartitioner(k)
+        pt.fit(snap)
         g = build_contact_graph(snap)
         imb = load_imbalance(g, pt.part, k)
         assert imb[0] <= 1.15
@@ -85,7 +86,8 @@ class TestPipeline2D:
     def test_ml_rcb_on_2d(self, seq2d):
         from repro.core.ml_rcb import MLRCBPartitioner
 
-        pt = MLRCBPartitioner(4).fit(seq2d[0])
+        pt = MLRCBPartitioner(4)
+        pt.fit(seq2d[0])
         for snap in seq2d.snapshots[1:5]:
             pt.update(snap)
         assert pt.m2m_comm_now() >= 0
@@ -104,7 +106,8 @@ class TestPipeline2D:
         snap = seq2d[15]
         k = 4
         pad = 0.25
-        pt = MCMLDTPartitioner(k, MCMLDTParams(pad=pad)).fit(snap)
+        pt = MCMLDTPartitioner(k, MCMLDTParams(pad=pad))
+        pt.fit(snap)
         plan = pt.search_plan(snap)
         boxes = element_bboxes(snap.mesh.nodes, snap.contact_faces)
         boxes[:, 0] -= pad

@@ -67,7 +67,8 @@ class TestObliqueSequence:
         # pipeline runs end to end on the oblique workload
         from repro.core.mcml_dt import MCMLDTPartitioner
 
-        pt = MCMLDTPartitioner(4).fit(seq[5])
+        pt = MCMLDTPartitioner(4)
+        pt.fit(seq[5])
         tree, _ = pt.build_descriptors(seq[5])
         plan = pt.search_plan(seq[5], tree)
         assert plan.n_remote >= 0

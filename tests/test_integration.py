@@ -38,9 +38,11 @@ def test_property_pipeline_contracts(seed, k, step):
     snap = seq[step]
     pt = MCMLDTPartitioner(
         k, MCMLDTParams(options=PartitionOptions(seed=seed))
-    ).fit(snap)
+    )
+    result = pt.fit(snap)
 
     # partition contract
+    assert result.labels is pt.part
     assert len(pt.part) == snap.mesh.num_nodes
     assert pt.part.min() >= 0 and pt.part.max() < k
     g = build_contact_graph(snap)
@@ -67,7 +69,8 @@ class TestLedgerConservation:
         k = 4
         pt = MCMLDTPartitioner(
             k, MCMLDTParams(pad=0.2, options=PartitionOptions(seed=0))
-        ).fit(snap)
+        )
+        pt.fit(snap)
         plan = pt.search_plan(snap)
         boxes = element_bboxes(snap.mesh.nodes, snap.contact_faces)
         boxes[:, 0] -= 0.2
