@@ -132,3 +132,72 @@ def test_smoke_traced_fit(benchmark):
     )
     assert root.find("fit/partition/coarsen") is not None
     assert root.find("fit/refine-G'") is not None
+
+
+def _scalar_candidate_pairs(boxes, points, point_ids):
+    """Pre-vectorisation reference: the per-box/per-point Python loop
+    the certified ``box_candidate_pairs`` kernel replaced (kept here,
+    outside the linted tree, as the before/after yardstick)."""
+    from scipy.spatial import cKDTree
+
+    if len(points) == 0 or len(boxes) == 0:
+        return []
+    tree = cKDTree(points)
+    centers = (boxes[:, 0] + boxes[:, 1]) / 2.0
+    radii = np.linalg.norm(boxes[:, 1] - boxes[:, 0], axis=1) / 2.0
+    out = []
+    hits = tree.query_ball_point(centers, radii + 1e-12)
+    for b, cand in enumerate(hits):
+        if not cand:
+            continue
+        cand = np.asarray(cand, dtype=np.int64)
+        pts = points[cand]
+        inside = (
+            (pts >= boxes[b, 0]) & (pts <= boxes[b, 1])
+        ).all(axis=1)
+        for pid in point_ids[cand[inside]]:
+            out.append((b, int(pid)))
+    return out
+
+
+def test_smoke_traced_search(benchmark):
+    """CI smoke benchmark: the contact-search inner kernel, vectorised
+    (certified ``box_candidate_pairs``) vs the scalar Python loop it
+    replaced — both measured, speedup recorded in the JSON artifact."""
+    from time import perf_counter
+
+    from repro.geometry.bbox import element_bboxes
+    from repro.geometry.boxsearch import candidate_pairs
+    from repro.sim.projectile import ImpactConfig
+    from repro.sim.sequence import simulate_impact
+
+    snap = simulate_impact(ImpactConfig(n_steps=1, refine=0.6))[0]
+    boxes = element_bboxes(snap.mesh.nodes, snap.contact_faces)
+    boxes[:, 0] -= 0.2
+    boxes[:, 1] += 0.2
+    points = snap.mesh.nodes[snap.contact_nodes]
+    ids = np.asarray(snap.contact_nodes, dtype=np.int64)
+
+    b_idx, node_ids = benchmark.pedantic(
+        lambda: candidate_pairs(boxes, points, ids),
+        rounds=3,
+        iterations=1,
+    )
+
+    t0 = perf_counter()
+    scalar = _scalar_candidate_pairs(boxes, points, ids)
+    scalar_s = perf_counter() - t0
+    t0 = perf_counter()
+    candidate_pairs(boxes, points, ids)
+    vector_s = perf_counter() - t0
+
+    assert set(zip(b_idx.tolist(), node_ids.tolist())) == set(scalar)
+    record(
+        benchmark,
+        n_boxes=len(boxes),
+        n_points=len(points),
+        n_pairs=len(b_idx),
+        scalar_s=round(scalar_s, 6),
+        vectorized_s=round(vector_s, 6),
+        speedup=round(scalar_s / max(vector_s, 1e-12), 2),
+    )

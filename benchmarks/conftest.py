@@ -109,6 +109,7 @@ def record(benchmark, tracer=None, **info):
             path: {
                 "n_calls": span.n_calls,
                 "total_ms": round(span.total_s * 1e3, 3),
+                "self_ms": round(span.self_s * 1e3, 3),
             }
             for path, span in tracer.root.walk()
         }

@@ -15,6 +15,16 @@ race-free, picklable, and deterministic (SPMD001–003, DET001,
 FLOAT001); its findings are validated dynamically by the race
 sentinel backend (:mod:`repro.runtime.backends.sentinel`).
 
+The third layer is performance-oriented (``repro-lint --perf``): the
+opt-in PERF rule family (:mod:`repro.analysis.perf`) finds the
+scalar-Python hot loops that block vectorisation — ranked by measured
+span self-times when a ``--trace-json`` run-report is supplied — and
+the kernel-purity certifier (:mod:`repro.analysis.kernelcheck`)
+proves every ``@repro.kernels.kernel``-marked function jit-compilable,
+emitting the ``repro.kernel-audit/1`` registry.  Pre-existing findings
+burn down through a committed baseline
+(:mod:`repro.analysis.baseline`) instead of blanket suppressions.
+
 Run it as ``repro-lint --spmd src/repro`` or ``repro-contact lint``.
 """
 
@@ -36,6 +46,12 @@ from repro.analysis.reporters import (
 )
 from repro.analysis import rules as _rules  # noqa: F401  (registers rules)
 from repro.analysis.spmd import SpmdAnalyzer  # noqa: F401  (registers rules)
+from repro.analysis.perf import PerfAnalyzer  # noqa: F401  (registers rules)
+from repro.analysis.kernelcheck import (  # noqa: F401  (registers KERN001)
+    KernelAudit,
+    audit_paths,
+    validate_kernel_audit,
+)
 
 __all__ = [
     "Diagnostic",
@@ -43,6 +59,10 @@ __all__ = [
     "LintEngine",
     "LintRule",
     "SpmdAnalyzer",
+    "PerfAnalyzer",
+    "KernelAudit",
+    "audit_paths",
+    "validate_kernel_audit",
     "all_rules",
     "build_file_context",
     "get_rule",

@@ -7,15 +7,22 @@ Examples::
     repro-lint --format sarif src > lint.sarif
     repro-lint --select ARR001,RNG001 src/repro
     repro-lint --spmd src/repro tests # + project-level SPMD pass
+    repro-lint --perf src/repro       # + PERF family + kernel certifier
+    repro-lint --perf --trace-json smoke-trace.json src/repro
+    repro-lint --perf --baseline lint-baseline.json src/repro
     repro-lint --statistics src/repro
     repro-lint --list-rules
 
 With no paths the installed ``repro`` package is linted.  ``--spmd``
 adds the project-level dataflow pass (SPMD001–003, DET001, FLOAT001 —
 see ``docs/STATIC_ANALYSIS.md``); it analyses every target file as one
-program, so pass the whole tree.  Exit status: 0 when clean, 1 when
-diagnostics were found, 2 on usage errors (unknown rule code,
-nonexistent path).
+program, so pass the whole tree.  ``--perf`` adds the opt-in PERF
+family plus the kernel-purity certifier (KERN001); ``--trace-json``
+takes a ``repro.run-report/1`` artifact and ranks the findings by
+measured span self-time; ``--baseline`` subtracts a committed
+baseline so only *new* findings fail.  Exit status: 0 when clean, 1
+when diagnostics were found, 2 on usage errors (unknown rule code,
+nonexistent path, malformed baseline or trace).
 """
 
 from __future__ import annotations
@@ -25,7 +32,19 @@ import sys
 from pathlib import Path
 from typing import List, Optional
 
+from repro.analysis.baseline import (
+    BaselineError,
+    apply_baseline,
+    load_baseline,
+    write_baseline,
+)
 from repro.analysis.engine import LintEngine, all_rules
+from repro.analysis.kernelcheck import audit_paths
+from repro.analysis.perf import (
+    PerfAnalyzer,
+    load_self_times,
+    rank_diagnostics,
+)
 from repro.analysis.reporters import (
     format_human,
     format_json,
@@ -92,6 +111,50 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     parser.add_argument(
+        "--perf",
+        action="store_true",
+        help=(
+            "also run the opt-in PERF performance family "
+            "(PERF001-005) and the kernel-purity certifier (KERN001)"
+        ),
+    )
+    parser.add_argument(
+        "--trace-json",
+        metavar="PATH",
+        default=None,
+        help=(
+            "repro.run-report/1 artifact; PERF findings are annotated "
+            "and ranked by the measured span self-times"
+        ),
+    )
+    parser.add_argument(
+        "--kernel-audit",
+        metavar="PATH",
+        default=None,
+        help=(
+            "write the repro.kernel-audit/1 registry produced by the "
+            "certifier to PATH (implies --perf)"
+        ),
+    )
+    parser.add_argument(
+        "--baseline",
+        metavar="PATH",
+        default=None,
+        help=(
+            "committed lint baseline (repro.lint-baseline/1); "
+            "baselined findings are subtracted so only new ones fail"
+        ),
+    )
+    parser.add_argument(
+        "--write-baseline",
+        metavar="PATH",
+        default=None,
+        help=(
+            "write the current findings to PATH as a new baseline "
+            "and exit 0 (KERN001 findings are never baselined)"
+        ),
+    )
+    parser.add_argument(
         "--statistics",
         action="store_true",
         help="append per-code counts (human format only)",
@@ -127,6 +190,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(f"repro-lint: {exc.args[0]}", file=sys.stderr)
         return 2
 
+    run_perf = args.perf or args.kernel_audit is not None
+
     try:
         diagnostics = engine.lint_paths(paths, exclude=args.exclude)
         if args.spmd:
@@ -137,9 +202,54 @@ def main(argv: Optional[List[str]] = None) -> int:
                 set(diagnostics)
                 | set(analyzer.analyze_paths(paths, exclude=args.exclude))
             )
+        if run_perf:
+            try:
+                perf = PerfAnalyzer(
+                    select=args.select, ignore=args.ignore
+                )
+            except KeyError as exc:
+                print(f"repro-lint: {exc.args[0]}", file=sys.stderr)
+                return 2
+            extra = set(perf.analyze_paths(paths, exclude=args.exclude))
+            audit = audit_paths(paths, exclude=args.exclude)
+            extra |= set(audit.diagnostics())
+            diagnostics = sorted(set(diagnostics) | extra)
+            if args.kernel_audit is not None:
+                audit.save(args.kernel_audit)
     except FileNotFoundError as exc:
         print(f"repro-lint: {exc}", file=sys.stderr)
         return 2
+
+    if args.write_baseline is not None:
+        n = write_baseline(args.write_baseline, diagnostics)
+        print(
+            f"repro-lint: wrote {n} baseline entries to "
+            f"{args.write_baseline}",
+            file=sys.stderr,
+        )
+        return 0
+
+    if args.baseline is not None:
+        try:
+            known = load_baseline(args.baseline)
+        except (OSError, BaselineError) as exc:
+            print(f"repro-lint: {exc}", file=sys.stderr)
+            return 2
+        diagnostics, suppressed = apply_baseline(diagnostics, known)
+        if suppressed:
+            print(
+                f"repro-lint: {suppressed} baselined finding(s) "
+                f"suppressed via {args.baseline}",
+                file=sys.stderr,
+            )
+
+    if args.trace_json is not None:
+        try:
+            self_times = load_self_times(args.trace_json)
+        except (OSError, ValueError) as exc:
+            print(f"repro-lint: {exc}", file=sys.stderr)
+            return 2
+        diagnostics = rank_diagnostics(diagnostics, self_times)
 
     if args.format == "json":
         print(format_json(diagnostics))

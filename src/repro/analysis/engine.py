@@ -116,6 +116,10 @@ class LintRule:
     description: str = ""
     #: dotted module-name prefixes this rule applies to ((), = all files)
     modules: Tuple[str, ...] = ()
+    #: opt-in rules stay out of the default engine run; they execute
+    #: only when explicitly ``--select``-ed or driven by a dedicated
+    #: pass (the PERF family runs under ``repro-lint --perf``)
+    opt_in: bool = False
 
     def applies_to(self, ctx: FileContext) -> bool:
         """Whether this rule should run on ``ctx`` (module scoping)."""
@@ -271,6 +275,10 @@ class LintEngine:
             if unknown:
                 raise KeyError(f"unknown rule code(s): {sorted(unknown)}")
             chosen = [r for r in chosen if r.code in wanted]
+        elif rules is None:
+            # a default run skips opt-in families; an explicit --select
+            # (handled above) may still pull them in one by one
+            chosen = [r for r in chosen if not r.opt_in]
         if ignore is not None:
             dropped = set(ignore)
             chosen = [r for r in chosen if r.code not in dropped]

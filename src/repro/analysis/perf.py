@@ -1,0 +1,728 @@
+"""Performance rule family: find scalar-Python hot loops before compiling.
+
+ROADMAP open item 1 is blunt: parallel backends do not pay because the
+inner kernels are scalar Python (``run/global-search/search`` alone is
+~559 ms of a 566 ms serial smoke run).  Before anyone writes a
+numba/Cython path, this pass finds the loops that block vectorisation
+and ranks them by *measured* hotness:
+
+========  ==========================================================
+PERF001   scalar Python loop over NumPy array data
+PERF002   per-iteration allocation in a loop (``np.append`` /
+          ``np.concatenate`` / list-grow-then-``np.array``)
+PERF003   repeated attribute/global lookup inside a hot loop
+PERF004   implicit dtype promotion in a numeric expression
+PERF005   element-wise ``math.*`` where a NumPy ufunc exists
+========  ==========================================================
+
+The family is **opt-in** (``repro-lint --perf``): a perf finding is a
+cost, not a correctness bug, so it gates CI only through the committed
+baseline (``lint-baseline.json``) — pre-existing findings are burned
+down incrementally while *new* ones fail immediately.
+
+**Profile-guided ranking.**  ``--trace-json`` takes a
+``repro.run-report/1`` artifact (the smoke-bench trace CI already
+emits) and uses per-span *self* times to rank findings: each diagnostic
+in a module reached by a hot span is annotated with the span's measured
+self time and sorted hottest-first, so the ``global-search/search``
+loops surface at the top instead of drowning in alphabetical order.
+The span→module correspondence is the declarative
+:data:`SPAN_MODULE_HINTS` table (single source, exercised by tests).
+"""
+
+from __future__ import annotations
+
+import ast
+from collections import Counter
+from dataclasses import dataclass, replace
+from pathlib import Path
+from typing import (
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+    Union,
+)
+
+from repro.analysis.engine import (
+    Diagnostic,
+    FileContext,
+    LintEngine,
+    LintRule,
+    all_rules,
+    build_file_context,
+    module_name_for,
+    register_rule,
+)
+from repro.analysis.rules import _is_test_module, dotted_name
+
+#: the numeric stack — the only modules the PERF family inspects
+#: (analysis/obs/runtime walk ASTs and message queues, not arrays)
+PERF_MODULES: Tuple[str, ...] = (
+    "repro.core",
+    "repro.dtree",
+    "repro.geometry",
+    "repro.graph",
+    "repro.mesh",
+    "repro.metrics",
+    "repro.partition",
+    "repro.sim",
+    "repro.utils",
+)
+
+#: span name → dotted module prefixes its self-time is attributed to.
+#: Spans are emitted by the code under these modules (see the tracer
+#: call sites); the ranking uses the hottest span naming each module.
+SPAN_MODULE_HINTS: Dict[str, Tuple[str, ...]] = {
+    "global-search": (
+        "repro.core.contact_search",
+        "repro.core.local_search",
+        "repro.geometry.boxsearch",
+        "repro.geometry.bbox",
+    ),
+    "search": (
+        "repro.core.contact_search",
+        "repro.geometry.boxsearch",
+        "repro.geometry.bbox",
+    ),
+    "exchange": ("repro.core.contact_search",),
+    "coarsen": ("repro.partition.coarsen", "repro.partition.matching"),
+    "initial": ("repro.partition.initial",),
+    "refine": ("repro.partition",),
+    "refine-G'": ("repro.partition",),
+    "collapse": ("repro.partition.fragments",),
+    "dtree-induce": ("repro.dtree",),
+    "update": ("repro.dtree", "repro.partition.repartition"),
+    "map-transfer": ("repro.metrics", "repro.partition.repartition"),
+    "simulate": ("repro.sim", "repro.mesh"),
+    "partition": ("repro.partition",),
+    "rcb": ("repro.geometry.rcb",),
+}
+
+#: numpy calls whose results are provably array-valued (used as PERF001
+#: iteration evidence; scalar-returning np calls are deliberately absent)
+_ARRAY_RETURNING = frozenset(
+    {
+        "arange",
+        "argsort",
+        "argwhere",
+        "array",
+        "asarray",
+        "ascontiguousarray",
+        "bincount",
+        "concatenate",
+        "cumsum",
+        "diff",
+        "empty",
+        "flatnonzero",
+        "full",
+        "hstack",
+        "linspace",
+        "nonzero",
+        "ones",
+        "repeat",
+        "sort",
+        "stack",
+        "unique",
+        "vstack",
+        "where",
+        "zeros",
+    }
+)
+
+#: allocating numpy calls that must not run per loop iteration (PERF002)
+_LOOP_ALLOCATORS = frozenset(
+    {"append", "concatenate", "hstack", "vstack", "stack", "array", "asarray"}
+)
+
+#: math.* functions with a NumPy ufunc of the same name (PERF005)
+_MATH_UFUNCS = frozenset(
+    {
+        "sqrt",
+        "sin",
+        "cos",
+        "tan",
+        "exp",
+        "log",
+        "log2",
+        "log10",
+        "floor",
+        "ceil",
+        "fabs",
+        "hypot",
+        "atan2",
+    }
+)
+
+#: occurrences of one dotted chain in a single loop body before PERF003
+#: fires (two repeats is idiom; three is a measurable lookup tax)
+PERF003_THRESHOLD = 3
+
+#: integer dtype spellings recognised for PERF004 promotion evidence
+_INT_DTYPES = frozenset(
+    {
+        "int",
+        "int8",
+        "int16",
+        "int32",
+        "int64",
+        "intp",
+        "uint8",
+        "uint16",
+        "uint32",
+        "uint64",
+        "np.int8",
+        "np.int16",
+        "np.int32",
+        "np.int64",
+        "np.intp",
+        "numpy.int8",
+        "numpy.int16",
+        "numpy.int32",
+        "numpy.int64",
+        "numpy.intp",
+    }
+)
+
+_NUMERIC_BINOPS = (
+    ast.Add,
+    ast.Sub,
+    ast.Mult,
+    ast.Div,
+    ast.FloorDiv,
+    ast.Mod,
+    ast.Pow,
+)
+
+
+def _is_numpy_call(node: ast.AST) -> bool:
+    """``np.X(...)``/``numpy.X(...)`` with ``X`` array-returning."""
+    if not isinstance(node, ast.Call):
+        return False
+    name = dotted_name(node.func)
+    if name is None:
+        return False
+    head, _, tail = name.rpartition(".")
+    return head in ("np", "numpy") and tail in _ARRAY_RETURNING
+
+
+class _ArrayEvidence:
+    """Per-function tracker of names that provably hold NumPy arrays.
+
+    Evidence comes from two places only — parameters annotated
+    ``np.ndarray``/``numpy.ndarray`` and names assigned from an
+    array-returning ``np.*`` call — so the PERF001 detector
+    under-approximates instead of guessing.
+    """
+
+    def __init__(self, fn: Union[ast.FunctionDef, ast.AsyncFunctionDef]):
+        self.array_names: Set[str] = set()
+        args = fn.args
+        for a in list(args.posonlyargs) + list(args.args) + list(args.kwonlyargs):
+            if a.annotation is not None and self._is_ndarray_ann(a.annotation):
+                self.array_names.add(a.arg)
+        for node in ast.walk(fn):
+            if isinstance(node, ast.Assign) and self.is_array_expr(node.value):
+                for target in node.targets:
+                    if isinstance(target, ast.Name):
+                        self.array_names.add(target.id)
+            elif isinstance(node, ast.AnnAssign):
+                if (
+                    isinstance(node.target, ast.Name)
+                    and node.annotation is not None
+                    and self._is_ndarray_ann(node.annotation)
+                ):
+                    self.array_names.add(node.target.id)
+
+    @staticmethod
+    def _is_ndarray_ann(ann: ast.AST) -> bool:
+        text = dotted_name(ann)
+        if text is None and isinstance(ann, ast.Constant):
+            text = ann.value if isinstance(ann.value, str) else None
+        return text in ("np.ndarray", "numpy.ndarray", "ndarray")
+
+    def is_array_expr(self, expr: ast.AST) -> bool:
+        """Whether ``expr`` provably evaluates to a NumPy array."""
+        if _is_numpy_call(expr):
+            return True
+        if isinstance(expr, ast.Name):
+            return expr.id in self.array_names
+        if isinstance(expr, ast.Subscript):
+            return self.is_array_expr(expr.value)
+        if isinstance(expr, ast.Attribute) and expr.attr == "T":
+            return self.is_array_expr(expr.value)
+        if isinstance(expr, ast.Call):
+            name = dotted_name(expr.func)
+            if name in ("enumerate", "zip", "reversed") and expr.args:
+                return any(self.is_array_expr(a) for a in expr.args)
+            # range(len(arr)) — the index-loop spelling of the same scan
+            if name == "range" and len(expr.args) == 1:
+                inner = expr.args[0]
+                if (
+                    isinstance(inner, ast.Call)
+                    and dotted_name(inner.func) == "len"
+                    and inner.args
+                ):
+                    return self.is_array_expr(inner.args[0])
+        return False
+
+
+class PerfRule(LintRule):
+    """Base for the opt-in PERF family: numeric modules, no tests."""
+
+    opt_in = True
+    modules = PERF_MODULES
+
+    def applies_to(self, ctx: FileContext) -> bool:
+        if _is_test_module(ctx.module):
+            return False
+        return super().applies_to(ctx)
+
+    # -- shared traversal ----------------------------------------------
+    @staticmethod
+    def _functions(
+        ctx: FileContext,
+    ) -> Iterator[Union[ast.FunctionDef, ast.AsyncFunctionDef]]:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                yield node
+
+    @staticmethod
+    def _loops(
+        fn: ast.AST,
+    ) -> Iterator[Union[ast.For, ast.AsyncFor, ast.While]]:
+        for node in ast.walk(fn):
+            if isinstance(node, (ast.For, ast.AsyncFor, ast.While)):
+                yield node
+
+
+@register_rule
+class ScalarLoopRule(PerfRule):
+    """PERF001 — scalar Python loop over NumPy array data.
+
+    Iterating an ndarray element-by-element pays the full interpreter
+    dispatch cost per element — two to three orders of magnitude over
+    the vectorised equivalent — and blocks any compiled path.  Flagged
+    loops must be batched (fancy indexing, ``np.repeat``, boolean
+    masks) or moved behind a certified kernel.
+    """
+
+    code = "PERF001"
+    name = "perf-scalar-loop"
+    description = "scalar Python loop over NumPy array data"
+
+    def check(self, ctx: FileContext) -> Iterator[Diagnostic]:
+        for fn in self._functions(ctx):
+            evidence = _ArrayEvidence(fn)
+            for loop in self._loops(fn):
+                if isinstance(loop, ast.While):
+                    continue
+                if evidence.is_array_expr(loop.iter):
+                    yield self.diag(
+                        ctx,
+                        loop,
+                        "scalar Python loop over NumPy array data — "
+                        "vectorise (fancy indexing/np.repeat/masks) or "
+                        "move behind a certified kernel",
+                    )
+
+
+@register_rule
+class LoopAllocationRule(PerfRule):
+    """PERF002 — per-iteration array allocation in a loop.
+
+    ``np.append``/``np.concatenate`` copy the whole accumulator every
+    iteration (O(n²) growth); converting a loop-grown list with
+    ``np.array`` re-boxes every element.  Preallocate, or collect
+    chunks and concatenate once after the loop.
+    """
+
+    code = "PERF002"
+    name = "perf-loop-allocation"
+    description = "per-iteration array allocation in a loop"
+
+    def check(self, ctx: FileContext) -> Iterator[Diagnostic]:
+        for fn in self._functions(ctx):
+            grown: Set[str] = set()
+            for loop in self._loops(fn):
+                for node in ast.walk(loop):
+                    if not isinstance(node, ast.Call):
+                        continue
+                    name = dotted_name(node.func)
+                    if name is not None:
+                        head, _, tail = name.rpartition(".")
+                        if head in ("np", "numpy") and tail in _LOOP_ALLOCATORS:
+                            yield self.diag(
+                                ctx,
+                                node,
+                                f"np.{tail}(...) inside a loop reallocates "
+                                f"per iteration — preallocate or "
+                                f"concatenate once after the loop",
+                            )
+                    if (
+                        isinstance(node.func, ast.Attribute)
+                        and node.func.attr == "append"
+                        and isinstance(node.func.value, ast.Name)
+                    ):
+                        grown.add(node.func.value.id)
+            if not grown:
+                continue
+            for node in ast.walk(fn):
+                if not isinstance(node, ast.Call):
+                    continue
+                name = dotted_name(node.func)
+                if name is None:
+                    continue
+                head, _, tail = name.rpartition(".")
+                if (
+                    head in ("np", "numpy")
+                    and tail in ("array", "asarray")
+                    and node.args
+                    and isinstance(node.args[0], ast.Name)
+                    and node.args[0].id in grown
+                ):
+                    yield self.diag(
+                        ctx,
+                        node,
+                        f"np.{tail}({node.args[0].id}) converts a "
+                        f"loop-grown Python list — preallocate the array "
+                        f"and fill by index instead",
+                    )
+
+
+@register_rule
+class RepeatedLookupRule(PerfRule):
+    """PERF003 — repeated attribute/global lookup inside a hot loop.
+
+    Every ``a.b.c(...)`` in a loop body re-resolves the whole chain per
+    iteration; binding it to a local before the loop is the classic
+    CPython win and a precondition for clean kernel extraction.
+    """
+
+    code = "PERF003"
+    name = "perf-repeated-lookup"
+    description = "repeated attribute/global lookup inside a hot loop"
+
+    def check(self, ctx: FileContext) -> Iterator[Diagnostic]:
+        for fn in self._functions(ctx):
+            inner: Set[int] = set()
+            for loop in self._loops(fn):
+                for node in ast.walk(loop):
+                    if node is not loop and isinstance(
+                        node, (ast.For, ast.AsyncFor, ast.While)
+                    ):
+                        inner.add(id(node))
+            for loop in self._loops(fn):
+                if id(loop) in inner:
+                    continue  # count each chain once, in the outermost loop
+                rebound = self._rebound_roots(loop)
+                counts: Counter = Counter()
+                first: Dict[str, ast.AST] = {}
+                for node in ast.walk(loop):
+                    if not isinstance(node, ast.Call):
+                        continue
+                    if not isinstance(node.func, ast.Attribute):
+                        continue
+                    name = dotted_name(node.func)
+                    if name is None or name.count(".") < 1:
+                        continue
+                    root = name.split(".", 1)[0]
+                    if root in rebound:
+                        continue
+                    counts[name] += 1
+                    first.setdefault(name, node)
+                for name, n in sorted(counts.items()):
+                    if n >= PERF003_THRESHOLD:
+                        yield self.diag(
+                            ctx,
+                            first[name],
+                            f"{name}(...) resolved {n}× inside one loop — "
+                            f"bind it to a local before the loop",
+                        )
+
+    @staticmethod
+    def _rebound_roots(
+        loop: Union[ast.For, ast.AsyncFor, ast.While]
+    ) -> Set[str]:
+        names: Set[str] = set()
+        if isinstance(loop, (ast.For, ast.AsyncFor)):
+            for n in ast.walk(loop.target):
+                if isinstance(n, ast.Name):
+                    names.add(n.id)
+        for node in ast.walk(loop):
+            if isinstance(node, ast.Assign):
+                for target in node.targets:
+                    for n in ast.walk(target):
+                        if isinstance(n, ast.Name):
+                            names.add(n.id)
+        return names
+
+
+@register_rule
+class DtypePromotionRule(PerfRule):
+    """PERF004 — implicit dtype promotion in a numeric expression.
+
+    Mixing an explicitly-int array with a float scalar silently
+    allocates a promoted float64 copy per evaluation; true division of
+    an int array does the same.  Promotions belong at one explicit
+    ``astype`` boundary, not inside numeric expressions.
+    """
+
+    code = "PERF004"
+    name = "perf-dtype-promotion"
+    description = "implicit dtype promotion in a numeric expression"
+
+    def check(self, ctx: FileContext) -> Iterator[Diagnostic]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.BinOp):
+                continue
+            if not isinstance(node.op, _NUMERIC_BINOPS):
+                continue
+            left_int = self._int_array_expr(node.left)
+            right_int = self._int_array_expr(node.right)
+            if isinstance(node.op, ast.Div) and (left_int or right_int):
+                yield self.diag(
+                    ctx,
+                    node,
+                    "true division of an int-dtype array allocates a "
+                    "promoted float64 copy — divide after one explicit "
+                    "astype, or use // for integer semantics",
+                )
+                continue
+            if (left_int and self._float_const(node.right)) or (
+                right_int and self._float_const(node.left)
+            ):
+                yield self.diag(
+                    ctx,
+                    node,
+                    "int-dtype array combined with a float scalar "
+                    "promotes implicitly — hoist the conversion to one "
+                    "explicit astype boundary",
+                )
+
+    @staticmethod
+    def _float_const(expr: ast.AST) -> bool:
+        return (
+            isinstance(expr, ast.Constant)
+            and isinstance(expr.value, float)
+        )
+
+    @staticmethod
+    def _int_array_expr(expr: ast.AST) -> bool:
+        """``np.X(..., dtype=<int dtype>)`` — explicit int evidence."""
+        if not isinstance(expr, ast.Call):
+            return False
+        name = dotted_name(expr.func)
+        if name is None:
+            return False
+        head, _, tail = name.rpartition(".")
+        if head not in ("np", "numpy") or tail not in _ARRAY_RETURNING:
+            return False
+        for kw in expr.keywords:
+            if kw.arg != "dtype":
+                continue
+            dtype_text = dotted_name(kw.value)
+            if dtype_text is None and isinstance(kw.value, ast.Constant):
+                dtype_text = (
+                    kw.value.value
+                    if isinstance(kw.value.value, str)
+                    else None
+                )
+            if dtype_text in _INT_DTYPES:
+                return True
+        return False
+
+
+@register_rule
+class MathUfuncRule(PerfRule):
+    """PERF005 — element-wise ``math.*`` where a NumPy ufunc exists.
+
+    ``math.sqrt`` in a loop processes one scalar per interpreter round
+    trip; the identically-named ufunc handles the whole array in one
+    call and fuses into a compiled path.
+    """
+
+    code = "PERF005"
+    name = "perf-math-ufunc"
+    description = "element-wise math.* in a loop where a ufunc exists"
+
+    def check(self, ctx: FileContext) -> Iterator[Diagnostic]:
+        from_math = self._math_imports(ctx.tree)
+        for fn in self._functions(ctx):
+            for loop in self._loops(fn):
+                for node in ast.walk(loop):
+                    if not isinstance(node, ast.Call):
+                        continue
+                    name = dotted_name(node.func)
+                    if name is None:
+                        continue
+                    head, _, tail = name.rpartition(".")
+                    hit = (head == "math" and tail in _MATH_UFUNCS) or (
+                        not head and name in from_math
+                    )
+                    if hit:
+                        fname = tail if head else name
+                        yield self.diag(
+                            ctx,
+                            node,
+                            f"math.{fname} maps one scalar per call — "
+                            f"np.{fname} is the vectorised ufunc",
+                        )
+
+    @staticmethod
+    def _math_imports(tree: ast.Module) -> Set[str]:
+        """Names imported from ``math`` that shadow a ufunc."""
+        names: Set[str] = set()
+        for node in ast.walk(tree):
+            if isinstance(node, ast.ImportFrom) and node.module == "math":
+                for alias in node.names:
+                    if alias.name in _MATH_UFUNCS and alias.asname is None:
+                        names.add(alias.name)
+        return names
+
+
+def perf_rules() -> List[PerfRule]:
+    """The registered PERF rules, sorted by code."""
+    return [r for r in all_rules() if isinstance(r, PerfRule)]
+
+
+# ----------------------------------------------------------------------
+# profile-guided ranking
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class HotSpot:
+    """One module's measured hotness: the hottest span naming it."""
+
+    module: str
+    span_path: str
+    self_ms: float
+
+
+def load_self_times(trace_path: Union[str, Path]) -> Dict[str, float]:
+    """``{span path: self milliseconds}`` from a run-report artifact.
+
+    Accepts any ``repro.run-report/1`` document (``repro-contact trace
+    --trace-json`` or the CI smoke bench); raises ``ValueError`` on a
+    schema violation so a stale artifact fails loudly.
+    """
+    from repro.obs.report import RunReport
+
+    report = RunReport.load(trace_path)
+    return {
+        path: span.self_s * 1e3 for path, span in report.spans.walk()
+    }
+
+
+def module_hotness(self_times: Dict[str, float]) -> Dict[str, HotSpot]:
+    """Attribute span self-times to modules via :data:`SPAN_MODULE_HINTS`.
+
+    Each module gets the hottest single span that names it (max, not
+    sum — one span's time must not be double-counted across the many
+    modules it hints at).
+    """
+    hot: Dict[str, HotSpot] = {}
+    for path, self_ms in self_times.items():
+        leaf = path.rsplit("/", 1)[-1]
+        for prefix in SPAN_MODULE_HINTS.get(leaf, ()):
+            existing = hot.get(prefix)
+            if existing is None or self_ms > existing.self_ms:
+                hot[prefix] = HotSpot(
+                    module=prefix, span_path=path, self_ms=self_ms
+                )
+    return hot
+
+
+def _module_of_path(path: str) -> str:
+    return module_name_for(path)
+
+
+def hotness_of(module: str, hot: Dict[str, HotSpot]) -> Optional[HotSpot]:
+    """The hottest :class:`HotSpot` whose module prefix covers
+    ``module`` (``None`` when the profile never touched it)."""
+    best: Optional[HotSpot] = None
+    for prefix, spot in hot.items():
+        if module == prefix or module.startswith(prefix + "."):
+            if best is None or spot.self_ms > best.self_ms:
+                best = spot
+    return best
+
+
+def rank_diagnostics(
+    diagnostics: Sequence[Diagnostic],
+    self_times: Dict[str, float],
+) -> List[Diagnostic]:
+    """Order ``diagnostics`` hottest-first and annotate the hot ones.
+
+    Findings in modules a profiled span attributes time to come first
+    (descending measured self-time), each with a ``[hot: <span>
+    self=<ms>ms]`` suffix; cold findings follow in the usual
+    (path, line) order.
+    """
+    hot = module_hotness(self_times)
+    keyed: List[Tuple[float, Diagnostic]] = []
+    for d in diagnostics:
+        spot = hotness_of(_module_of_path(d.path), hot)
+        if spot is not None and spot.self_ms > 0:
+            annotated = replace(
+                d,
+                message=(
+                    f"{d.message} "
+                    f"[hot: {spot.span_path} self={spot.self_ms:.1f}ms]"
+                ),
+            )
+            keyed.append((spot.self_ms, annotated))
+        else:
+            keyed.append((0.0, d))
+    keyed.sort(key=lambda pair: (-pair[0], pair[1]))
+    return [d for _ms, d in keyed]
+
+
+# ----------------------------------------------------------------------
+# analyzer entry point
+# ----------------------------------------------------------------------
+
+
+class PerfAnalyzer:
+    """Run the PERF family (and nothing else) over files/directories.
+
+    A thin driver over :class:`LintEngine` with the opt-in rule set
+    forced on; ``select``/``ignore`` narrow by code exactly like the
+    engine (unknown codes are the CLI's concern).
+    """
+
+    def __init__(
+        self,
+        select: Optional[Iterable[str]] = None,
+        ignore: Optional[Iterable[str]] = None,
+    ) -> None:
+        chosen: List[PerfRule] = perf_rules()
+        if select is not None:
+            wanted = set(select)
+            chosen = [r for r in chosen if r.code in wanted]
+        if ignore is not None:
+            dropped = set(ignore)
+            chosen = [r for r in chosen if r.code not in dropped]
+        self.engine = LintEngine(rules=chosen)
+
+    def analyze_paths(
+        self,
+        paths: Iterable[Union[str, Path]],
+        exclude: Sequence[str] = (),
+    ) -> List[Diagnostic]:
+        """Lint the target set with the PERF rules only."""
+        return self.engine.lint_paths(paths, exclude=exclude)
+
+    def analyze_source(
+        self,
+        source: str,
+        module: str = "<string>",
+        path: str = "<string>",
+    ) -> List[Diagnostic]:
+        """Single-source convenience wrapper (unit tests)."""
+        return self.engine.lint_source(source, module=module, path=path)

@@ -13,18 +13,19 @@ execution backend.
 
 from __future__ import annotations
 
-from typing import List, Optional, Set, Tuple
+from typing import Optional, Set, Tuple
 
 import numpy as np
-from scipy.spatial import cKDTree
 
-from repro.geometry.boxsearch import SearchPlan
+from repro.geometry.boxsearch import SearchPlan, candidate_pairs
+from repro.kernels import kernel
 from repro.obs.tracer import TracerBase, ensure_tracer
 from repro.runtime.backends import SpmdContext, resolve_backend
 from repro.runtime.backends.base import BackendSpec
 from repro.runtime.ledger import CommLedger
 
 
+@kernel
 def row_majority(labels: np.ndarray) -> np.ndarray:
     """Majority value of each row of an integer matrix (ties → smaller
     value). Vectorised over rows via a sorted run-length scan."""
@@ -48,35 +49,21 @@ def face_owner_partition(part: np.ndarray, faces: np.ndarray) -> np.ndarray:
     return row_majority(np.asarray(part)[np.asarray(faces, dtype=np.int64)])
 
 
-def _candidates_kdtree(
-    boxes: np.ndarray,
-    points: np.ndarray,
-    point_ids: np.ndarray,
-) -> List[Tuple[int, int]]:
-    """(box index, point id) pairs with the point inside the box.
-
-    KD-tree over the points; each box queries a ball covering it, then
-    exact containment filters. Near-linear for well-shaped surface
-    meshes, vs the quadratic dense-matrix approach.
-    """
-    if len(points) == 0 or len(boxes) == 0:
-        return []
-    tree = cKDTree(points)
-    centers = (boxes[:, 0] + boxes[:, 1]) / 2.0
-    radii = np.linalg.norm(boxes[:, 1] - boxes[:, 0], axis=1) / 2.0
-    out: List[Tuple[int, int]] = []
-    hits = tree.query_ball_point(centers, radii + 1e-12)
-    for b, cand in enumerate(hits):
-        if not cand:
-            continue
-        cand = np.asarray(cand, dtype=np.int64)
-        pts = points[cand]
-        inside = (
-            (pts >= boxes[b, 0]) & (pts <= boxes[b, 1])
-        ).all(axis=1)
-        for pid in point_ids[cand[inside]]:
-            out.append((b, int(pid)))
-    return out
+def _drop_own_nodes(
+    element_faces: np.ndarray,
+    elem_idx: np.ndarray,
+    node_ids: np.ndarray,
+) -> Set[Tuple[int, int]]:
+    """Pair set from parallel (element, node id) arrays, excluding
+    pairs where the node is one of the element's own nodes — one batch
+    comparison against the elements' connectivity rows."""
+    if len(elem_idx) == 0:
+        return set()
+    own = (element_faces[elem_idx] == node_ids[:, None]).any(axis=1)
+    keep = ~own
+    return set(
+        zip(elem_idx[keep].tolist(), node_ids[keep].tolist())
+    )
 
 
 def serial_candidate_pairs(
@@ -90,13 +77,11 @@ def serial_candidate_pairs(
     nodes."""
     element_boxes = np.asarray(element_boxes, dtype=float)
     element_faces = np.asarray(element_faces, dtype=np.int64)
-    pairs = _candidates_kdtree(
+    b_idx, node_ids = candidate_pairs(
         element_boxes, np.asarray(contact_points, float),
         np.asarray(contact_ids, np.int64),
     )
-    own = {(b, int(nid)) for b in range(len(element_faces))
-           for nid in element_faces[b]}
-    return {p for p in pairs if p not in own}
+    return _drop_own_nodes(element_faces, b_idx, node_ids)
 
 
 # ----------------------------------------------------------------------
@@ -143,17 +128,12 @@ def _search_step(ctx: SpmdContext, _arg: object) -> Set[Tuple[int, int]]:
             return set()
         element_boxes = ctx.shared["element_boxes"]
         element_faces = ctx.shared["element_faces"]
-        raw = _candidates_kdtree(
+        local_b, node_ids = candidate_pairs(
             element_boxes[elems],
             ctx.shared["contact_points"][pts_idx],
             ctx.shared["contact_ids"][pts_idx],
         )
-        found = set()
-        for local_b, nid in raw:
-            e = int(elems[local_b])
-            if nid not in element_faces[e]:
-                found.add((e, nid))
-        return found
+        return _drop_own_nodes(element_faces, elems[local_b], node_ids)
 
 
 def parallel_contact_search(

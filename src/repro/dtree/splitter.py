@@ -21,6 +21,8 @@ from typing import Optional
 
 import numpy as np
 
+from repro.kernels import kernel
+
 
 @dataclass(frozen=True)
 class SplitResult:
@@ -40,9 +42,15 @@ def _occurrence_ranks(labels: np.ndarray) -> np.ndarray:
     idx = np.argsort(labels, kind="stable")
     sorted_lab = labels[idx]
     boundaries = np.nonzero(np.diff(sorted_lab))[0] + 1
-    group_start = np.concatenate(([0], boundaries))
-    sizes = np.diff(np.concatenate((group_start, [n])))
-    ranks_sorted = np.arange(n) - np.repeat(group_start, sizes)
+    n_groups = len(boundaries) + 1
+    group_start = np.zeros(n_groups, dtype=np.int64)
+    group_start[1:] = boundaries
+    sizes = np.empty(n_groups, dtype=np.int64)
+    sizes[:-1] = np.diff(group_start)
+    sizes[-1] = n - group_start[-1]
+    ranks_sorted = np.arange(n, dtype=np.int64) - np.repeat(
+        group_start, sizes
+    )
     ranks = np.empty(n, dtype=np.int64)
     ranks[idx] = ranks_sorted + 1
     return ranks
@@ -58,6 +66,7 @@ def _sumsq_prefix(labels_in_order: np.ndarray) -> np.ndarray:
     return out
 
 
+@kernel
 def split_index_curve(
     coords: np.ndarray, labels: np.ndarray
 ) -> tuple:
@@ -76,7 +85,6 @@ def split_index_curve(
     left_sq = _sumsq_prefix(lab)  # prefix sums of squares
     right_sq = _sumsq_prefix(lab[::-1])[::-1]  # suffix sums of squares
     # cut after sorted position i (0-based) puts i+1 points left
-    sizes_left = np.arange(1, n, dtype=np.int64)
     idx_vals = np.sqrt(left_sq[1:n].astype(float)) + np.sqrt(
         right_sq[1:n].astype(float)
     )

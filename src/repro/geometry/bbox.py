@@ -12,6 +12,7 @@ from typing import Optional, Tuple
 
 import numpy as np
 
+from repro.kernels import kernel
 from repro.utils.arrays import group_by_label
 from repro.utils.validation import check_array
 
@@ -35,7 +36,7 @@ def bboxes_of_groups(
     """
     points = np.asarray(points, dtype=float)
     d = points.shape[1]
-    out = np.empty((n_groups, 2, d))
+    out = np.empty((n_groups, 2, d), dtype=np.float64)
     out[:, 0] = np.inf
     out[:, 1] = -np.inf
     for g, idx in enumerate(group_by_label(labels, n_groups)):
@@ -58,6 +59,7 @@ def element_bboxes(points: np.ndarray, connectivity: np.ndarray) -> np.ndarray:
     return np.stack((corner.min(axis=1), corner.max(axis=1)), axis=1)
 
 
+@kernel
 def bboxes_intersect_matrix(
     boxes_a: np.ndarray, boxes_b: np.ndarray, pad: float = 0.0
 ) -> np.ndarray:

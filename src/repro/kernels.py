@@ -1,0 +1,83 @@
+"""The kernel seam: declare which functions are compiled-path candidates.
+
+ROADMAP open item 1 calls for vectorised/compiled hot kernels behind a
+"clean kernel seam".  This module is that seam's declaration side: the
+:func:`kernel` decorator marks a function as a **declared kernel** — a
+routine that is *intended* to be jit-compilable (numba/Cython) and that
+the static kernel-purity certifier
+(:mod:`repro.analysis.kernelcheck`) must be able to certify.  CI runs
+``repro-lint --perf`` and fails when a declared kernel regresses to
+uncertifiable, so the seam stays compilable *before* anyone invests in
+an actual compiled backend.
+
+The decorator is a pure marker: it returns the original function
+unchanged (so decorated kernels stay picklable for the process backend
+and carry no call overhead) and records it in a process-wide registry
+for tooling.
+
+The purity contract a declared kernel must satisfy (machine-checked,
+see ``docs/STATIC_ANALYSIS.md``):
+
+* no closure over enclosing scopes and no ``global``/``nonlocal`` state
+* no Python-object containers (list/dict/set) in the numeric path
+* explicit dtypes on every array creation
+* no I/O, logging, or tracer calls
+* no nested functions, generators, or context managers
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, TypeVar
+
+F = TypeVar("F", bound=Callable[..., object])
+
+#: marker attribute set on declared kernels (used by tests/tooling;
+#: the static certifier recognises the decorator syntactically)
+KERNEL_ATTR = "__repro_kernel__"
+
+_REGISTRY: Dict[str, Callable[..., object]] = {}
+
+#: modules that declare kernels — imported by :func:`declared_kernels`
+#: so the runtime registry is complete without import-order luck.  The
+#: static certifier does not use this list; it discovers ``@kernel``
+#: syntactically over whatever tree it is pointed at.
+KERNEL_MODULES = (
+    "repro.geometry.bbox",
+    "repro.geometry.boxsearch",
+    "repro.core.contact_search",
+    "repro.dtree.splitter",
+)
+
+
+def kernel(fn: F) -> F:
+    """Mark ``fn`` as a declared kernel (identity decorator).
+
+    Declared kernels are certified by ``repro-lint --perf``; a marked
+    function that violates the purity contract fails CI (KERN001).
+    """
+    setattr(fn, KERNEL_ATTR, True)
+    _REGISTRY[f"{fn.__module__}.{fn.__qualname__}"] = fn
+    return fn
+
+
+def is_kernel(fn: Callable[..., object]) -> bool:
+    """Whether ``fn`` was decorated with :func:`kernel`."""
+    return bool(getattr(fn, KERNEL_ATTR, False))
+
+
+def declared_kernels() -> Dict[str, Callable[..., object]]:
+    """``{dotted name: function}`` of every declared kernel.
+
+    Imports :data:`KERNEL_MODULES` first so the registry does not
+    depend on what the caller happened to import already.
+    """
+    import importlib
+
+    for mod in KERNEL_MODULES:
+        importlib.import_module(mod)
+    return dict(sorted(_REGISTRY.items()))
+
+
+def kernel_names() -> List[str]:
+    """Sorted dotted names of every declared kernel."""
+    return sorted(declared_kernels())

@@ -15,9 +15,16 @@ A serialized :class:`~repro.obs.report.RunReport` is a JSON object:
       "name":     str (non-empty),
       "n_calls":  int  >= 0,
       "total_s":  number >= 0,
+      "self_s":   number >= 0,           # optional: exclusive time
       "counters": { <string keys> : number },
       "children": [ <span>, ... ]        # sibling names unique
     }
+
+``self_s`` is the span's wall time net of its direct children
+(``total_s - sum(child total_s)``), denormalised into the document so
+trace consumers (``repro-lint --perf --trace-json``) need not rebuild
+the tree arithmetic.  It is optional for backward compatibility with
+version-1 documents written before it existed.
 
 The validator is hand-rolled (no ``jsonschema`` dependency): it raises
 :class:`ReportSchemaError` carrying the JSON path of the first
@@ -55,7 +62,14 @@ def _require_number(value: object, path: str, minimum: float = 0.0) -> None:
 def _validate_span(span: object, path: str) -> None:
     if not isinstance(span, dict):
         raise ReportSchemaError(path, "span must be an object")
-    extra = set(span) - {"name", "n_calls", "total_s", "counters", "children"}
+    extra = set(span) - {
+        "name",
+        "n_calls",
+        "total_s",
+        "self_s",
+        "counters",
+        "children",
+    }
     if extra:
         raise ReportSchemaError(path, f"unknown span keys {sorted(extra)}")
     name = span.get("name")
@@ -67,6 +81,8 @@ def _validate_span(span: object, path: str) -> None:
     if n_calls < 0:
         raise ReportSchemaError(f"{path}.n_calls", "must be >= 0")
     _require_number(span.get("total_s"), f"{path}.total_s")
+    if "self_s" in span:
+        _require_number(span.get("self_s"), f"{path}.self_s")
     counters = span.get("counters")
     if not isinstance(counters, dict):
         raise ReportSchemaError(f"{path}.counters", "must be an object")

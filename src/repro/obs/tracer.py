@@ -95,11 +95,18 @@ class Span:
                 yield item
 
     def to_dict(self) -> Dict[str, object]:
-        """Recursive plain-dict form (see ``repro.obs.schema``)."""
+        """Recursive plain-dict form (see ``repro.obs.schema``).
+
+        ``self_s`` (exclusive time) is denormalised into the document
+        so consumers of the JSON artifact — notably ``repro-lint
+        --perf --trace-json`` — can rank spans without rebuilding the
+        tree arithmetic.
+        """
         return {
             "name": self.name,
             "n_calls": self.n_calls,
             "total_s": self.total_s,
+            "self_s": self.self_s,
             "counters": dict(self.counters),
             "children": [c.to_dict() for c in self.children.values()],
         }

@@ -1,0 +1,27 @@
+"""PERF003 seeds: repeated attribute lookup inside a hot loop.
+
+One dotted chain resolved three times per iteration (fires), the same
+chain only twice (idiom — stays quiet), and a rebound receiver the
+rule must not misattribute.
+"""
+
+
+def triple_lookup(session, work) -> None:
+    for item in work:
+        session.comm.send(item)  # PERF003 (3× in this loop)
+        session.comm.send(item * 2)
+        session.comm.send(item * 3)
+
+
+def double_lookup_is_idiom(session, work) -> None:
+    for item in work:
+        session.comm.send(item)
+        session.comm.send(item * 2)
+
+
+def rebound_receiver_is_fine(pool, work) -> None:
+    for item in work:
+        worker = pool.take()
+        worker.push(item)  # 'worker' is rebound each iteration
+        worker.push(item * 2)
+        worker.push(item * 3)

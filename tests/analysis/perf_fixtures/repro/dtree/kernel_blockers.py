@@ -1,0 +1,40 @@
+"""KERN001 seeds: declared kernels violating the purity contract.
+
+``blocked_kernel`` trips five blocker kinds in one body
+(object-container, implicit-dtype, io-call, context-manager,
+nested-def); ``impure_by_helper`` is clean itself but reaches an
+impure helper; ``global_reader`` closes over a module-level array.
+"""
+
+import numpy as np
+
+from repro.kernels import kernel
+
+LOOKUP_TABLE = np.zeros(4, dtype=np.float64)
+
+SCALE = 2.0  # scalar constants are allowed in kernels
+
+
+@kernel
+def blocked_kernel(values: np.ndarray) -> np.ndarray:
+    pairs = [1, 2, 3]  # object-container
+    out = np.empty(len(values))  # implicit-dtype
+    print("tracing", len(pairs))  # io-call
+    with open("log.txt") as fh:  # context-manager (and io-call)
+        fh.read()
+    shift = lambda v: v + 1  # nested-def
+    return out + shift(values[0])
+
+
+def _impure_helper(values: np.ndarray) -> np.ndarray:
+    return np.asarray(sorted(values))  # implicit-dtype
+
+
+@kernel
+def impure_by_helper(values: np.ndarray) -> np.ndarray:
+    return _impure_helper(values) * SCALE
+
+
+@kernel
+def global_reader(values: np.ndarray) -> np.ndarray:
+    return values + LOOKUP_TABLE  # global-state (module-level array)

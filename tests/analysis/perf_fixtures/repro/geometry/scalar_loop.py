@@ -1,0 +1,52 @@
+"""PERF001 seeds: scalar Python loops over NumPy array data.
+
+Four spellings of the same scan — direct iteration of an annotated
+parameter, iteration of an array-returning call, ``range(len(arr))``
+index loops, and ``enumerate(arr)`` — plus negative cases the
+under-approximating evidence tracker must not flag.
+"""
+
+import numpy as np
+
+
+def iterate_param(points: np.ndarray) -> float:
+    total = 0.0
+    for p in points:  # PERF001
+        total += p
+    return total
+
+
+def iterate_call_result() -> int:
+    n = 0
+    for v in np.nonzero(np.zeros(8, dtype=np.int64))[0]:  # PERF001
+        n += int(v)
+    return n
+
+
+def index_loop(weights: np.ndarray) -> float:
+    total = 0.0
+    for i in range(len(weights)):  # PERF001
+        total += weights[i]
+    return total
+
+
+def enumerate_loop(coords: np.ndarray) -> float:
+    total = 0.0
+    for i, c in enumerate(coords):  # PERF001
+        total += i * c
+    return total
+
+
+def plain_list_is_fine(items):
+    total = 0
+    for x in items:  # no evidence items is an array — not flagged
+        total += x
+    return total
+
+
+def while_loops_are_not_scans(points: np.ndarray) -> int:
+    n = 0
+    while n < 3:  # while loops are frontier descents, not element scans
+        points = points[:-1]
+        n += 1
+    return n

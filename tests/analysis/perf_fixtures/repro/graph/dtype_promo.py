@@ -1,0 +1,20 @@
+"""PERF004 seeds: implicit dtype promotion in numeric expressions.
+
+True division of an explicitly-int array, and an int array mixed with
+a float scalar; integer-preserving arithmetic stays quiet.
+"""
+
+import numpy as np
+
+
+def true_division_promotes(n: int) -> np.ndarray:
+    return np.arange(n, dtype=np.int64) / 2  # PERF004
+
+
+def float_scalar_promotes(n: int) -> np.ndarray:
+    return np.zeros(n, dtype=np.int64) + 0.5  # PERF004
+
+
+def integer_arithmetic_is_fine(n: int) -> np.ndarray:
+    counts = np.ones(n, dtype=np.int64) * 2
+    return counts // 2

@@ -1,0 +1,23 @@
+"""PERF005 seeds: element-wise ``math.*`` in a loop where a ufunc
+exists — both the dotted and the from-imported spelling."""
+
+import math
+from math import hypot
+
+
+def dotted_math_in_loop(values) -> list:
+    out = []
+    for v in values:
+        out.append(math.sqrt(v))  # PERF005
+    return out
+
+
+def imported_math_in_loop(xs, ys) -> float:
+    total = 0.0
+    for x, y in zip(xs, ys):
+        total += hypot(x, y)  # PERF005
+    return total
+
+
+def math_outside_loops_is_fine(v: float) -> float:
+    return math.sqrt(v)

@@ -1,0 +1,30 @@
+"""PERF002 seeds: per-iteration allocation in a loop.
+
+``np.concatenate`` growing an accumulator each iteration (O(n²)),
+and the grow-a-list-then-``np.array`` pattern.
+"""
+
+import numpy as np
+
+
+def quadratic_growth(chunks) -> np.ndarray:
+    acc = np.empty(0, dtype=np.int64)
+    for chunk in chunks:
+        acc = np.concatenate((acc, chunk))  # PERF002
+    return acc
+
+
+def list_grow_then_array(n: int) -> np.ndarray:
+    rows = []
+    for i in range(n):
+        rows.append(i * 2)
+    return np.array(rows, dtype=np.int64)  # PERF002
+
+
+def concatenate_once_after_is_fine(chunks) -> np.ndarray:
+    collected = []
+    for chunk in chunks:
+        collected.append(chunk * 2)
+    # chunk list -> one concatenate is the sanctioned pattern; only the
+    # np.array/np.asarray re-boxing spelling of list conversion fires
+    return np.concatenate(collected)

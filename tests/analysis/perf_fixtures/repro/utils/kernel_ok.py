@@ -1,0 +1,23 @@
+"""A certifiable kernel: the contract's positive example.
+
+Pure NumPy over parameters, explicit dtypes everywhere, a pure helper
+reached through the call graph, and a scalar module constant — every
+allowance the certifier grants, none of the blockers.
+"""
+
+import numpy as np
+
+from repro.kernels import kernel
+
+EPS = 1e-12
+
+
+def _pure_helper(weights: np.ndarray) -> np.ndarray:
+    return np.cumsum(weights, dtype=np.float64)
+
+
+@kernel
+def prefix_normalise(weights: np.ndarray) -> np.ndarray:
+    totals = _pure_helper(weights)
+    scale = np.ones(1, dtype=np.float64)
+    return totals / (totals[-1] + EPS) * scale[0]

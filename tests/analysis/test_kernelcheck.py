@@ -1,0 +1,330 @@
+"""The kernel-purity certifier: blocker kinds, call-graph closure,
+the audit registry schema, and the real tree's certified kernels.
+
+Property tests round-trip randomly built audits through the schema
+validator — any document the certifier emits must validate, and
+single-field corruptions must not.
+"""
+
+import json
+import textwrap
+from pathlib import Path
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.kernelcheck import (
+    AUDIT_SCHEMA_VERSION,
+    AuditSchemaError,
+    Blocker,
+    KernelAudit,
+    KernelEntry,
+    audit_paths,
+    audit_source,
+    validate_kernel_audit,
+)
+
+FIXDIR = Path(__file__).parent / "perf_fixtures"
+REPO = Path(__file__).resolve().parents[2]
+
+HEADER = """
+    import numpy as np
+    from repro.kernels import kernel
+"""
+
+
+def audit(source):
+    return audit_source(
+        textwrap.dedent(HEADER) + textwrap.dedent(source),
+        module="repro.core.m",
+        path="m.py",
+    )
+
+
+def blockers(source):
+    out = audit(source)
+    assert len(out.kernels) == 1
+    return sorted({b.kind for b in out.kernels[0].blockers})
+
+
+class TestBlockerKinds:
+    def test_certified_pure_kernel(self):
+        out = audit("""
+            @kernel
+            def f(x: np.ndarray) -> np.ndarray:
+                return np.zeros(len(x), dtype=np.float64) + x
+        """)
+        assert out.n_certified == 1
+        assert out.kernels[0].blockers == []
+
+    def test_object_container(self):
+        assert blockers("""
+            @kernel
+            def f(x):
+                return [x, x]
+        """) == ["object-container"]
+
+    def test_container_constructor_calls(self):
+        assert blockers("""
+            @kernel
+            def f(x):
+                return list(x)
+        """) == ["object-container"]
+
+    def test_comprehension(self):
+        assert blockers("""
+            @kernel
+            def f(x):
+                return np.asarray(
+                    [v * 2 for v in x], dtype=np.float64
+                )
+        """) == ["object-container"]
+
+    def test_implicit_dtype(self):
+        assert blockers("""
+            @kernel
+            def f(n):
+                return np.empty(n)
+        """) == ["implicit-dtype"]
+
+    def test_positional_dtype_accepted(self):
+        out = audit("""
+            @kernel
+            def f(n):
+                return np.zeros(n, np.float64)
+        """)
+        assert out.n_certified == 1
+
+    def test_io_call(self):
+        assert blockers("""
+            @kernel
+            def f(x):
+                print(x)
+                return x
+        """) == ["io-call"]
+
+    def test_tracer_call(self):
+        assert blockers("""
+            @kernel
+            def f(x, tracer):
+                tracer.count("n", 1)
+                return x
+        """) == ["tracer-call"]
+
+    def test_context_manager(self):
+        assert blockers("""
+            @kernel
+            def f(x, lock):
+                with lock:
+                    return x
+        """) == ["context-manager"]
+
+    def test_generator(self):
+        assert blockers("""
+            @kernel
+            def f(x):
+                yield x
+        """) == ["generator"]
+
+    def test_nested_def(self):
+        assert blockers("""
+            @kernel
+            def f(x):
+                g = lambda v: v
+                return g(x)
+        """) == ["nested-def"]
+
+    def test_global_state(self):
+        assert blockers("""
+            TABLE = np.zeros(4, dtype=np.float64)
+
+            @kernel
+            def f(x):
+                return x + TABLE
+        """) == ["global-state"]
+
+    def test_scalar_constant_allowed(self):
+        out = audit("""
+            EPS = 1e-9
+
+            @kernel
+            def f(x):
+                return x + EPS
+        """)
+        assert out.n_certified == 1
+
+
+class TestCallGraphClosure:
+    def test_impure_helper_blocks(self):
+        out = audit("""
+            def _helper(x):
+                return np.asarray(x)
+
+            @kernel
+            def f(x):
+                return _helper(x)
+        """)
+        assert out.n_certified == 0
+        (entry,) = out.kernels
+        assert entry.blockers[0].kind == "implicit-dtype"
+        assert "reached via helper _helper()" in entry.blockers[0].message
+
+    def test_pure_helper_certifies(self):
+        out = audit("""
+            def _helper(x):
+                return np.asarray(x, dtype=np.float64)
+
+            @kernel
+            def f(x):
+                return _helper(x) * 2
+        """)
+        assert out.n_certified == 1
+
+
+class TestDecoratorDiscovery:
+    def test_aliased_import(self):
+        out = audit_source(textwrap.dedent("""
+            import repro.kernels as rk
+
+            @rk.kernel
+            def f(x):
+                return x
+        """), module="repro.core.m", path="m.py")
+        assert [k.name for k in out.kernels] == ["f"]
+
+    def test_unrelated_decorator_ignored(self):
+        out = audit_source(textwrap.dedent("""
+            def kernel(fn):
+                return fn
+
+            @kernel
+            def f(x):
+                return x
+        """), module="repro.core.m", path="m.py")
+        assert out.kernels == []
+
+
+class TestFixtureAudit:
+    def test_fixture_kernels(self):
+        out = audit_paths([FIXDIR])
+        by_name = {k.name: k for k in out.kernels}
+        assert set(by_name) == {
+            "blocked_kernel",
+            "impure_by_helper",
+            "global_reader",
+            "prefix_normalise",
+        }
+        assert by_name["prefix_normalise"].certified
+        assert not by_name["blocked_kernel"].certified
+        kinds = {b.kind for b in by_name["blocked_kernel"].blockers}
+        assert kinds == {
+            "object-container",
+            "implicit-dtype",
+            "io-call",
+            "context-manager",
+            "nested-def",
+        }
+
+    def test_emitted_registry_validates(self):
+        doc = json.loads(audit_paths([FIXDIR]).to_json())
+        assert doc["schema"] == AUDIT_SCHEMA_VERSION
+        assert validate_kernel_audit(doc) == doc
+
+
+class TestRealTree:
+    """Acceptance: the library's declared kernels all certify."""
+
+    def test_declared_kernels_certify(self):
+        out = audit_paths([REPO / "src" / "repro"])
+        assert out.n_certified == len(out.kernels) >= 3
+        names = out.certified_names()
+        assert "repro.geometry.boxsearch.box_candidate_pairs" in names
+        assert "repro.core.contact_search.row_majority" in names
+        assert "repro.geometry.bbox.bboxes_intersect_matrix" in names
+        assert "repro.dtree.splitter.split_index_curve" in names
+
+    def test_registry_matches_runtime_declarations(self):
+        """Every syntactically declared kernel is importable and marked
+        at runtime (the decorator and the certifier agree)."""
+        from repro.kernels import declared_kernels
+
+        static = set(audit_paths([REPO / "src" / "repro"]).certified_names())
+        runtime = set(declared_kernels())
+        assert static == runtime
+
+
+_NAMES = st.text(
+    alphabet="abcdefghij_", min_size=1, max_size=12
+).filter(lambda s: s.isidentifier())
+
+_BLOCKERS = st.builds(
+    Blocker,
+    path=st.just("src/repro/m.py"),
+    line=st.integers(1, 999),
+    col=st.integers(1, 80),
+    kind=st.sampled_from(
+        ["object-container", "implicit-dtype", "io-call", "global-state"]
+    ),
+    message=st.text(min_size=1, max_size=40).filter(str.strip),
+)
+
+
+@st.composite
+def _entries(draw):
+    blockers = draw(st.lists(_BLOCKERS, max_size=3))
+    return KernelEntry(
+        name=draw(_NAMES),
+        qualname=draw(_NAMES),
+        module="repro.core.m",
+        path="src/repro/m.py",
+        line=draw(st.integers(1, 999)),
+        certified=not blockers,
+        blockers=blockers,
+    )
+
+
+class TestRegistrySchemaProperties:
+    @given(st.lists(_entries(), max_size=5))
+    @settings(max_examples=50, deadline=None)
+    def test_emitted_audits_always_validate(self, entries):
+        audit = KernelAudit(kernels=entries)
+        doc = json.loads(audit.to_json())
+        assert validate_kernel_audit(doc) == doc
+        assert doc["n_kernels"] == len(entries)
+        assert doc["n_certified"] == sum(
+            1 for e in entries if e.certified
+        )
+
+    @given(st.lists(_entries(), min_size=1, max_size=4))
+    @settings(max_examples=50, deadline=None)
+    def test_corrupted_counts_rejected(self, entries):
+        doc = KernelAudit(kernels=entries).to_dict()
+        doc["n_kernels"] = doc["n_kernels"] + 1
+        with pytest.raises(AuditSchemaError):
+            validate_kernel_audit(doc)
+
+    @given(st.lists(_entries(), min_size=1, max_size=4))
+    @settings(max_examples=50, deadline=None)
+    def test_certified_with_blockers_rejected(self, entries):
+        doc = KernelAudit(kernels=entries).to_dict()
+        entry = doc["kernels"][0]
+        if entry["blockers"]:
+            entry["certified"] = True
+        else:
+            entry["certified"] = False
+        with pytest.raises(AuditSchemaError):
+            validate_kernel_audit(doc)
+
+    def test_diagnostics_only_from_blocked_kernels(self):
+        ok = KernelEntry(
+            name="a", qualname="a", module="m", path="p.py", line=1
+        )
+        bad = KernelEntry(
+            name="b", qualname="b", module="m", path="p.py", line=9,
+            certified=False,
+            blockers=[Blocker("p.py", 10, 1, "io-call", "print")],
+        )
+        diags = KernelAudit(kernels=[ok, bad]).diagnostics()
+        assert [d.code for d in diags] == ["KERN001"]
+        assert "m.b" in diags[0].message

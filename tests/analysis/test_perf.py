@@ -1,0 +1,380 @@
+"""The PERF rule family: per-rule cases, profile ranking, and golden
+output over the seeded fixture package.
+
+``perf_fixtures/`` mimics a ``repro/`` package root (the PERF rules
+are scoped to the numeric modules); the JSON and SARIF renderings of
+the full ``--perf`` run over it — PERF findings plus the certifier's
+KERN001 diagnostics — are pinned as golden files.
+"""
+
+import dataclasses
+import json
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.kernelcheck import audit_paths
+from repro.analysis.perf import (
+    SPAN_MODULE_HINTS,
+    HotSpot,
+    PerfAnalyzer,
+    hotness_of,
+    load_self_times,
+    module_hotness,
+    perf_rules,
+    rank_diagnostics,
+)
+from repro.analysis.reporters import as_json_payload, as_sarif_payload
+
+FIXDIR = Path(__file__).parent / "perf_fixtures"
+GOLDEN = Path(__file__).parent / "golden"
+
+
+def analyze(source, module="repro.core.m", path="m.py", **kwargs):
+    analyzer = PerfAnalyzer(**kwargs)
+    return analyzer.analyze_source(
+        textwrap.dedent(source), module=module, path=path
+    )
+
+
+def codes(source, **kwargs):
+    return [d.code for d in analyze(source, **kwargs)]
+
+
+class TestPERF001:
+    def test_iterating_annotated_param(self):
+        src = """
+            import numpy as np
+            def f(points: np.ndarray):
+                for p in points:
+                    yield p
+        """
+        assert codes(src) == ["PERF001"]
+
+    def test_iterating_np_call_result(self):
+        src = """
+            import numpy as np
+            def f(n):
+                for v in np.arange(n, dtype=np.int64):
+                    yield v
+        """
+        assert codes(src) == ["PERF001"]
+
+    def test_range_len_spelling(self):
+        src = """
+            import numpy as np
+            def f(points: np.ndarray):
+                for i in range(len(points)):
+                    yield points[i]
+        """
+        assert codes(src) == ["PERF001"]
+
+    def test_plain_iterable_not_flagged(self):
+        src = """
+            def f(items):
+                for x in items:
+                    yield x
+        """
+        assert codes(src) == []
+
+    def test_scoped_to_numeric_modules(self):
+        src = """
+            import numpy as np
+            def f(points: np.ndarray):
+                for p in points:
+                    yield p
+        """
+        assert codes(src, module="repro.analysis.m") == []
+        assert codes(src, module="tests.test_m") == []
+
+
+class TestPERF002:
+    def test_concatenate_in_loop(self):
+        src = """
+            import numpy as np
+            def f(chunks):
+                acc = np.empty(0, dtype=np.int64)
+                for c in chunks:
+                    acc = np.concatenate((acc, c))
+                return acc
+        """
+        assert codes(src) == ["PERF002"]
+
+    def test_list_grow_then_array(self):
+        src = """
+            import numpy as np
+            def f(n):
+                rows = []
+                for i in range(n):
+                    rows.append(i)
+                return np.array(rows, dtype=np.int64)
+        """
+        assert codes(src) == ["PERF002"]
+
+    def test_chunk_collect_concatenate_once_ok(self):
+        src = """
+            import numpy as np
+            def f(chunks):
+                out = []
+                for c in chunks:
+                    out.append(c * 2)
+                return np.concatenate(out)
+        """
+        assert codes(src) == []
+
+
+class TestPERF003:
+    def test_three_lookups_fire(self):
+        src = """
+            def f(sess, work):
+                for item in work:
+                    sess.comm.send(item)
+                    sess.comm.send(item)
+                    sess.comm.send(item)
+        """
+        assert codes(src) == ["PERF003"]
+
+    def test_two_lookups_are_idiom(self):
+        src = """
+            def f(sess, work):
+                for item in work:
+                    sess.comm.send(item)
+                    sess.comm.send(item)
+        """
+        assert codes(src) == []
+
+    def test_rebound_receiver_not_flagged(self):
+        src = """
+            def f(pool, work):
+                for item in work:
+                    w = pool.take()
+                    w.push(item)
+                    w.push(item)
+                    w.push(item)
+        """
+        assert codes(src) == []
+
+    def test_counted_once_in_outermost_loop(self):
+        src = """
+            def f(sess, grid):
+                for row in grid:
+                    for item in row:
+                        sess.comm.send(item)
+                        sess.comm.send(item)
+                        sess.comm.send(item)
+        """
+        assert codes(src) == ["PERF003"]
+
+
+class TestPERF004:
+    def test_true_division_of_int_array(self):
+        src = """
+            import numpy as np
+            def f(n):
+                return np.arange(n, dtype=np.int64) / 2
+        """
+        assert codes(src) == ["PERF004"]
+
+    def test_int_array_plus_float_scalar(self):
+        src = """
+            import numpy as np
+            def f(n):
+                return np.zeros(n, dtype=np.int64) + 0.5
+        """
+        assert codes(src) == ["PERF004"]
+
+    def test_integer_arithmetic_ok(self):
+        src = """
+            import numpy as np
+            def f(n):
+                return np.ones(n, dtype=np.int64) * 2 // 2
+        """
+        assert codes(src) == []
+
+    def test_float_arrays_ok(self):
+        src = """
+            import numpy as np
+            def f(n):
+                return np.zeros(n, dtype=np.float64) + 0.5
+        """
+        assert codes(src) == []
+
+
+class TestPERF005:
+    def test_math_dotted_in_loop(self):
+        src = """
+            import math
+            def f(values):
+                out = 0.0
+                for v in values:
+                    out += math.sqrt(v)
+                return out
+        """
+        assert codes(src) == ["PERF005"]
+
+    def test_from_import_spelling(self):
+        src = """
+            from math import hypot
+            def f(xs, ys):
+                total = 0.0
+                for x, y in zip(xs, ys):
+                    total += hypot(x, y)
+                return total
+        """
+        assert codes(src) == ["PERF005"]
+
+    def test_math_outside_loop_ok(self):
+        src = """
+            import math
+            def f(v):
+                return math.sqrt(v)
+        """
+        assert codes(src) == []
+
+
+class TestSelectIgnore:
+    SRC = """
+        import numpy as np
+        def f(points: np.ndarray, chunks):
+            for p in points:
+                np.concatenate((p, p))
+    """
+
+    def test_select(self):
+        assert codes(self.SRC, select=["PERF002"]) == ["PERF002"]
+
+    def test_ignore(self):
+        assert codes(self.SRC, ignore=["PERF002"]) == ["PERF001"]
+
+    def test_rules_registered(self):
+        assert [r.code for r in perf_rules()] == [
+            "PERF001", "PERF002", "PERF003", "PERF004", "PERF005",
+        ]
+        assert all(r.opt_in for r in perf_rules())
+
+
+class TestProfileRanking:
+    TIMES = {
+        "run": 0.0,
+        "run/global-search": 5.0,
+        "run/global-search/search": 120.0,
+        "run/fit/partition/refine": 900.0,
+        "run/unknown-span": 50.0,
+    }
+
+    def test_module_hotness_uses_max_span(self):
+        hot = module_hotness(self.TIMES)
+        cs = hot["repro.core.contact_search"]
+        assert cs.span_path == "run/global-search/search"
+        assert cs.self_ms == 120.0
+        assert hot["repro.partition"].self_ms == 900.0
+
+    def test_hotness_of_covers_submodules(self):
+        hot = module_hotness(self.TIMES)
+        spot = hotness_of("repro.partition.refine_fm", hot)
+        assert spot is not None and spot.self_ms == 900.0
+        assert hotness_of("repro.obs.tracer", hot) is None
+
+    def test_rank_orders_hot_first_and_annotates(self):
+        from repro.analysis.engine import Diagnostic
+
+        cold = Diagnostic(
+            path="src/repro/mesh/io.py", line=1, col=1,
+            code="PERF001", message="m",
+        )
+        hot = Diagnostic(
+            path="src/repro/partition/refine_fm.py", line=9, col=1,
+            code="PERF001", message="m",
+        )
+        ranked = rank_diagnostics([cold, hot], self.TIMES)
+        assert ranked[0].path.endswith("refine_fm.py")
+        assert "[hot: run/fit/partition/refine self=900.0ms]" in (
+            ranked[0].message
+        )
+        assert ranked[1].message == "m"  # cold findings unannotated
+
+    def test_span_hints_name_real_modules(self):
+        import importlib
+
+        for spans, prefixes in SPAN_MODULE_HINTS.items():
+            for prefix in prefixes:
+                head = prefix.rsplit(".", 1)[0]
+                assert importlib.import_module(head)
+
+    def test_load_self_times_round_trip(self, tmp_path):
+        from repro.obs.report import RunReport
+        from repro.obs.tracer import Tracer
+
+        tracer = Tracer()
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                pass
+        report = RunReport.from_run(tracer)
+        path = tmp_path / "trace.json"
+        report.save(path)
+        times = load_self_times(path)
+        assert set(times) == {"run", "run/outer", "run/outer/inner"}
+        assert times["run/outer"] == pytest.approx(
+            report.span_self("outer") * 1e3
+        )
+
+    def test_load_self_times_rejects_garbage(self, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text('{"schema": "nope"}')
+        with pytest.raises(ValueError):
+            load_self_times(bad)
+
+
+class TestGoldenFixtures:
+    def _normalized(self):
+        diags = sorted(
+            set(PerfAnalyzer().analyze_paths([FIXDIR]))
+            | set(audit_paths([FIXDIR]).diagnostics())
+        )
+        return sorted(
+            dataclasses.replace(d, path=Path(d.path).name) for d in diags
+        )
+
+    def test_exact_code_counts(self):
+        summary = as_json_payload(self._normalized())["summary"]
+        assert summary == {
+            "KERN001": 8,
+            "PERF001": 4,
+            "PERF002": 2,
+            "PERF003": 1,
+            "PERF004": 2,
+            "PERF005": 2,
+        }
+
+    def test_clean_modules_stay_clean(self):
+        flagged = {d.path for d in self._normalized()}
+        assert "kernel_ok.py" not in flagged
+
+    def test_matches_golden_json(self):
+        golden = json.loads((GOLDEN / "perf_fixtures.json").read_text())
+        assert as_json_payload(self._normalized()) == golden
+
+    def test_matches_golden_sarif(self):
+        golden = json.loads((GOLDEN / "perf_fixtures.sarif").read_text())
+        assert as_sarif_payload(self._normalized()) == golden
+
+    def test_real_tree_is_clean_modulo_baseline(self):
+        from repro.analysis.baseline import apply_baseline, load_baseline
+
+        root = Path(__file__).resolve().parents[2]
+        diags = sorted(
+            set(PerfAnalyzer().analyze_paths([root / "src" / "repro"]))
+            | set(audit_paths([root / "src" / "repro"]).diagnostics())
+        )
+        # the committed baseline records repo-relative paths (CI lints
+        # from the repo root); normalise before subtracting
+        diags = [
+            dataclasses.replace(
+                d, path=Path(d.path).relative_to(root).as_posix()
+            )
+            for d in diags
+        ]
+        baseline = load_baseline(root / "lint-baseline.json")
+        new, _suppressed = apply_baseline(diags, baseline)
+        assert new == []

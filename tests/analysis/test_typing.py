@@ -18,6 +18,7 @@ GATED = [
     "src/repro/partition/config.py",
     "src/repro/analysis",
     "src/repro/obs",
+    "src/repro/kernels.py",
 ]
 
 pytestmark = pytest.mark.skipif(

@@ -1,35 +1,54 @@
-"""Direct tests for the KD-tree candidate enumeration inside the
-serial contact search."""
+"""Direct tests for the KD-tree candidate enumeration behind the
+contact search (now the vectorised kernel in repro.geometry.boxsearch)."""
 
 import numpy as np
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.core.contact_search import _candidates_kdtree
+from repro.geometry.boxsearch import box_candidate_pairs, candidate_pairs
 
 
-class TestCandidatesKdtree:
+def _pair_set(arrays):
+    b_idx, node_ids = arrays
+    return set(zip(b_idx.tolist(), node_ids.tolist()))
+
+
+class TestCandidatePairs:
     def test_exact_containment(self):
         pts = np.array([[0.5, 0.5], [2.0, 2.0], [0.9, 0.1]])
         ids = np.array([7, 8, 9])
         boxes = np.array([[[0.0, 0.0], [1.0, 1.0]]])
-        out = _candidates_kdtree(boxes, pts, ids)
-        assert sorted(out) == [(0, 7), (0, 9)]
+        out = _pair_set(candidate_pairs(boxes, pts, ids))
+        assert out == {(0, 7), (0, 9)}
 
     def test_boundary_points_included(self):
         pts = np.array([[1.0, 1.0]])
         boxes = np.array([[[0.0, 0.0], [1.0, 1.0]]])
-        out = _candidates_kdtree(boxes, pts, np.array([3]))
-        assert out == [(0, 3)]
+        out = _pair_set(candidate_pairs(boxes, pts, np.array([3])))
+        assert out == {(0, 3)}
 
     def test_empty_inputs(self):
-        assert _candidates_kdtree(
-            np.empty((0, 2, 2)), np.empty((0, 2)), np.empty(0, int)
-        ) == []
-        assert _candidates_kdtree(
-            np.zeros((1, 2, 2)), np.empty((0, 2)), np.empty(0, int)
-        ) == []
+        for boxes, pts in (
+            (np.empty((0, 2, 2)), np.empty((0, 2))),
+            (np.zeros((1, 2, 2)), np.empty((0, 2))),
+        ):
+            b_idx, node_ids = candidate_pairs(
+                boxes, pts, np.empty(0, int)
+            )
+            assert len(b_idx) == 0 and len(node_ids) == 0
+            assert b_idx.dtype == np.int64
+            assert node_ids.dtype == np.int64
+
+    def test_returns_parallel_int64_arrays(self):
+        pts = np.array([[0.5, 0.5], [0.6, 0.6]])
+        boxes = np.array([[[0.0, 0.0], [1.0, 1.0]]])
+        b_idx, node_ids = candidate_pairs(
+            boxes, pts, np.array([4, 5])
+        )
+        assert b_idx.shape == node_ids.shape
+        assert b_idx.dtype == np.int64
+        assert node_ids.dtype == np.int64
 
     @given(st.integers(0, 10**6))
     @settings(max_examples=40, deadline=None)
@@ -43,7 +62,7 @@ class TestCandidatesKdtree:
         ids = rng.permutation(1000)[:n]
         lo = rng.random((m, 3)) - 0.2
         boxes = np.stack((lo, lo + rng.random((m, 3))), axis=1)
-        got = set(_candidates_kdtree(boxes, pts, ids))
+        got = _pair_set(candidate_pairs(boxes, pts, ids))
         expect = set()
         for b in range(m):
             inside = (
@@ -52,3 +71,20 @@ class TestCandidatesKdtree:
             for pid in ids[inside]:
                 expect.add((b, int(pid)))
         assert got == expect
+
+
+class TestBoxCandidatePairsKernel:
+    def test_filters_flattened_candidates(self):
+        boxes = np.array(
+            [[[0.0, 0.0], [1.0, 1.0]], [[2.0, 2.0], [3.0, 3.0]]]
+        )
+        pts = np.array([[0.5, 0.5], [2.5, 2.5], [5.0, 5.0]])
+        box_index = np.array([0, 0, 1, 1, 1], dtype=np.int64)
+        point_index = np.array([0, 2, 0, 1, 2], dtype=np.int64)
+        b, p = box_candidate_pairs(boxes, pts, box_index, point_index)
+        assert set(zip(b.tolist(), p.tolist())) == {(0, 0), (1, 1)}
+
+    def test_kernel_is_registered(self):
+        from repro.kernels import is_kernel
+
+        assert is_kernel(box_candidate_pairs)

@@ -91,7 +91,7 @@ class TestSchema:
         assert set(document) == {"schema", "meta", "spans", "comm"}
         assert document["schema"] == SCHEMA_VERSION == "repro.run-report/1"
         assert set(document["spans"]) == {
-            "name", "n_calls", "total_s", "counters", "children",
+            "name", "n_calls", "total_s", "self_s", "counters", "children",
         }
         for phase, totals in document["comm"].items():
             assert isinstance(phase, str)
@@ -104,6 +104,7 @@ class TestSchema:
 
         def strip_times(span):
             span["total_s"] = 0.0
+            span["self_s"] = 0.0
             for child in span["children"]:
                 strip_times(child)
 

@@ -56,6 +56,23 @@ class TestSpan:
         rebuilt = Span.from_dict(root.to_dict())
         assert rebuilt.to_dict() == root.to_dict()
 
+    def test_to_dict_exports_exclusive_self_time(self):
+        root = Span("run")
+        root.total_s = 1.0
+        child = root.child("c")
+        child.total_s = 0.3
+        doc = root.to_dict()
+        assert doc["self_s"] == pytest.approx(0.7)
+        assert doc["children"][0]["self_s"] == pytest.approx(0.3)
+
+    def test_from_dict_tolerates_missing_self_s(self):
+        """Pre-self_s version-1 documents still load; the property
+        recomputes the exclusive time from the tree."""
+        doc = Span("run").to_dict()
+        doc.pop("self_s")
+        rebuilt = Span.from_dict(doc)
+        assert rebuilt.self_s == 0.0
+
     @pytest.mark.parametrize(
         "mutation, message",
         [
