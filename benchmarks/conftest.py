@@ -37,7 +37,51 @@ def register_backend_result(backend: str, **payload) -> None:
     BACKEND_RESULTS[backend] = payload
 
 
+#: per-kernel pure-vs-compiled timings registered by ``bench_kernels``;
+#: summarised into ``BENCH_kernels.json`` at session end (CI artifact)
+KERNEL_RESULTS: dict = {}
+
+_KERNEL_REPORT = Path(__file__).resolve().parent.parent / (
+    "BENCH_kernels.json"
+)
+
+
+def register_kernel_result(kernel: str, **payload) -> None:
+    """Record one kernel's pure-vs-compiled measurement for the
+    end-of-session ``BENCH_kernels.json`` report."""
+    KERNEL_RESULTS[kernel] = payload
+
+
+def _write_kernel_report(session) -> None:
+    from repro.runtime.compiled import numba_available
+
+    compiled_active = numba_available()
+    report = {
+        "schema": "repro.bench-kernels/1",
+        "cpu_count": os.cpu_count(),
+        "numba_available": compiled_active,
+        "platform_note": (
+            "compiled tier active (numba jit)"
+            if compiled_active
+            else (
+                "numba is not installed on this platform: the compiled "
+                "tier falls back per kernel to the pure NumPy path, so "
+                "compiled timings equal pure dispatch timings and no "
+                "speedup is expected (the >=1.5x contact-search target "
+                "applies only where numba is importable)"
+            )
+        ),
+        "results": KERNEL_RESULTS,
+    }
+    _KERNEL_REPORT.write_text(json.dumps(report, indent=2) + "\n")
+    rep = session.config.pluginmanager.get_plugin("terminalreporter")
+    if rep is not None:
+        rep.write_line(f"kernel report written to {_KERNEL_REPORT}")
+
+
 def pytest_sessionfinish(session, exitstatus):
+    if KERNEL_RESULTS:
+        _write_kernel_report(session)
     if not BACKEND_RESULTS:
         return
     serial = BACKEND_RESULTS.get("serial", {})

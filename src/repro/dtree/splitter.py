@@ -77,6 +77,11 @@ def split_index_curve(
     point ``i`` (i.e. between distinct coordinates), and ``index[i]``
     is the Eq. 1 value of that cut. Exposed for tests and for the
     margin-aware extension.
+
+    Certified kernel: under ``REPRO_KERNELS=compiled`` the sort and
+    prefix scans run as a numba loop form whose stable permutations
+    and integer arithmetic are bit-identical to this body
+    (``repro.runtime.compiled``).
     """
     order = np.argsort(coords, kind="stable")
     c = coords[order]

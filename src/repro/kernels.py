@@ -1,19 +1,24 @@
 """The kernel seam: declare which functions are compiled-path candidates.
 
 ROADMAP open item 1 calls for vectorised/compiled hot kernels behind a
-"clean kernel seam".  This module is that seam's declaration side: the
-:func:`kernel` decorator marks a function as a **declared kernel** — a
-routine that is *intended* to be jit-compilable (numba/Cython) and that
-the static kernel-purity certifier
+"clean kernel seam".  This module is that seam: the :func:`kernel`
+decorator marks a function as a **declared kernel** — a routine that is
+jit-compilable (numba) and that the static kernel-purity certifier
 (:mod:`repro.analysis.kernelcheck`) must be able to certify.  CI runs
 ``repro-lint --perf`` and fails when a declared kernel regresses to
-uncertifiable, so the seam stays compilable *before* anyone invests in
-an actual compiled backend.
+uncertifiable, so the seam stays compilable independently of whether
+the compiled tier is active.
 
-The decorator is a pure marker: it returns the original function
-unchanged (so decorated kernels stay picklable for the process backend
-and carry no call overhead) and records it in a process-wide registry
-for tooling.
+The decorator registers the **pure** implementation (the function as
+written, which stays the semantic ground truth) and returns a
+dispatching wrapper that routes each call through
+:func:`repro.runtime.compiled.dispatch`, where the active execution
+tier — ``pure``, ``compiled``, or ``auto`` (see ``$REPRO_KERNELS`` and
+the ``--kernels`` CLI flag) — picks either the pure NumPy path or a
+lazily numba-jitted loop form proven bit-identical by the differential
+conformance suite (``tests/kernels/test_conformance.py``).  The
+wrapper is a module-level attribute under the original qualname, so
+kernels stay picklable for the process backend.
 
 The purity contract a declared kernel must satisfy (machine-checked,
 see ``docs/STATIC_ANALYSIS.md``):
@@ -27,7 +32,8 @@ see ``docs/STATIC_ANALYSIS.md``):
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, TypeVar
+import functools
+from typing import Any, Callable, Dict, List, Optional, Tuple, TypeVar, cast
 
 F = TypeVar("F", bound=Callable[..., object])
 
@@ -35,7 +41,12 @@ F = TypeVar("F", bound=Callable[..., object])
 #: the static certifier recognises the decorator syntactically)
 KERNEL_ATTR = "__repro_kernel__"
 
+#: attribute on the dispatching wrapper holding the pure implementation
+PURE_ATTR = "__repro_kernel_pure__"
+
 _REGISTRY: Dict[str, Callable[..., object]] = {}
+
+_DISPATCHERS: Dict[str, Callable[..., object]] = {}
 
 #: modules that declare kernels — imported by :func:`declared_kernels`
 #: so the runtime registry is complete without import-order luck.  The
@@ -48,16 +59,50 @@ KERNEL_MODULES = (
     "repro.dtree.splitter",
 )
 
+#: cached ``repro.runtime.compiled.dispatch`` (lazy import: kernels.py
+#: must stay importable before repro.runtime, and kernel-declaring
+#: modules must not pay an import cycle)
+_dispatch_fn: Optional[
+    Callable[
+        [str, Callable[..., Any], Tuple[Any, ...], Dict[str, Any]], Any
+    ]
+] = None
+
+
+def _dispatch(
+    name: str,
+    pure: Callable[..., Any],
+    args: Tuple[Any, ...],
+    kwargs: Dict[str, Any],
+) -> Any:
+    global _dispatch_fn
+    if _dispatch_fn is None:
+        from repro.runtime.compiled import dispatch
+
+        _dispatch_fn = dispatch
+    return _dispatch_fn(name, pure, args, kwargs)
+
 
 def kernel(fn: F) -> F:
-    """Mark ``fn`` as a declared kernel (identity decorator).
+    """Mark ``fn`` as a declared kernel and return its tier dispatcher.
 
-    Declared kernels are certified by ``repro-lint --perf``; a marked
-    function that violates the purity contract fails CI (KERN001).
+    The original (pure) function is registered under its dotted name
+    and remains reachable via :func:`pure_kernel`; the returned wrapper
+    forwards every call to the active execution tier.  Declared kernels
+    are certified by ``repro-lint --perf``; a marked function that
+    violates the purity contract fails CI (KERN001).
     """
-    setattr(fn, KERNEL_ATTR, True)
-    _REGISTRY[f"{fn.__module__}.{fn.__qualname__}"] = fn
-    return fn
+    name = f"{fn.__module__}.{fn.__qualname__}"
+    _REGISTRY[name] = fn
+
+    @functools.wraps(fn)
+    def dispatcher(*args: Any, **kwargs: Any) -> Any:
+        return _dispatch(name, fn, args, kwargs)
+
+    setattr(dispatcher, KERNEL_ATTR, True)
+    setattr(dispatcher, PURE_ATTR, fn)
+    _DISPATCHERS[name] = dispatcher
+    return cast(F, dispatcher)
 
 
 def is_kernel(fn: Callable[..., object]) -> bool:
@@ -65,8 +110,16 @@ def is_kernel(fn: Callable[..., object]) -> bool:
     return bool(getattr(fn, KERNEL_ATTR, False))
 
 
+def pure_kernel(fn: Callable[..., object]) -> Callable[..., object]:
+    """The pure implementation behind a kernel dispatcher (identity for
+    anything that is not a dispatcher)."""
+    return cast(
+        Callable[..., object], getattr(fn, PURE_ATTR, fn)
+    )
+
+
 def declared_kernels() -> Dict[str, Callable[..., object]]:
-    """``{dotted name: function}`` of every declared kernel.
+    """``{dotted name: pure function}`` of every declared kernel.
 
     Imports :data:`KERNEL_MODULES` first so the registry does not
     depend on what the caller happened to import already.
@@ -76,6 +129,13 @@ def declared_kernels() -> Dict[str, Callable[..., object]]:
     for mod in KERNEL_MODULES:
         importlib.import_module(mod)
     return dict(sorted(_REGISTRY.items()))
+
+
+def kernel_dispatchers() -> Dict[str, Callable[..., object]]:
+    """``{dotted name: dispatching wrapper}`` of every declared kernel
+    (the callables actually installed at the call sites)."""
+    declared_kernels()
+    return dict(sorted(_DISPATCHERS.items()))
 
 
 def kernel_names() -> List[str]:

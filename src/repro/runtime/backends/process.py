@@ -4,7 +4,11 @@ The backend owns a persistent pool of worker processes (created lazily,
 reused across sessions so per-step runs amortise startup).  A session
 distributes its ``shared`` mapping once: NumPy arrays are placed in
 :mod:`multiprocessing.shared_memory` segments and attached zero-copy in
-every worker; everything else rides along pickled.  Each superstep then
+every worker; everything else rides along pickled.  Across sessions
+with the same array layout (the driver's step loop), the backend
+reuses the previous session's segment **plan** — values are copied
+into the existing segments, names stay stable, and workers re-attach
+from a local cache instead of mmap-ing anew (:class:`_SharedPlan`).  Each superstep then
 ships only the function reference, the small ``arg``, and the ranks'
 pending inbox messages over the worker pipes (length-prefixed, chunked
 pickle frames), and ships back per-rank results, queued sends, ledger
@@ -237,6 +241,70 @@ def _pack_shared(
     return inline, specs, segments
 
 
+class _SharedPlan:
+    """A reusable shared-memory layout (ROADMAP item 1: amortise the
+    process backend's per-step transfer setup).
+
+    The driver opens one SPMD session per step, and step after step the
+    ``shared`` mapping has the same arrays with the same dtypes and
+    shapes — only the values change.  Instead of creating (and later
+    unlinking) fresh segments per session, the backend caches the last
+    session's plan: when the next session's layout matches, the new
+    values are copied into the **existing** segments and the workers
+    re-attach by the same names (served from their attachment cache, so
+    re-opening is a dict lookup, not an mmap).  ``in_use`` guards
+    concurrent sessions — a second live session falls back to the
+    uncached path.
+    """
+
+    __slots__ = ("layout", "specs", "segments", "views", "in_use")
+
+    def __init__(
+        self,
+        layout: Tuple[Tuple[str, str, Tuple[int, ...]], ...],
+        specs: List[ArraySpec],
+        segments: List[SharedMemory],
+        views: List[np.ndarray],
+    ) -> None:
+        self.layout = layout
+        self.specs = specs
+        self.segments = segments
+        self.views = views
+        self.in_use = False
+
+    def unlink(self) -> None:
+        self.views = []
+        for seg in self.segments:
+            seg.close()
+            try:
+                seg.unlink()
+            except FileNotFoundError:  # pragma: no cover
+                pass
+        self.segments = []
+
+
+def _shared_layout(
+    shared: Mapping[str, Any],
+) -> Tuple[
+    Dict[str, Any],
+    List[Tuple[str, np.ndarray]],
+    Tuple[Tuple[str, str, Tuple[int, ...]], ...],
+]:
+    """Split ``shared`` into inline values and segment-worthy arrays,
+    with the arrays' reuse-comparable layout (key, dtype, shape)."""
+    inline: Dict[str, Any] = {}
+    arrays: List[Tuple[str, np.ndarray]] = []
+    for key, value in shared.items():
+        if isinstance(value, np.ndarray) and value.nbytes > 0:
+            arrays.append((key, value))
+        else:
+            inline[key] = value
+    layout = tuple(
+        (key, value.dtype.str, value.shape) for key, value in arrays
+    )
+    return inline, arrays, layout
+
+
 def _tracker_inherited() -> bool:
     """Whether this (forked) process shares the parent's resource
     tracker.  Attach-side registrations are then idempotent no-ops in
@@ -252,27 +320,49 @@ def _tracker_inherited() -> bool:
         return False
 
 
+#: worker-side attachment-cache capacity (distinct segment names; the
+#: backend's plan cache is single-slot, so live names stay far below
+#: this — eviction only ever hits retired plans)
+ATTACH_CACHE_MAX = 64
+
+
 def _attach_shared(
-    inline: Dict[str, Any], specs: List[ArraySpec], unregister: bool
+    inline: Dict[str, Any],
+    specs: List[ArraySpec],
+    unregister: bool,
+    cache: Optional[Dict[str, SharedMemory]] = None,
 ) -> Tuple[Dict[str, Any], List[SharedMemory]]:
     """Worker-side: rebuild the shared mapping, attaching arrays
-    zero-copy from their shared-memory segments (read-only views)."""
+    zero-copy from their shared-memory segments (read-only views).
+
+    With ``cache`` (plan-backed sessions), attachments persist across
+    sessions keyed by segment name — re-opening a reused plan is a dict
+    hit instead of an mmap; stale entries are evicted FIFO.
+    """
     shared = dict(inline)
     segments: List[SharedMemory] = []
     for key, name, dtype, shape in specs:
-        seg = SharedMemory(name=name)
-        # the parent owns the segment's lifetime; when this process has
-        # its own resource tracker (spawn), unregister the attachment so
-        # worker exit neither unlinks the segment early nor warns about
-        # a "leak" (with an inherited tracker the registration already
-        # belongs to the parent and is left alone)
-        if unregister:
-            try:  # pragma: no cover - tracker internals differ by version
-                from multiprocessing import resource_tracker
+        seg = cache.get(name) if cache is not None else None
+        if seg is None:
+            seg = SharedMemory(name=name)
+            # the parent owns the segment's lifetime; when this process
+            # has its own resource tracker (spawn), unregister the
+            # attachment so worker exit neither unlinks the segment
+            # early nor warns about a "leak" (with an inherited tracker
+            # the registration already belongs to the parent and is
+            # left alone)
+            if unregister:
+                try:  # pragma: no cover - tracker internals differ
+                    from multiprocessing import resource_tracker
 
-                resource_tracker.unregister(seg._name, "shared_memory")  # type: ignore[attr-defined]
-            except Exception:
-                pass
+                    resource_tracker.unregister(seg._name, "shared_memory")  # type: ignore[attr-defined]
+                except Exception:
+                    pass
+            if cache is not None:
+                cache[name] = seg
+                while len(cache) > ATTACH_CACHE_MAX:
+                    _oldest = next(iter(cache))
+                    cache.pop(_oldest).close()
         arr: np.ndarray = np.ndarray(
             shape, dtype=np.dtype(dtype), buffer=seg.buf
         )
@@ -290,7 +380,7 @@ def _attach_shared(
 class _WorkerSessionState:
     """Everything a worker holds for one open session."""
 
-    __slots__ = ("shared", "segments", "states", "size", "trace")
+    __slots__ = ("shared", "segments", "states", "size", "trace", "cached")
 
     def __init__(
         self,
@@ -298,23 +388,29 @@ class _WorkerSessionState:
         segments: List[SharedMemory],
         size: int,
         trace: bool,
+        cached: bool,
     ) -> None:
         self.shared = shared
         self.segments = segments
         self.states: Dict[int, Dict[str, Any]] = {}
         self.size = size
         self.trace = trace
+        self.cached = cached
 
     def release(self) -> None:
         self.states.clear()
-        for seg in self.segments:
-            seg.close()
+        if not self.cached:
+            # cached attachments belong to the worker's attachment
+            # cache and outlive the session (plan reuse)
+            for seg in self.segments:
+                seg.close()
         self.segments = []
 
 
 def _worker_main(conn: Connection) -> None:
     """Command loop of one pool worker (runs in the child process)."""
     sessions: Dict[int, _WorkerSessionState] = {}
+    attach_cache: Dict[str, SharedMemory] = {}
     unregister_shared = not _tracker_inherited()
     while True:
         try:
@@ -329,12 +425,15 @@ def _worker_main(conn: Connection) -> None:
             if tag == "ping":
                 reply = ("ok", "pong")
             elif tag == "open":
-                _, sid, size, inline, specs, trace = msg
+                _, sid, size, inline, specs, trace, cached = msg
                 shared, segments = _attach_shared(
-                    inline, specs, unregister_shared
+                    inline,
+                    specs,
+                    unregister_shared,
+                    attach_cache if cached else None,
                 )
                 sessions[sid] = _WorkerSessionState(
-                    shared, segments, size, trace
+                    shared, segments, size, trace, cached
                 )
                 reply = ("ok", None)
             elif tag == "replay":
@@ -390,6 +489,8 @@ def _worker_main(conn: Connection) -> None:
             break
     for sess in sessions.values():
         sess.release()
+    for seg in attach_cache.values():
+        seg.close()
     conn.close()
 
 
@@ -517,6 +618,7 @@ class ProcessSession(SpmdSession):
         self._mode = "pending"  # -> "remote" | "local" | "failed"
         self._owners: List[Tuple[_WorkerHandle, List[int]]] = []
         self._segments: List[SharedMemory] = []
+        self._plan: Optional[_SharedPlan] = None
         self._local_states: List[Dict[str, Any]] = []
         # (disarmed fn, arg, per-rank inbox copies) of every successful
         # step — replayed into respawned workers to rebuild rank state
@@ -564,11 +666,14 @@ class ProcessSession(SpmdSession):
 
     def _open_remote(self) -> None:
         self._map_owners()
-        inline, specs, segments = _pack_shared(self._shared_input)
+        inline, specs, plan, segments = (
+            self._backend._acquire_shared_plan(self._shared_input)
+        )
         self._inline, self._specs = inline, specs
+        self._plan = plan
         self._segments = segments
         open_msg = ("open", self._sid, self.size, inline, specs,
-                    self._trace)
+                    self._trace, plan is not None)
         for worker, _ranks in self._owners:
             worker.send(open_msg)
         self._collect_acks("open")
@@ -734,7 +839,7 @@ class ProcessSession(SpmdSession):
         self.tracer.count("worker_respawns", len(lost))
         self._map_owners()
         open_msg = ("open", self._sid, self.size, self._inline,
-                    self._specs, self._trace)
+                    self._specs, self._trace, self._plan is not None)
         for worker, _ranks in self._owners:
             worker.send(open_msg)
         self._collect_acks("recovery re-open")
@@ -829,6 +934,11 @@ class ProcessSession(SpmdSession):
 
     # ------------------------------------------------------------------
     def _release_segments(self) -> None:
+        if self._plan is not None:
+            # plan-backed segments stay alive (and keep their names)
+            # for the next session with the same layout
+            self._backend._release_shared_plan(self._plan)
+            self._plan = None
         for seg in self._segments:
             seg.close()
             try:
@@ -897,6 +1007,11 @@ class ProcessBackend(Backend):
         self._pool: Optional[List[_WorkerHandle]] = None
         self._sids = itertools.count()
         self._atexit_registered = False
+        self._shared_plan: Optional[_SharedPlan] = None
+        #: shared-memory segments created / reused across sessions
+        #: (plan reuse — ROADMAP item 1 transfer-cost attack)
+        self.shm_creates = 0
+        self.shm_reuses = 0
 
     def _ensure_pool(self) -> List[_WorkerHandle]:
         if self._pool is None:
@@ -923,6 +1038,80 @@ class ProcessBackend(Backend):
             pool[handle.index % len(pool)] = fresh
         return fresh
 
+    # -- shared-memory plan cache --------------------------------------
+    def _acquire_shared_plan(
+        self, shared: Mapping[str, Any]
+    ) -> Tuple[
+        Dict[str, Any],
+        List[ArraySpec],
+        Optional["_SharedPlan"],
+        List[SharedMemory],
+    ]:
+        """Shared-memory distribution for one session, reusing the
+        cached plan when the array layout is unchanged.
+
+        Returns ``(inline, specs, plan, owned_segments)``: exactly one
+        of ``plan`` (backend-cached, stable segment names) and
+        ``owned_segments`` (session-owned legacy path, unlinked at
+        session close) carries the arrays.
+        """
+        inline, arrays, layout = _shared_layout(shared)
+        plan = self._shared_plan
+        if (
+            plan is not None
+            and not plan.in_use
+            and plan.layout == layout
+        ):
+            for view, (_key, value) in zip(plan.views, arrays):
+                view[...] = value
+            plan.in_use = True
+            self.shm_reuses += len(plan.segments)
+            return inline, list(plan.specs), plan, []
+        if not arrays:
+            return inline, [], None, []
+        specs: List[ArraySpec] = []
+        segments: List[SharedMemory] = []
+        views: List[np.ndarray] = []
+        for key, value in arrays:
+            try:
+                seg = SharedMemory(create=True, size=value.nbytes)
+            except OSError:
+                # platform refuses shared memory: retire the partial
+                # plan and degrade to the uncached path, which inlines
+                # whatever cannot get a segment
+                for built in segments:
+                    built.close()
+                    built.unlink()
+                legacy = _pack_shared(shared)
+                self.shm_creates += len(legacy[2])
+                return legacy[0], legacy[1], None, legacy[2]
+            view: np.ndarray = np.ndarray(
+                value.shape, dtype=value.dtype, buffer=seg.buf
+            )
+            view[...] = value
+            specs.append((key, seg.name, value.dtype.str, value.shape))
+            segments.append(seg)
+            views.append(view)
+        self.shm_creates += len(segments)
+        if plan is not None and plan.in_use:
+            # another live session holds the cached plan: hand these
+            # segments to the session to own (no caching)
+            return inline, specs, None, segments
+        if plan is not None:
+            plan.unlink()  # layout changed: retire the stale plan
+        fresh = _SharedPlan(layout, specs, segments, views)
+        fresh.in_use = True
+        self._shared_plan = fresh
+        return inline, list(specs), fresh, []
+
+    def _release_shared_plan(self, plan: "_SharedPlan") -> None:
+        """A session finished with ``plan``: keep it cached for the
+        next matching session (unlink only if it was displaced)."""
+        if plan is self._shared_plan:
+            plan.in_use = False
+        else:  # pragma: no cover - displaced while in use
+            plan.unlink()
+
     def health_check(
         self, timeout: Optional[float] = None
     ) -> Dict[str, bool]:
@@ -947,6 +1136,9 @@ class ProcessBackend(Backend):
         )
 
     def close(self) -> None:
+        if self._shared_plan is not None:
+            self._shared_plan.unlink()
+            self._shared_plan = None
         if self._pool is not None:
             cfg = self.supervisor
             for worker in self._pool:

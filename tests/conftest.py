@@ -58,20 +58,51 @@ def rng():
 
 @pytest.fixture(
     scope="session",
-    params=["serial", "thread", "process", "sentinel", "chaos"],
+    params=[
+        ("serial", None),
+        ("thread", None),
+        ("process", None),
+        ("sentinel", None),
+        ("chaos", None),
+        ("serial", "compiled"),
+        ("process", "compiled"),
+        ("chaos", "compiled"),
+    ],
+    ids=lambda p: p[0] if p[1] is None else f"{p[0]}-{p[1]}",
 )
 def spmd_backend(request):
-    """Each execution backend, session-scoped so the process backend's
-    worker pool is spun up once for the whole run.  Tests using this
-    fixture assert backend-independence: identical results and ledgers
-    on every backend.  The ``sentinel`` variant additionally proves the
+    """Each (execution backend, kernel tier) combination,
+    session-scoped so the process backend's worker pool is spun up once
+    for the whole run.  Tests using this fixture assert
+    backend-independence: identical results and ledgers on every
+    backend.  The ``sentinel`` variant additionally proves the
     supersteps never mutate shared state (it raises
     ``SharedStateMutationError`` if one does); the ``chaos`` variant
     exercises the fault-injection harness (a passthrough unless
     ``$REPRO_FAULT_PLAN`` schedules faults — the chaos CI job does,
-    and results must STILL be identical)."""
-    from repro.runtime.backends import make_backend
+    and results must STILL be identical).  The ``*-compiled`` variants
+    run the same assertions with ``REPRO_KERNELS=compiled``
+    (``repro.runtime.compiled``): with numba the compiled kernels must
+    be bit-identical to the serial/pure baseline, without it the
+    per-kernel fallback must be equally invisible."""
+    import os
 
-    backend = make_backend(request.param, workers=2)
+    from repro.runtime.backends import make_backend
+    from repro.runtime.compiled import KERNELS_ENV, set_kernel_tier
+
+    name, tier = request.param
+    saved_env = os.environ.get(KERNELS_ENV)
+    if tier is not None:
+        # env var too, so process-backend workers forked during the
+        # session inherit the tier
+        os.environ[KERNELS_ENV] = tier
+        set_kernel_tier(tier)
+    backend = make_backend(name, workers=2)
     yield backend
     backend.close()
+    if tier is not None:
+        set_kernel_tier(None)
+        if saved_env is None:
+            os.environ.pop(KERNELS_ENV, None)
+        else:
+            os.environ[KERNELS_ENV] = saved_env

@@ -1,0 +1,272 @@
+"""Fallback semantics, tier selection, and counter plumbing of the
+compiled kernel runtime (``repro.runtime.compiled``).
+
+These tests never require numba: they monkeypatch the runtime's two
+seams (``_load_numba`` for "numba is not installed", ``_jit_compile``
+for "this kernel fails to compile") and assert the contract the docs
+promise — per-kernel fallback, exactly one ``RuntimeWarning``, correct
+``kernel_calls_pure`` accounting, and no cross-kernel contamination of
+the compile cache.
+"""
+
+from __future__ import annotations
+
+import warnings
+
+import numpy as np
+import pytest
+
+from repro.core.contact_search import row_majority
+from repro.geometry.bbox import bboxes_intersect_matrix
+from repro.obs import RunReport, Tracer
+from repro.runtime import compiled as rc
+
+ROW_MAJORITY = "repro.core.contact_search.row_majority"
+BBOXES = "repro.geometry.bbox.bboxes_intersect_matrix"
+
+LABELS = np.array([[1, 1, 2], [3, 2, 3]], dtype=np.int64)
+BOXES_A = np.array([[[0.0, 0.0], [1.0, 1.0]]])
+BOXES_B = np.array([[[0.5, 0.5], [2.0, 2.0]]])
+
+
+@pytest.fixture(autouse=True)
+def clean_kernel_runtime():
+    """Isolate every test from process-wide caches, fallbacks,
+    counters, the cached numba probe, and the tier override."""
+    rc._reset_state()
+    rc.set_kernel_tier(None)
+    yield
+    rc._reset_state()
+    rc.set_kernel_tier(None)
+
+
+def _no_numba(monkeypatch):
+    def boom():
+        raise ImportError("No module named 'numba'")
+
+    monkeypatch.setattr(rc, "_load_numba", boom)
+
+
+# ----------------------------------------------------------------------
+# tier selection
+# ----------------------------------------------------------------------
+
+
+class TestTierSelection:
+    def test_default_is_auto(self, monkeypatch):
+        monkeypatch.delenv(rc.KERNELS_ENV, raising=False)
+        assert rc.kernel_tier() == "auto"
+
+    def test_env_selects_tier(self, monkeypatch):
+        monkeypatch.setenv(rc.KERNELS_ENV, "pure")
+        assert rc.kernel_tier() == "pure"
+        monkeypatch.setenv(rc.KERNELS_ENV, "Compiled")
+        assert rc.kernel_tier() == "compiled"
+
+    def test_override_beats_env(self, monkeypatch):
+        monkeypatch.setenv(rc.KERNELS_ENV, "pure")
+        rc.set_kernel_tier("compiled")
+        assert rc.kernel_tier() == "compiled"
+        rc.set_kernel_tier(None)
+        assert rc.kernel_tier() == "pure"
+
+    def test_invalid_values_raise(self, monkeypatch):
+        with pytest.raises(ValueError, match="invalid kernel tier"):
+            rc.set_kernel_tier("jit")
+        monkeypatch.setenv(rc.KERNELS_ENV, "fast")
+        with pytest.raises(ValueError, match=rc.KERNELS_ENV):
+            rc.kernel_tier()
+
+    def test_pure_tier_never_probes_numba(self, monkeypatch):
+        def boom():  # pragma: no cover - must not run
+            raise AssertionError("pure tier imported numba")
+
+        monkeypatch.setattr(rc, "_load_numba", boom)
+        rc.set_kernel_tier("pure")
+        out = row_majority(LABELS)
+        assert np.array_equal(out, np.array([1, 3]))
+        assert rc.kernel_stats()["kernel_calls_pure"] == 1
+
+
+# ----------------------------------------------------------------------
+# numba missing
+# ----------------------------------------------------------------------
+
+
+class TestNumbaMissing:
+    def test_auto_falls_back_silently(self, monkeypatch):
+        _no_numba(monkeypatch)
+        monkeypatch.delenv(rc.KERNELS_ENV, raising=False)
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            out = row_majority(LABELS)
+        assert np.array_equal(out, np.array([1, 3]))
+        assert not [
+            w for w in caught if issubclass(w.category, RuntimeWarning)
+        ]
+        stats = rc.kernel_stats()
+        assert stats["kernel_calls_pure"] == 1
+        assert stats["kernel_calls_compiled"] == 0
+
+    def test_compiled_warns_once_per_kernel(self, monkeypatch):
+        _no_numba(monkeypatch)
+        rc.set_kernel_tier("compiled")
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            out1 = row_majority(LABELS)
+            out2 = row_majority(LABELS)
+        assert np.array_equal(out1, out2)
+        runtime_warnings = [
+            w for w in caught if issubclass(w.category, RuntimeWarning)
+        ]
+        assert len(runtime_warnings) == 1
+        message = str(runtime_warnings[0].message)
+        assert ROW_MAJORITY in message
+        assert "falling back" in message
+        stats = rc.kernel_stats()
+        assert stats["kernel_calls_pure"] == 2
+        assert stats["kernel_compiles"] == 0
+        assert ROW_MAJORITY in rc.fallback_reasons()
+
+    def test_each_kernel_warns_independently(self, monkeypatch):
+        _no_numba(monkeypatch)
+        rc.set_kernel_tier("compiled")
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            row_majority(LABELS)
+            bboxes_intersect_matrix(BOXES_A, BOXES_B)
+        runtime_warnings = [
+            w for w in caught if issubclass(w.category, RuntimeWarning)
+        ]
+        assert len(runtime_warnings) == 2
+        assert {ROW_MAJORITY, BBOXES} <= set(rc.fallback_reasons())
+
+
+# ----------------------------------------------------------------------
+# compile failure isolation
+# ----------------------------------------------------------------------
+
+
+class TestCompileFailureIsolation:
+    def test_typing_error_pins_only_the_failing_kernel(self, monkeypatch):
+        """A mid-compile TypingError pins *that* kernel to pure; other
+        kernels keep compiling and the cache stays uncontaminated."""
+
+        def fake_jit(name, source):
+            if name == ROW_MAJORITY:
+                raise rc.KernelCompileError(
+                    f"njit({name}) failed: TypingError: cannot unify"
+                )
+            return source  # "compiled": the source, run interpreted
+
+        monkeypatch.setattr(rc, "_jit_compile", fake_jit)
+        rc.set_kernel_tier("compiled")
+
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            bad = row_majority(LABELS)
+            good = bboxes_intersect_matrix(BOXES_A, BOXES_B)
+            bad_again = row_majority(LABELS)
+            good_again = bboxes_intersect_matrix(BOXES_A, BOXES_B)
+
+        assert np.array_equal(bad, np.array([1, 3]))
+        assert np.array_equal(bad, bad_again)
+        assert np.array_equal(good, np.array([[True]]))
+        assert np.array_equal(good, good_again)
+
+        runtime_warnings = [
+            w for w in caught if issubclass(w.category, RuntimeWarning)
+        ]
+        assert len(runtime_warnings) == 1
+        assert ROW_MAJORITY in str(runtime_warnings[0].message)
+
+        assert set(rc.fallback_reasons()) == {ROW_MAJORITY}
+        assert "TypingError" in rc.fallback_reasons()[ROW_MAJORITY]
+
+        cached = [k for k, _sig in rc.compiled_signatures()]
+        assert cached == [BBOXES]
+
+        stats = rc.kernel_stats()
+        assert stats["kernel_calls_pure"] == 2  # both row_majority calls
+        assert stats["kernel_calls_compiled"] == 2  # both bbox calls
+        assert stats["kernel_compiles"] == 1  # bbox only
+        assert stats["kernel_compile_seconds"] > 0.0
+
+    def test_data_error_is_transient_not_pinning(self, monkeypatch):
+        """A non-numba exception on the compiled path re-runs pure for
+        that call only — the kernel is not pinned to fallback."""
+        calls = {"n": 0}
+
+        def fake_jit(name, source):
+            def exploding(*args):
+                calls["n"] += 1
+                raise ValueError("bad data, not a compile failure")
+
+            return exploding
+
+        monkeypatch.setattr(rc, "_jit_compile", fake_jit)
+        rc.set_kernel_tier("compiled")
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            out1 = row_majority(LABELS)
+            out2 = row_majority(LABELS)
+        assert np.array_equal(out1, np.array([1, 3]))
+        assert np.array_equal(out1, out2)
+        assert not [
+            w for w in caught if issubclass(w.category, RuntimeWarning)
+        ]
+        assert rc.fallback_reasons() == {}
+        assert calls["n"] == 2  # the compiled path was retried
+        assert rc.kernel_stats()["kernel_calls_pure"] == 2
+
+
+# ----------------------------------------------------------------------
+# counters → tracer → report
+# ----------------------------------------------------------------------
+
+
+class TestCounterPlumbing:
+    def test_tracer_attaches_kernel_deltas_to_root(self, monkeypatch):
+        _no_numba(monkeypatch)
+        monkeypatch.delenv(rc.KERNELS_ENV, raising=False)
+        tracer = Tracer(kernel_counters=True)
+        with tracer.span("work"):
+            row_majority(LABELS)
+            row_majority(LABELS)
+        root = tracer.finish()
+        assert root.counters["kernel_calls_pure"] == 2
+        assert "kernel_calls_compiled" not in root.counters  # zero
+
+    def test_tracer_without_flag_stays_clean(self, monkeypatch):
+        _no_numba(monkeypatch)
+        tracer = Tracer()
+        with tracer.span("work"):
+            row_majority(LABELS)
+        root = tracer.finish()
+        assert "kernel_calls_pure" not in root.counters
+
+    def test_report_renders_kernel_totals(self, monkeypatch):
+        _no_numba(monkeypatch)
+        monkeypatch.delenv(rc.KERNELS_ENV, raising=False)
+        tracer = Tracer(kernel_counters=True)
+        with tracer.span("work"):
+            row_majority(LABELS)
+        report = RunReport.from_run(tracer, kernels="auto")
+        totals = report.kernel_totals()
+        assert totals == {"kernel_calls_pure": 1.0}
+        rendered = report.render()
+        assert "Compiled kernels" in rendered
+        assert "kernel_calls_pure=1" in rendered
+        # round-trips through the versioned JSON document
+        reloaded = RunReport.from_dict(report.to_dict())
+        assert reloaded.kernel_totals() == totals
+
+    def test_counter_delta_ignores_other_runs(self, monkeypatch):
+        _no_numba(monkeypatch)
+        monkeypatch.delenv(rc.KERNELS_ENV, raising=False)
+        row_majority(LABELS)  # before the tracer exists
+        tracer = Tracer(kernel_counters=True)
+        with tracer.span("work"):
+            row_majority(LABELS)
+        root = tracer.finish()
+        assert root.counters["kernel_calls_pure"] == 1

@@ -1,0 +1,218 @@
+"""Differential kernel-conformance harness.
+
+Compiled numerics are the classic source of silent divergence, so
+"compiled ≡ pure" is a machine-checked invariant here, not a hope: for
+every kernel in ``declared_kernels()``, hypothesis-generated inputs run
+through the pure NumPy implementation and the compiled loop source, and
+the results must be **bit-identical** — exact ``np.array_equal`` with
+dtype and shape equality, never ``allclose``.
+
+Two differential layers:
+
+* the loop *sources* run interpreted against pure on every platform
+  (no numba needed) — this proves the algorithm algebra, including
+  stable-sort permutations under heavy ties;
+* with numba installed, the full dispatch path runs jit-compiled
+  against pure, and additionally asserts the call really took the
+  compiled tier (a silent fallback would make the comparison
+  vacuous).  Without numba the jitted layer skips with a reason.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.kernels import declared_kernels, kernel_dispatchers, kernel_names
+from repro.runtime import compiled as rc
+
+KERNELS = kernel_names()
+
+needs_numba = pytest.mark.skipif(
+    not rc.numba_available(),
+    reason=(
+        "numba unavailable on this platform: the compiled tier falls "
+        "back to pure (covered by test_compiled_runtime); the jitted "
+        "differential layer cannot run"
+    ),
+)
+
+# generous budget: the first jitted example per signature compiles
+CONFORMANCE_SETTINGS = settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+_coord = st.floats(-100.0, 100.0, allow_nan=False, allow_infinity=False)
+#: coordinate pool with deliberate tie mass — stable-sort permutations
+#: are part of the bit-identity contract
+_tied_coord = st.one_of(
+    st.sampled_from([-1.0, -0.5, 0.0, 0.5, 1.0, 2.0]),
+    st.floats(-5.0, 5.0, allow_nan=False, allow_infinity=False),
+)
+
+
+@st.composite
+def _bbox_inputs(draw):
+    d = draw(st.integers(1, 3))
+    m_a = draw(st.integers(0, 5))
+    m_b = draw(st.integers(0, 5))
+    boxes_a = draw(hnp.arrays(np.float64, (m_a, 2, d), elements=_coord))
+    boxes_b = draw(hnp.arrays(np.float64, (m_b, 2, d), elements=_coord))
+    pad = draw(st.floats(0.0, 5.0, allow_nan=False))
+    return (boxes_a, boxes_b), {"pad": pad}
+
+
+@st.composite
+def _boxsearch_inputs(draw):
+    d = draw(st.integers(1, 3))
+    n_boxes = draw(st.integers(1, 5))
+    n_points = draw(st.integers(1, 6))
+    n_pairs = draw(st.integers(0, 12))
+    boxes = draw(
+        hnp.arrays(np.float64, (n_boxes, 2, d), elements=_coord)
+    )
+    boxes.sort(axis=1)
+    points = draw(hnp.arrays(np.float64, (n_points, d), elements=_coord))
+    box_index = draw(
+        hnp.arrays(
+            np.int64, (n_pairs,), elements=st.integers(0, n_boxes - 1)
+        )
+    )
+    point_index = draw(
+        hnp.arrays(
+            np.int64, (n_pairs,), elements=st.integers(0, n_points - 1)
+        )
+    )
+    return (boxes, points, box_index, point_index), {}
+
+
+@st.composite
+def _row_majority_inputs(draw):
+    n = draw(st.integers(0, 8))
+    w = draw(st.integers(1, 6))
+    labels = draw(
+        hnp.arrays(np.int64, (n, w), elements=st.integers(-3, 5))
+    )
+    return (labels,), {}
+
+
+@st.composite
+def _split_curve_inputs(draw):
+    n = draw(st.integers(1, 16))
+    coords = draw(hnp.arrays(np.float64, (n,), elements=_tied_coord))
+    labels = draw(
+        hnp.arrays(np.int64, (n,), elements=st.integers(0, 3))
+    )
+    return (coords, labels), {}
+
+
+INPUTS = {
+    "repro.geometry.bbox.bboxes_intersect_matrix": _bbox_inputs,
+    "repro.geometry.boxsearch.box_candidate_pairs": _boxsearch_inputs,
+    "repro.core.contact_search.row_majority": _row_majority_inputs,
+    "repro.dtree.splitter.split_index_curve": _split_curve_inputs,
+}
+
+
+def _as_tuple(out):
+    return out if isinstance(out, tuple) else (out,)
+
+
+def _assert_bit_identical(name, want, got):
+    want, got = _as_tuple(want), _as_tuple(got)
+    assert len(want) == len(got), (
+        f"{name}: pure returned {len(want)} array(s), "
+        f"compiled returned {len(got)}"
+    )
+    for i, (w, g) in enumerate(zip(want, got)):
+        assert isinstance(g, np.ndarray), (
+            f"{name}[{i}]: compiled returned {type(g).__name__}"
+        )
+        assert g.dtype == w.dtype, (
+            f"{name}[{i}]: dtype {g.dtype} != pure {w.dtype}"
+        )
+        assert g.shape == w.shape, (
+            f"{name}[{i}]: shape {g.shape} != pure {w.shape}"
+        )
+        assert np.array_equal(w, g), (
+            f"{name}[{i}]: values diverge\npure:     {w!r}\n"
+            f"compiled: {g!r}"
+        )
+
+
+def test_every_declared_kernel_is_covered():
+    """Adding a kernel without conformance inputs (or a compiled
+    source) must fail loudly, not silently shrink coverage."""
+    assert set(INPUTS) == set(KERNELS)
+    assert set(rc.NUMBA_SOURCES) == set(KERNELS)
+    assert set(rc._PREPARE) == set(KERNELS)
+    assert set(kernel_dispatchers()) == set(KERNELS)
+
+
+@pytest.mark.parametrize("name", KERNELS)
+@given(data=st.data())
+@CONFORMANCE_SETTINGS
+def test_interpreted_source_matches_pure(name, data):
+    """The loop source, run as plain Python, is bit-identical to the
+    pure kernel — platform-independent proof of the algorithm."""
+    args, kwargs = data.draw(INPUTS[name]())
+    pure = declared_kernels()[name]
+    source = rc.NUMBA_SOURCES[name]
+    prepare = rc._PREPARE[name]
+    want = pure(*args, **kwargs)
+    got = source(*prepare(*args, **kwargs))
+    _assert_bit_identical(name, want, got)
+
+
+@needs_numba
+@pytest.mark.parametrize("name", KERNELS)
+@given(data=st.data())
+@CONFORMANCE_SETTINGS
+def test_compiled_dispatch_matches_pure(name, data):
+    """The full compiled tier (dispatch → njit) is bit-identical to
+    pure, and genuinely ran compiled — a fallback here is a failure,
+    not a skip, because numba *is* available."""
+    args, kwargs = data.draw(INPUTS[name]())
+    pure = declared_kernels()[name]
+    dispatcher = kernel_dispatchers()[name]
+    rc.set_kernel_tier("compiled")
+    try:
+        before = rc.stats_snapshot()
+        got = dispatcher(*args, **kwargs)
+        delta = rc.stats_delta(before)
+    finally:
+        rc.set_kernel_tier(None)
+    assert name not in rc.fallback_reasons(), (
+        f"{name} fell back to pure although numba is available: "
+        f"{rc.fallback_reasons()[name]}"
+    )
+    assert delta["kernel_calls_compiled"] == 1
+    assert delta["kernel_calls_pure"] == 0
+    want = pure(*args, **kwargs)
+    _assert_bit_identical(name, want, got)
+
+
+@needs_numba
+def test_compile_cache_keyed_by_signature():
+    """Repeat calls with one dtype signature compile once; the cache
+    key includes the kernel name, so kernels never share entries."""
+    from repro.core.contact_search import row_majority
+
+    labels = np.array([[1, 2, 2], [3, 3, 1]], dtype=np.int64)
+    rc.set_kernel_tier("compiled")
+    try:
+        row_majority(labels)
+        before = rc.stats_snapshot()
+        row_majority(labels + 1)
+        delta = rc.stats_delta(before)
+    finally:
+        rc.set_kernel_tier(None)
+    assert delta["kernel_compiles"] == 0
+    assert delta["kernel_calls_compiled"] == 1
+    name = "repro.core.contact_search.row_majority"
+    assert any(k == name for k, _sig in rc.compiled_signatures())

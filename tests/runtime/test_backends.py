@@ -275,3 +275,81 @@ class TestBackendProtocol:
         # REPRO_BACKEND=process — resolution must read it at call time
         env_before = os.environ.get(BACKEND_ENV)
         assert env_before is None or env_before.split(":")[0] in BACKEND_NAMES
+
+
+class TestSharedPlanReuse:
+    """The backend reuses its shared-memory plan across sessions with
+    the same array layout (the driver's step loop), so segments are
+    created once and keep stable names instead of being unlinked and
+    re-created every step."""
+
+    @staticmethod
+    def _step_shared(step):
+        return {
+            "values": np.arange(8, dtype=np.float64) * (step + 1),
+            "flags": np.array([step, step + 1], dtype=np.int64),
+            "label": f"step-{step}",
+        }
+
+    def test_segment_names_stable_across_steps(self):
+        with ProcessBackend(workers=2) as be:
+            names = []
+            for step in range(3):
+                shared = self._step_shared(step)
+                with be.open_session(2, shared=shared) as sess:
+                    out = sess.step(_sum_shared, 1.0)
+                    # fresh values each step, through the same segments
+                    total = float(shared["values"].sum())
+                    assert sum(out) == total
+                    names.append(
+                        tuple(n for _k, n, _d, _s in sess._specs)
+                    )
+            assert len(names[0]) == 2
+            assert names[0] == names[1] == names[2]
+            assert be.shm_creates == 2
+            assert be.shm_reuses == 4  # 2 segments x 2 reusing steps
+
+    def test_layout_change_retires_plan(self):
+        with ProcessBackend(workers=2) as be:
+            with be.open_session(2, shared=self._step_shared(0)) as s1:
+                s1.step(_sum_shared, 1.0)
+                first = tuple(n for _k, n, _d, _s in s1._specs)
+            changed = {"values": np.arange(4, dtype=np.float64)}
+            with be.open_session(2, shared=changed) as s2:
+                out = s2.step(_sum_shared, 1.0)
+                assert sum(out) == 6.0
+                second = tuple(n for _k, n, _d, _s in s2._specs)
+            assert set(first).isdisjoint(second)
+            assert be.shm_reuses == 0
+
+    def test_concurrent_sessions_fall_back_to_owned_segments(self):
+        # the plan is single-slot: a second live session with the same
+        # layout must get its own segments, not clobber the first's
+        with ProcessBackend(workers=2) as be:
+            shared = self._step_shared(0)
+            with be.open_session(2, shared=shared) as s1:
+                s1.step(_sum_shared, 1.0)
+                with be.open_session(2, shared=shared) as s2:
+                    out = s2.step(_sum_shared, 1.0)
+                    assert sum(out) == float(shared["values"].sum())
+                    n1 = {n for _k, n, _d, _s in s1._specs}
+                    n2 = {n for _k, n, _d, _s in s2._specs}
+                    assert n1.isdisjoint(n2)
+
+    def test_plan_survives_worker_recovery(self):
+        # killing a worker mid-session exercises the recovery re-open,
+        # which must re-attach the same plan segments
+        with ProcessBackend(workers=2) as be:
+            with be.open_session(2, shared=self._step_shared(0)) as s1:
+                s1.step(_sum_shared, 1.0)
+                names = tuple(n for _k, n, _d, _s in s1._specs)
+                victim = be._pool[0]
+                victim.proc.terminate()
+                victim.proc.join(timeout=5)
+                out = s1.step(_sum_shared, 2.0)
+                assert sum(out) == 2.0 * float(
+                    self._step_shared(0)["values"].sum()
+                )
+            with be.open_session(2, shared=self._step_shared(1)) as s2:
+                s2.step(_sum_shared, 1.0)
+                assert tuple(n for _k, n, _d, _s in s2._specs) == names
