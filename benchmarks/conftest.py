@@ -52,6 +52,39 @@ def register_kernel_result(kernel: str, **payload) -> None:
     KERNEL_RESULTS[kernel] = payload
 
 
+#: service latency/throughput measurements registered by
+#: ``bench_service``; summarised into ``BENCH_service.json`` at session
+#: end (CI artifact)
+SERVICE_RESULTS: dict = {}
+
+_SERVICE_REPORT = Path(__file__).resolve().parent.parent / (
+    "BENCH_service.json"
+)
+
+
+def register_service_result(name: str, **payload) -> None:
+    """Record one service measurement (cold/cached latency, coalesced
+    throughput) for the end-of-session ``BENCH_service.json`` report."""
+    SERVICE_RESULTS[name] = payload
+
+
+def _write_service_report(session) -> None:
+    cold = SERVICE_RESULTS.get("cold_vs_cached", {})
+    ratio = None
+    if cold.get("cold_s") and cold.get("cached_s"):
+        ratio = round(cold["cached_s"] / cold["cold_s"], 5)
+    report = {
+        "schema": "repro.bench-service/1",
+        "cpu_count": os.cpu_count(),
+        "results": SERVICE_RESULTS,
+        "cached_over_cold_ratio": ratio,
+    }
+    _SERVICE_REPORT.write_text(json.dumps(report, indent=2) + "\n")
+    rep = session.config.pluginmanager.get_plugin("terminalreporter")
+    if rep is not None:
+        rep.write_line(f"service report written to {_SERVICE_REPORT}")
+
+
 def _write_kernel_report(session) -> None:
     from repro.runtime.compiled import numba_available
 
@@ -80,6 +113,8 @@ def _write_kernel_report(session) -> None:
 
 
 def pytest_sessionfinish(session, exitstatus):
+    if SERVICE_RESULTS:
+        _write_service_report(session)
     if KERNEL_RESULTS:
         _write_kernel_report(session)
     if not BACKEND_RESULTS:

@@ -7,7 +7,9 @@ compares the §4.3 update strategies; ``repro-contact trace`` runs both
 algorithms under the phase tracer and prints/serializes the run report
 (``docs/OBSERVABILITY.md``); ``repro-contact lint`` runs the
 ``repro-lint`` static analyser (see ``docs/STATIC_ANALYSIS.md``);
-``repro-contact selfcheck`` runs the installation self-check.
+``repro-contact serve`` launches the partitioning service (forwards to
+``repro-serve``, see ``docs/SERVICE.md``); ``repro-contact selfcheck``
+runs the installation self-check.
 
 ``--trace-json PATH`` (global) writes the versioned run-report JSON
 for any experiment command; the ``trace`` subcommand additionally
@@ -213,6 +215,19 @@ def _build_parser() -> argparse.ArgumentParser:
         ),
     )
 
+    serve = sub.add_parser(
+        "serve",
+        help=(
+            "launch the partitioning service (forwards to repro-serve; "
+            "docs/SERVICE.md)"
+        ),
+    )
+    serve.add_argument(
+        "serve_args",
+        nargs=argparse.REMAINDER,
+        help="arguments forwarded to repro-serve",
+    )
+
     sub.add_parser(
         "selfcheck", help="run the installation self-check pipeline"
     )
@@ -327,9 +342,14 @@ def main(argv: Optional[List[str]] = None) -> int:
     argv = list(sys.argv[1:] if argv is None else argv)
 
     # `lint` forwards its tail verbatim to repro-lint, bypassing
-    # argparse (REMAINDER mis-parses forwarded options like --format)
+    # argparse (REMAINDER mis-parses forwarded options like --format);
+    # `serve` forwards to repro-serve the same way
     if argv and argv[0] == "lint":
         return _run_lint(argv[1:])
+    if argv and argv[0] == "serve":
+        from repro.service.cli import main as serve_main
+
+        return serve_main(argv[1:])
 
     args = _build_parser().parse_args(argv)
 
@@ -369,6 +389,10 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     if args.command == "lint":  # reached via global options before `lint`
         return _run_lint(list(args.lint_args))
+    if args.command == "serve":  # reached via global options too
+        from repro.service.cli import main as serve_main
+
+        return serve_main(list(args.serve_args))
     if args.command == "selfcheck":
         from repro.selfcheck import main as selfcheck_main
 

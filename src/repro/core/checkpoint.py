@@ -25,6 +25,7 @@ import numpy as np
 from repro.core.driver import ContactStepDriver
 from repro.core.mcml_dt import MCMLDTParams, MCMLDTPartitioner
 from repro.core.update import UpdateStrategy
+from repro.graph.digest import digest_arrays
 from repro.partition.config import PartitionOptions
 from repro.runtime.backends.base import BackendSpec
 from repro.runtime.ledger import CommLedger, PhaseTotals
@@ -42,7 +43,11 @@ def _coerce_target(target: Target) -> Union[Path, BinaryIO]:
 # v1 stored per-phase totals only; v2 adds the per-rank sent/received
 # breakdown so a restarted run continues the full accounting, plus the
 # execution-backend name for provenance. v1 checkpoints still load
-# (their per-rank totals start empty).
+# (their per-rank totals start empty). v2 checkpoints written since
+# the content-digest helper exists additionally carry ``part_digest``
+# — the canonical :func:`repro.graph.digest.digest_arrays` of the
+# partition vector — which is verified on load so silent corruption
+# of the payload is caught instead of resumed from.
 _SCHEMA_VERSION = 2
 _READABLE_SCHEMAS = (1, 2)
 
@@ -89,6 +94,7 @@ def save_driver(path: Target, driver: ContactStepDriver) -> None:
             ],
         },
         "backend": driver.backend.name,
+        "part_digest": digest_arrays({"part": driver.partitioner.part}),
     }
     np.savez_compressed(
         _coerce_target(path),
@@ -114,6 +120,15 @@ def _read_checkpoint(source: Target) -> Tuple[Dict[str, Any], np.ndarray]:
         raise ValueError(
             f"unsupported checkpoint schema {meta.get('schema')!r}"
         )
+    expected = meta.get("part_digest")
+    if expected is not None:
+        actual = digest_arrays({"part": part})
+        if actual != expected:
+            raise ValueError(
+                "checkpoint partition vector is corrupt: content "
+                f"digest {actual} does not match the recorded "
+                f"{expected}"
+            )
     return meta, part
 
 

@@ -19,6 +19,11 @@ from repro.graph.ops import (
     induced_subgraph,
     largest_component,
 )
+from repro.graph.digest import (
+    canonical_array,
+    digest_arrays,
+    digest_graph,
+)
 from repro.graph.metrics import (
     edge_cut,
     load_imbalance,
@@ -37,6 +42,9 @@ __all__ = [
     "contract",
     "induced_subgraph",
     "largest_component",
+    "canonical_array",
+    "digest_arrays",
+    "digest_graph",
     "edge_cut",
     "load_imbalance",
     "max_load_imbalance",

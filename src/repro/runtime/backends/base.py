@@ -390,11 +390,21 @@ def default_workers() -> int:
     return max(1, os.cpu_count() or 1)
 
 
-def make_backend(spec: str, workers: Optional[int] = None) -> Backend:
+def make_backend(
+    spec: Union[str, Backend], workers: Optional[int] = None
+) -> Backend:
     """Build a backend from ``name`` or ``name:workers`` text.
 
     ``workers`` (when given) overrides any count embedded in the spec.
+    An already-constructed :class:`Backend` instance passes through
+    untouched (``workers`` is ignored — the instance already has its
+    pool), so call sites that resolve a spec once and hand the pooled
+    instance around (the service engine runs every job on one resolved
+    backend) can feed it back through any resolution path without
+    re-triggering precedence or building a second pool.
     """
+    if isinstance(spec, Backend):
+        return spec
     name, _, count = spec.partition(":")
     name = name.strip().lower()
     if count:

@@ -1,0 +1,211 @@
+"""Programmatic client for the partitioning service.
+
+:class:`ServiceClient` wraps the HTTP API in typed helpers over
+:mod:`http.client` (stdlib only, one short-lived connection per call —
+the server closes connections anyway):
+
+    with ServerThread() as srv:
+        client = ServiceClient(srv.address)
+        record = client.submit(kind="partition", k=8,
+                               source={"kind": "impact", "n_steps": 4})
+        result = client.result(record["id"], wait_s=30.0)
+        labels = result["labels"]
+
+Non-2xx responses raise :class:`ServiceError` carrying the HTTP status
+and the server's JSON error body, so callers can branch on
+``exc.status == 429`` (rate limited) or ``503`` (queue full).
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+from typing import Any, Dict, List, Mapping, Optional
+
+from repro.service.schemas import (
+    SCHEMA_VERSION,
+    validate_job_record,
+    validate_result,
+)
+
+__all__ = ["ServiceClient", "ServiceError"]
+
+
+class ServiceError(RuntimeError):
+    """A non-2xx service response.
+
+    ``status`` is the HTTP status code; ``body`` the decoded JSON
+    error document (``{}`` when the body was not JSON).
+    """
+
+    def __init__(self, status: int, body: Dict[str, Any]) -> None:
+        self.status = status
+        self.body = body
+        message = body.get("error") if isinstance(body, dict) else None
+        super().__init__(f"HTTP {status}: {message or 'service error'}")
+
+
+class ServiceClient:
+    """Synchronous client bound to one ``host:port``."""
+
+    def __init__(self, address: str, timeout_s: float = 60.0) -> None:
+        host, _, port = address.partition(":")
+        if not host or not port:
+            raise ValueError(
+                f"address must be 'host:port', got {address!r}"
+            )
+        self.host = host
+        self.port = int(port)
+        self.timeout_s = timeout_s
+
+    # ------------------------------------------------------------------
+    # raw transport
+    # ------------------------------------------------------------------
+    def request(
+        self,
+        method: str,
+        path: str,
+        body: Optional[Dict[str, Any]] = None,
+    ) -> Any:
+        """One HTTP exchange; raises :class:`ServiceError` on non-2xx."""
+        conn = http.client.HTTPConnection(
+            self.host, self.port, timeout=self.timeout_s
+        )
+        try:
+            payload = None
+            headers = {}
+            if body is not None:
+                payload = json.dumps(body).encode("utf-8")
+                headers["Content-Type"] = "application/json"
+            conn.request(method, path, body=payload, headers=headers)
+            response = conn.getresponse()
+            raw = response.read()
+        finally:
+            conn.close()
+        content_type = response.getheader("Content-Type", "")
+        if content_type.startswith("application/json"):
+            decoded: Any = json.loads(raw.decode("utf-8"))
+        else:
+            decoded = raw.decode("utf-8")
+        if response.status >= 300:
+            raise ServiceError(
+                response.status,
+                decoded if isinstance(decoded, dict) else {},
+            )
+        return decoded
+
+    # ------------------------------------------------------------------
+    # typed endpoints
+    # ------------------------------------------------------------------
+    def submit(
+        self,
+        kind: str,
+        k: int,
+        source: Mapping[str, Any],
+        partitioner: str = "mcml-dt",
+        config: Optional[Mapping[str, Any]] = None,
+        steps: int = 1,
+        client: str = "anonymous",
+        deadline_s: Optional[float] = None,
+        cache: bool = True,
+    ) -> Dict[str, Any]:
+        """Submit a job; returns the (schema-checked) job record."""
+        document: Dict[str, Any] = {
+            "schema": SCHEMA_VERSION,
+            "kind": kind,
+            "k": k,
+            "partitioner": partitioner,
+            "config": dict(config or {}),
+            "source": dict(source),
+            "steps": steps,
+            "client": client,
+            "deadline_s": deadline_s,
+            "cache": cache,
+        }
+        return validate_job_record(
+            self.request("POST", "/v1/jobs", document)
+        )
+
+    def submit_document(self, document: Mapping[str, Any]) -> Dict[str, Any]:
+        """Submit a pre-built request document verbatim."""
+        return validate_job_record(
+            self.request("POST", "/v1/jobs", dict(document))
+        )
+
+    def status(
+        self, job_id: str, wait_s: Optional[float] = None
+    ) -> Dict[str, Any]:
+        """The job record; ``wait_s`` long-polls until terminal."""
+        path = f"/v1/jobs/{job_id}"
+        if wait_s is not None:
+            path += f"?wait={wait_s:g}"
+        return validate_job_record(self.request("GET", path))
+
+    def result(
+        self, job_id: str, wait_s: Optional[float] = None
+    ) -> Dict[str, Any]:
+        """The result document once the job is done (409 before)."""
+        path = f"/v1/jobs/{job_id}/result"
+        if wait_s is not None:
+            path += f"?wait={wait_s:g}"
+        return validate_result(self.request("GET", path))
+
+    def cancel(self, job_id: str) -> bool:
+        """Cancel the job; ``True`` when the cancel landed."""
+        response = self.request("DELETE", f"/v1/jobs/{job_id}")
+        return bool(response.get("cancelled"))
+
+    def report(self) -> Dict[str, Any]:
+        """The engine's ``repro.run-report/1`` document."""
+        document = self.request("GET", "/v1/report")
+        if not isinstance(document, dict):
+            raise ServiceError(500, {"error": "malformed report"})
+        return document
+
+    def health(self) -> Dict[str, Any]:
+        """The ``/healthz`` body."""
+        document = self.request("GET", "/healthz")
+        if not isinstance(document, dict):
+            raise ServiceError(500, {"error": "malformed health body"})
+        return document
+
+    def metrics(self) -> Dict[str, float]:
+        """Parsed ``/metrics``: ``{metric_name or name{labels}: value}``."""
+        text = self.request("GET", "/metrics")
+        if not isinstance(text, str):
+            raise ServiceError(500, {"error": "malformed metrics body"})
+        values: Dict[str, float] = {}
+        for line in text.splitlines():
+            if not line or line.startswith("#"):
+                continue
+            name, _, value = line.rpartition(" ")
+            values[name] = float(value)
+        return values
+
+    # ------------------------------------------------------------------
+    def partition(
+        self,
+        k: int,
+        source: Mapping[str, Any],
+        partitioner: str = "mcml-dt",
+        config: Optional[Mapping[str, Any]] = None,
+        wait_s: float = 300.0,
+        **submit_kwargs: Any,
+    ) -> Dict[str, Any]:
+        """Submit a partition job and block for its result."""
+        record = self.submit(
+            "partition",
+            k,
+            source,
+            partitioner=partitioner,
+            config=config,
+            **submit_kwargs,
+        )
+        return self.result(record["id"], wait_s=wait_s)
+
+    def labels(self, result_document: Mapping[str, Any]) -> List[int]:
+        """The label vector out of a partition result document."""
+        labels = result_document.get("labels")
+        if not isinstance(labels, list):
+            raise ValueError("not a partition result document")
+        return [int(x) for x in labels]

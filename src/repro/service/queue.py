@@ -1,0 +1,265 @@
+"""The bounded async job queue: admission, deadlines, retries.
+
+The queue is the engine's pressure valve.  Submissions beyond
+``maxsize`` fail fast with :class:`QueueFullError` (the HTTP layer
+turns that into ``503``) instead of buffering unboundedly; each
+:class:`Job` carries an absolute wall-clock deadline (from the
+request's ``deadline_s``) that is checked both before a worker starts
+the job and while it retries, so stale work is dropped as ``expired``
+rather than executed late.
+
+Retries reuse the :class:`~repro.runtime.backends.process.SupervisorConfig`
+semantics verbatim — ``max_retries`` attempts after the first, with
+exponential backoff ``backoff_base_s * backoff_factor**n`` — via the
+standalone :class:`RetryPolicy` so the service and the SPMD runtime
+share one retry vocabulary.
+
+Jobs are plain mutable records; all state transitions go through
+:meth:`Job.transition` which enforces the legal state machine
+(``queued → running → done|failed|expired``, with ``cancelled``
+reachable from any non-terminal state) so a bug cannot silently
+resurrect a finished job.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional
+
+from repro.service.schemas import (
+    JOB_STATES,
+    SCHEMA_VERSION,
+)
+
+__all__ = [
+    "Job",
+    "JobQueue",
+    "QueueFullError",
+    "RetryPolicy",
+]
+
+#: legal state-machine edges (see module docstring)
+_TRANSITIONS = {
+    "queued": ("running", "cancelled", "expired"),
+    "running": ("done", "failed", "expired", "cancelled", "queued"),
+    "done": (),
+    "failed": (),
+    "cancelled": (),
+    "expired": (),
+}
+
+_TERMINAL = ("done", "failed", "cancelled", "expired")
+
+
+class QueueFullError(RuntimeError):
+    """The bounded queue rejected a submission (backpressure)."""
+
+
+@dataclass
+class RetryPolicy:
+    """Bounded exponential backoff, SupervisorConfig-compatible.
+
+    ``max_retries`` retries after the initial attempt; retry ``n``
+    (0-based) sleeps ``backoff_base_s * backoff_factor**n``, capped at
+    ``backoff_cap_s``.
+    """
+
+    max_retries: int = 2
+    backoff_base_s: float = 0.05
+    backoff_factor: float = 2.0
+    backoff_cap_s: float = 5.0
+
+    def __post_init__(self) -> None:
+        if self.max_retries < 0:
+            raise ValueError("max_retries must be >= 0")
+        if self.backoff_base_s < 0:
+            raise ValueError("backoff_base_s must be >= 0")
+        if self.backoff_factor < 1.0:
+            raise ValueError("backoff_factor must be >= 1")
+
+    def delay(self, retry: int) -> float:
+        """Backoff before 0-based retry number ``retry``."""
+        if retry < 0:
+            raise ValueError("retry index must be >= 0")
+        return min(
+            self.backoff_base_s * self.backoff_factor ** retry,
+            self.backoff_cap_s,
+        )
+
+
+@dataclass
+class Job:
+    """One submitted unit of work and its full lifecycle record."""
+
+    id: str
+    request: Dict[str, Any]
+    submitted_s: float
+    deadline_s: Optional[float] = None  # absolute wall-clock deadline
+    state: str = "queued"
+    retries: int = 0
+    error: Optional[str] = None
+    started_s: Optional[float] = None
+    finished_s: Optional[float] = None
+    #: how the result was produced: "hit" | "miss" | "coalesced" | None
+    cache: Optional[str] = None
+    #: True when this job reused another in-flight job's execution
+    coalesced: bool = False
+    #: the produced result payload (engine-internal, not serialised)
+    result: Optional[Any] = None
+    #: resolved when the job reaches a terminal state
+    done_event: asyncio.Event = field(default_factory=asyncio.Event)
+
+    # ------------------------------------------------------------------
+    @property
+    def terminal(self) -> bool:
+        """Whether the job has reached a final state."""
+        return self.state in _TERMINAL
+
+    def expired(self, now: Optional[float] = None) -> bool:
+        """Whether the job's absolute deadline has passed."""
+        if self.deadline_s is None:
+            return False
+        return (time.monotonic() if now is None else now) >= self.deadline_s
+
+    def transition(self, state: str) -> None:
+        """Move to ``state``, enforcing the legal state machine."""
+        if state not in JOB_STATES:
+            raise ValueError(f"unknown job state {state!r}")
+        if state not in _TRANSITIONS[self.state]:
+            raise ValueError(
+                f"illegal transition {self.state!r} -> {state!r} "
+                f"for job {self.id}"
+            )
+        self.state = state
+        if state == "running" and self.started_s is None:
+            self.started_s = time.time()
+        if state in _TERMINAL:
+            self.finished_s = time.time()
+            self.done_event.set()
+
+    def record(self) -> Dict[str, Any]:
+        """The job as a ``repro.service-job/1`` record document."""
+        return {
+            "schema": SCHEMA_VERSION,
+            "id": self.id,
+            "state": self.state,
+            "kind": self.request["kind"],
+            "client": self.request["client"],
+            "cache": self.cache,
+            "coalesced": self.coalesced,
+            "retries": self.retries,
+            "error": self.error,
+            "submitted_s": self.submitted_s,
+            "started_s": self.started_s,
+            "finished_s": self.finished_s,
+            "request": self.request,
+        }
+
+
+class JobQueue:
+    """Bounded FIFO of queued jobs plus the id → job registry.
+
+    Construct inside the event loop that will run the workers (the
+    underlying primitives bind to the running loop on Python 3.9).
+    """
+
+    def __init__(self, maxsize: int = 64) -> None:
+        if maxsize < 1:
+            raise ValueError("queue maxsize must be >= 1")
+        self.maxsize = maxsize
+        self._queue: "asyncio.Queue[Job]" = asyncio.Queue(maxsize=maxsize)
+        self._jobs: Dict[str, Job] = {}
+        self._counter = itertools.count()
+        #: monotonic counters for /metrics
+        self.submitted = 0
+        self.rejected = 0
+        self.expired = 0
+        self.cancelled = 0
+
+    def __len__(self) -> int:
+        return self._queue.qsize()
+
+    def __contains__(self, job_id: str) -> bool:
+        return job_id in self._jobs
+
+    # ------------------------------------------------------------------
+    def submit(
+        self,
+        request: Dict[str, Any],
+        deadline_s: Optional[float] = None,
+    ) -> Job:
+        """Create a job for a *validated* request and enqueue it.
+
+        ``deadline_s`` is the request's relative budget; it becomes an
+        absolute monotonic deadline here.  Raises
+        :class:`QueueFullError` when the queue is at capacity.
+        """
+        job = Job(
+            id=f"job-{next(self._counter):06d}",
+            request=request,
+            submitted_s=time.time(),
+            deadline_s=(
+                None
+                if deadline_s is None
+                else time.monotonic() + deadline_s
+            ),
+        )
+        try:
+            self._queue.put_nowait(job)
+        except asyncio.QueueFull:
+            self.rejected += 1
+            raise QueueFullError(
+                f"queue full ({self.maxsize} jobs pending)"
+            ) from None
+        self._jobs[job.id] = job
+        self.submitted += 1
+        return job
+
+    def register(self, job: Job) -> None:
+        """Track a job that bypasses the FIFO (coalesced followers)."""
+        self._jobs[job.id] = job
+        self.submitted += 1
+
+    async def take(self) -> Job:
+        """Next runnable job (blocks).  Jobs already cancelled or past
+        their deadline are marked and skipped, not returned."""
+        while True:
+            job = await self._queue.get()
+            if job.terminal:
+                continue
+            if job.expired():
+                self.mark_expired(job)
+                continue
+            return job
+
+    def get(self, job_id: str) -> Optional[Job]:
+        """The job registered under ``job_id``, if any."""
+        return self._jobs.get(job_id)
+
+    def cancel(self, job_id: str) -> bool:
+        """Cancel a non-terminal job; ``False`` when unknown or
+        already terminal.  Running jobs finish their current attempt
+        but stop retrying."""
+        job = self._jobs.get(job_id)
+        if job is None or job.terminal:
+            return False
+        job.error = "cancelled by client"
+        job.transition("cancelled")
+        self.cancelled += 1
+        return True
+
+    def mark_expired(self, job: Job) -> None:
+        """Record a deadline miss."""
+        job.error = "deadline expired before completion"
+        job.transition("expired")
+        self.expired += 1
+
+    def states(self) -> Dict[str, int]:
+        """Current job count per state (for /metrics and health)."""
+        counts = {state: 0 for state in JOB_STATES}
+        for job in self._jobs.values():
+            counts[job.state] += 1
+        return counts

@@ -155,3 +155,50 @@ class TestCheckpoint:
         )
         with pytest.raises(ValueError, match="schema"):
             load_driver(path)
+
+    def test_part_digest_recorded_and_verified(
+        self, small_sequence, tmp_path
+    ):
+        """Checkpoints carry the canonical content digest of the
+        partition vector, and a tampered payload refuses to load."""
+        import json
+
+        from repro.graph.digest import digest_arrays
+
+        driver = ContactStepDriver(K, params())
+        driver.initialize(small_sequence[0])
+        path = tmp_path / "dig.npz"
+        save_driver(path, driver)
+        with np.load(path, allow_pickle=False) as data:
+            meta = json.loads(str(data["meta"]))
+            part = data["part"]
+        assert meta["part_digest"] == digest_arrays({"part": part})
+
+        corrupt = part.copy()
+        corrupt[0] = (corrupt[0] + 1) % K
+        np.savez_compressed(
+            path, part=corrupt, meta=np.array(json.dumps(meta))
+        )
+        with pytest.raises(ValueError, match="corrupt"):
+            load_driver(path)
+
+    def test_digestless_checkpoint_still_loads(
+        self, small_sequence, tmp_path
+    ):
+        """Checkpoints written before the digest existed (no
+        ``part_digest`` key) load without verification."""
+        import json
+
+        driver = ContactStepDriver(K, params())
+        driver.initialize(small_sequence[0])
+        path = tmp_path / "old.npz"
+        save_driver(path, driver)
+        with np.load(path, allow_pickle=False) as data:
+            meta = json.loads(str(data["meta"]))
+            part = data["part"]
+        del meta["part_digest"]
+        np.savez_compressed(
+            path, part=part, meta=np.array(json.dumps(meta))
+        )
+        restored = load_driver(path)
+        assert np.array_equal(restored.partitioner.part, part)

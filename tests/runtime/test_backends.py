@@ -101,6 +101,33 @@ class TestResolution:
         assert resolve_backend(be) is be
         assert isinstance(resolve_backend(None), SerialBackend)
 
+    def test_make_backend_instance_passthrough(self):
+        """Regression: an already-constructed backend instance must
+        pass through ``make_backend`` untouched (it used to crash with
+        an AttributeError on ``spec.partition``), so a pooled backend
+        can be reused across jobs without re-resolving precedence or
+        spinning up a second pool."""
+        be = ThreadBackend(workers=1)
+        try:
+            assert make_backend(be) is be
+            # workers is ignored for instances — no hidden re-pooling
+            assert make_backend(be, workers=7) is be
+            assert resolve_backend(be, workers=7) is be
+        finally:
+            be.close()
+
+    def test_instance_reused_across_repeated_resolution(self):
+        """Resolving the same instance many times (one resolution per
+        job, as the service engine's job loop does) never constructs a
+        new backend."""
+        be = ThreadBackend(workers=1)
+        try:
+            resolved = {id(resolve_backend(make_backend(be)))
+                        for _ in range(5)}
+            assert resolved == {id(be)}
+        finally:
+            be.close()
+
     def test_resolve_set_default(self, monkeypatch):
         monkeypatch.delenv(BACKEND_ENV, raising=False)
         be = ThreadBackend(workers=1)

@@ -1,0 +1,331 @@
+"""Tests for the service engine: caching, single-flight, rate limits,
+deadlines, retries."""
+
+import asyncio
+
+import pytest
+
+from repro.service.engine import (
+    EngineConfig,
+    RateLimitedError,
+    ServiceEngine,
+    UnknownJobError,
+)
+from repro.service.queue import QueueFullError, RetryPolicy
+from repro.service.schemas import SCHEMA_VERSION
+
+SOURCE = {"kind": "impact", "n_steps": 2, "refine": 0.5}
+
+
+def request(**overrides):
+    doc = {
+        "schema": SCHEMA_VERSION,
+        "kind": "partition",
+        "k": 4,
+        "source": dict(SOURCE),
+    }
+    doc.update(overrides)
+    return doc
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+class TestPartitionJobs:
+    def test_cached_repeat_skips_the_partitioner(self):
+        """The acceptance property: a repeat request returns a
+        bit-identical result without invoking any partitioner."""
+
+        async def scenario():
+            engine = ServiceEngine(EngineConfig(workers=2))
+            await engine.start()
+            try:
+                first = await engine.wait(
+                    engine.submit(request()).id, 120
+                )
+                fits_after_cold = engine.fits_total
+                second = await engine.wait(
+                    engine.submit(request()).id, 120
+                )
+                return first, second, fits_after_cold, engine.fits_total
+            finally:
+                await engine.stop()
+
+        first, second, cold_fits, warm_fits = run(scenario())
+        assert first.state == "done" and first.cache == "miss"
+        assert second.state == "done" and second.cache == "hit"
+        assert cold_fits == 1
+        assert warm_fits == 1  # the fit count did not move
+        assert second.result["labels"] == first.result["labels"]
+        assert second.result["content_key"] == first.result["content_key"]
+        assert second.result["diagnostics"] == first.result["diagnostics"]
+
+    def test_cache_opt_out_recomputes(self):
+        async def scenario():
+            engine = ServiceEngine(EngineConfig(workers=1))
+            await engine.start()
+            try:
+                await engine.wait(
+                    engine.submit(request(cache=False)).id, 120
+                )
+                second = await engine.wait(
+                    engine.submit(request(cache=False)).id, 120
+                )
+                return second, engine.fits_total
+            finally:
+                await engine.stop()
+
+        second, fits = run(scenario())
+        assert second.cache == "miss"
+        assert fits == 2
+
+    def test_all_partitioners_runnable(self):
+        async def scenario():
+            engine = ServiceEngine(EngineConfig(workers=1))
+            await engine.start()
+            try:
+                jobs = [
+                    engine.submit(request(partitioner=name))
+                    for name in ("mcml-dt", "ml-rcb", "apriori")
+                ]
+                return [
+                    await engine.wait(job.id, 240) for job in jobs
+                ]
+            finally:
+                await engine.stop()
+
+        for job in run(scenario()):
+            assert job.state == "done", job.error
+            assert job.result["method"] == job.request["partitioner"]
+
+    def test_failed_source_retries_then_fails(self):
+        async def scenario():
+            engine = ServiceEngine(
+                EngineConfig(
+                    workers=1,
+                    retry=RetryPolicy(
+                        max_retries=2, backoff_base_s=0.001
+                    ),
+                )
+            )
+            await engine.start()
+            try:
+                job = engine.submit(
+                    request(
+                        source={"kind": "mesh", "path": "/nope/missing.npz"}
+                    )
+                )
+                job = await engine.wait(job.id, 60)
+                return job, engine.retries_total
+            finally:
+                await engine.stop()
+
+        job, retries_total = run(scenario())
+        assert job.state == "failed"
+        assert job.retries == 2  # exhausted the budget
+        assert retries_total == 2
+        assert job.error
+
+
+class TestSingleFlight:
+    def test_identical_concurrent_submissions_fit_once(self):
+        """N identical submissions execute the partition exactly once;
+        the coalesced counter proves the other N-1 never ran."""
+        n = 6
+
+        async def scenario():
+            engine = ServiceEngine(EngineConfig(workers=4))
+            # submit all N before any worker runs: every submission is
+            # concurrent with the first one
+            jobs = [engine.submit(request()) for _ in range(n)]
+            await engine.start()
+            try:
+                jobs = [await engine.wait(job.id, 120) for job in jobs]
+                return jobs, engine.fits_total, engine.coalesced_total
+            finally:
+                await engine.stop()
+
+        jobs, fits, coalesced = run(scenario())
+        assert fits == 1
+        assert coalesced == n - 1
+        assert all(job.state == "done" for job in jobs)
+        leader, followers = jobs[0], jobs[1:]
+        assert leader.cache == "miss" and not leader.coalesced
+        for job in followers:
+            assert job.coalesced
+            assert job.cache == "coalesced"
+            assert job.result["cache"] == "coalesced"
+            assert job.result["id"] == job.id  # own id, shared payload
+            assert job.result["labels"] == leader.result["labels"]
+
+    def test_different_requests_do_not_coalesce(self):
+        async def scenario():
+            engine = ServiceEngine(EngineConfig(workers=2))
+            a = engine.submit(request(k=4))
+            b = engine.submit(request(k=5))
+            await engine.start()
+            try:
+                await engine.wait(a.id, 120)
+                await engine.wait(b.id, 120)
+                return engine.fits_total, engine.coalesced_total
+            finally:
+                await engine.stop()
+
+        fits, coalesced = run(scenario())
+        assert fits == 2
+        assert coalesced == 0
+
+    def test_follower_mirrors_leader_failure(self):
+        async def scenario():
+            engine = ServiceEngine(
+                EngineConfig(
+                    workers=1,
+                    retry=RetryPolicy(max_retries=0),
+                )
+            )
+            bad = request(
+                source={"kind": "mesh", "path": "/nope/missing.npz"}
+            )
+            leader = engine.submit(bad)
+            follower = engine.submit(bad)
+            await engine.start()
+            try:
+                leader = await engine.wait(leader.id, 60)
+                follower = await engine.wait(follower.id, 60)
+                return leader, follower
+            finally:
+                await engine.stop()
+
+        leader, follower = run(scenario())
+        assert leader.state == "failed"
+        assert follower.state == "failed"
+        assert leader.id in (follower.error or "")
+
+
+class TestAdmission:
+    def test_rate_limit(self):
+        async def scenario():
+            engine = ServiceEngine(
+                EngineConfig(workers=1, rate_per_s=0.001, rate_burst=2)
+            )
+            engine.submit(request(k=2, client="alice"))
+            engine.submit(request(k=3, client="alice"))
+            with pytest.raises(RateLimitedError) as info:
+                engine.submit(request(k=5, client="alice"))
+            # other clients have their own bucket
+            engine.submit(request(k=6, client="bob"))
+            return engine, info.value
+
+        engine, exc = run(scenario())
+        assert exc.client == "alice"
+        assert exc.retry_after_s > 0
+        assert engine.rate_limited_total == 1
+
+    def test_queue_backpressure_surfaces(self):
+        async def scenario():
+            engine = ServiceEngine(
+                EngineConfig(workers=1, queue_maxsize=2)
+            )
+            engine.submit(request(k=2))
+            engine.submit(request(k=3))
+            with pytest.raises(QueueFullError):
+                engine.submit(request(k=4))
+
+        run(scenario())
+
+    def test_deadline_expired_job_surfaces_counters(self):
+        """A job whose deadline passes while queued ends 'expired' and
+        the record carries the accounting."""
+
+        async def scenario():
+            engine = ServiceEngine(EngineConfig(workers=1))
+            job = engine.submit(request(deadline_s=0.005))
+            await asyncio.sleep(0.05)  # deadline passes before workers
+            await engine.start()
+            try:
+                job = await engine.wait(job.id, 60)
+                return job, engine.queue.expired
+            finally:
+                await engine.stop()
+
+        job, expired = run(scenario())
+        assert job.state == "expired"
+        assert "deadline" in (job.error or "")
+        assert expired == 1
+        record = job.record()
+        assert record["state"] == "expired"
+        assert record["retries"] == 0
+
+    def test_cancel_queued_job(self):
+        async def scenario():
+            engine = ServiceEngine(EngineConfig(workers=1))
+            job = engine.submit(request())
+            assert engine.cancel(job.id)
+            with pytest.raises(UnknownJobError):
+                engine.cancel("job-999999")
+            await engine.start()
+            try:
+                job = await engine.wait(job.id, 60)
+                return job, engine.fits_total
+            finally:
+                await engine.stop()
+
+        job, fits = run(scenario())
+        assert job.state == "cancelled"
+        assert fits == 0  # never executed
+
+
+class TestContactStepJobs:
+    def test_contact_step_runs_driver(self):
+        async def scenario():
+            engine = ServiceEngine(EngineConfig(workers=1))
+            await engine.start()
+            try:
+                job = engine.submit(
+                    request(kind="contact-step", steps=2)
+                )
+                return await engine.wait(job.id, 240), engine.steps_total
+            finally:
+                await engine.stop()
+
+        job, steps_total = run(scenario())
+        assert job.state == "done", job.error
+        payload = job.result
+        assert payload["kind"] == "contact-step"
+        assert payload["steps"] == 2
+        assert len(payload["labels_digest"]) == 64
+        assert payload["comm"]  # the driver moved data
+        assert steps_total == 2
+
+
+class TestReporting:
+    def test_run_report_carries_counters_and_validates(self):
+        async def scenario():
+            engine = ServiceEngine(EngineConfig(workers=1))
+            await engine.start()
+            try:
+                await engine.wait(engine.submit(request()).id, 120)
+                await engine.wait(engine.submit(request()).id, 120)
+                return engine.run_report()
+            finally:
+                await engine.stop()
+
+        report = run(scenario())
+        assert report.meta["fits_total"] == 1
+        assert report.meta["cache_hits"] == 1
+        assert report.meta["queue_submitted"] == 2
+        # job spans were merged under the service root
+        assert report.spans.find("partition/fit") is not None
+        assert report.spans.find("partition/cache-lookup") is not None
+        # and the document round-trips through the strict report schema
+        report.to_json()
+
+    def test_counters_flat_mapping(self):
+        async def scenario():
+            return ServiceEngine(EngineConfig(workers=1)).counters()
+
+        counters = run(scenario())
+        assert counters["fits_total"] == 0
+        assert counters["cache_hits"] == 0
+        assert all(isinstance(v, int) for v in counters.values())

@@ -1,0 +1,169 @@
+"""Tests for the bounded job queue, retry policy, and job records."""
+
+import asyncio
+import time
+
+import pytest
+
+from repro.service.queue import Job, JobQueue, QueueFullError, RetryPolicy
+from repro.service.schemas import (
+    SCHEMA_VERSION,
+    validate_job_record,
+    validate_job_request,
+)
+
+
+def request(**overrides):
+    doc = {
+        "schema": SCHEMA_VERSION,
+        "kind": "partition",
+        "k": 2,
+        "source": {"kind": "impact", "n_steps": 2},
+    }
+    doc.update(overrides)
+    return validate_job_request(doc)
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+class TestRetryPolicy:
+    def test_exponential_with_cap(self):
+        policy = RetryPolicy(
+            max_retries=5, backoff_base_s=0.1, backoff_factor=2.0,
+            backoff_cap_s=0.5,
+        )
+        assert policy.delay(0) == pytest.approx(0.1)
+        assert policy.delay(1) == pytest.approx(0.2)
+        assert policy.delay(2) == pytest.approx(0.4)
+        assert policy.delay(3) == pytest.approx(0.5)  # capped
+        assert policy.delay(10) == pytest.approx(0.5)
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="max_retries"):
+            RetryPolicy(max_retries=-1)
+        with pytest.raises(ValueError, match="backoff_factor"):
+            RetryPolicy(backoff_factor=0.5)
+        with pytest.raises(ValueError, match="retry index"):
+            RetryPolicy().delay(-1)
+
+
+class TestJobStateMachine:
+    def job(self):
+        async def make():
+            return Job(id="job-000000", request=request(), submitted_s=1.0)
+
+        return run(make())
+
+    def test_happy_path(self):
+        job = self.job()
+        job.transition("running")
+        assert job.started_s is not None
+        job.transition("done")
+        assert job.terminal
+        assert job.finished_s is not None
+        assert job.done_event.is_set()
+
+    def test_resurrection_forbidden(self):
+        job = self.job()
+        job.transition("running")
+        job.transition("done")
+        with pytest.raises(ValueError, match="illegal transition"):
+            job.transition("running")
+
+    def test_retry_loop_allowed(self):
+        job = self.job()
+        job.transition("running")
+        job.transition("queued")  # retry re-queue
+        job.transition("running")
+        job.transition("failed")
+        assert job.terminal
+
+    def test_unknown_state_rejected(self):
+        with pytest.raises(ValueError, match="unknown job state"):
+            self.job().transition("paused")
+
+    def test_deadline(self):
+        job = self.job()
+        assert not job.expired()  # no deadline
+        job.deadline_s = time.monotonic() - 0.001
+        assert job.expired()
+
+    def test_record_validates(self):
+        job = self.job()
+        assert validate_job_record(job.record())["state"] == "queued"
+        job.transition("running")
+        job.transition("done")
+        assert validate_job_record(job.record())["state"] == "done"
+
+
+class TestJobQueue:
+    def test_submit_take_fifo(self):
+        async def scenario():
+            queue = JobQueue(maxsize=4)
+            a = queue.submit(request(k=2))
+            b = queue.submit(request(k=3))
+            assert len(queue) == 2
+            assert a.id != b.id
+            assert await queue.take() is a
+            assert await queue.take() is b
+
+        run(scenario())
+
+    def test_backpressure(self):
+        async def scenario():
+            queue = JobQueue(maxsize=2)
+            queue.submit(request(k=2))
+            queue.submit(request(k=3))
+            with pytest.raises(QueueFullError, match="queue full"):
+                queue.submit(request(k=4))
+            assert queue.rejected == 1
+            # rejected submissions are not registered
+            assert queue.submitted == 2
+
+        run(scenario())
+
+    def test_cancelled_jobs_skipped_by_take(self):
+        async def scenario():
+            queue = JobQueue(maxsize=4)
+            a = queue.submit(request(k=2))
+            b = queue.submit(request(k=3))
+            assert queue.cancel(a.id)
+            assert not queue.cancel(a.id)  # already terminal
+            assert not queue.cancel("job-999999")  # unknown
+            assert await queue.take() is b
+            assert a.state == "cancelled"
+            assert queue.cancelled == 1
+
+        run(scenario())
+
+    def test_expired_jobs_skipped_by_take(self):
+        async def scenario():
+            queue = JobQueue(maxsize=4)
+            stale = queue.submit(request(k=2), deadline_s=0.001)
+            fresh = queue.submit(request(k=3))
+            await asyncio.sleep(0.01)
+            assert await queue.take() is fresh
+            assert stale.state == "expired"
+            assert "deadline" in (stale.error or "")
+            assert queue.expired == 1
+
+        run(scenario())
+
+    def test_states_and_lookup(self):
+        async def scenario():
+            queue = JobQueue(maxsize=4)
+            job = queue.submit(request())
+            assert job.id in queue
+            assert queue.get(job.id) is job
+            assert queue.get("nope") is None
+            counts = queue.states()
+            assert counts["queued"] == 1
+            assert sum(counts.values()) == 1
+
+        run(scenario())
+
+    def test_maxsize_validated(self):
+        with pytest.raises(ValueError, match="maxsize"):
+            JobQueue(maxsize=0)
