@@ -99,6 +99,7 @@ class CacheStats:
     evictions: int = 0
     disk_hits: int = 0
     disk_corrupt: int = 0
+    disk_write_errors: int = 0
 
     def as_dict(self) -> Dict[str, int]:
         """The counters as a plain dict (report/metrics payload)."""
@@ -109,6 +110,7 @@ class CacheStats:
             "evictions": self.evictions,
             "disk_hits": self.disk_hits,
             "disk_corrupt": self.disk_corrupt,
+            "disk_write_errors": self.disk_write_errors,
         }
 
 
@@ -191,7 +193,14 @@ class ResultCache:
             self.stats.puts += 1
             self._insert(key, entry)
         if self.disk_dir is not None:
-            self._write_disk(key, entry)
+            # a failed disk write (full/read-only disk) must not turn a
+            # successfully computed result into a failed job attempt:
+            # the in-memory entry is valid either way
+            try:
+                self._write_disk(key, entry)
+            except OSError:
+                with self._lock:
+                    self.stats.disk_write_errors += 1
         return entry
 
     def clear(self) -> None:

@@ -86,6 +86,23 @@ def build_parser() -> argparse.ArgumentParser:
         default=2,
         help="retries per failed job attempt",
     )
+    parser.add_argument(
+        "--job-history",
+        type=int,
+        default=1024,
+        help=(
+            "retained job records; the oldest finished records beyond "
+            "this are evicted (their ids then return 404)"
+        ),
+    )
+    parser.add_argument(
+        "--mesh-root",
+        default=None,
+        help=(
+            "restrict {'kind': 'mesh'} source paths to this directory "
+            "(default: any server-readable path — trusted clients only)"
+        ),
+    )
     return parser
 
 
@@ -100,6 +117,8 @@ def config_from_args(args: argparse.Namespace) -> EngineConfig:
         rate_per_s=args.rate,
         rate_burst=args.burst,
         retry=RetryPolicy(max_retries=args.max_retries),
+        job_history=args.job_history,
+        mesh_root=args.mesh_root,
     )
 
 

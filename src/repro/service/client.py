@@ -66,10 +66,17 @@ class ServiceClient:
         method: str,
         path: str,
         body: Optional[Dict[str, Any]] = None,
+        timeout_s: Optional[float] = None,
     ) -> Any:
-        """One HTTP exchange; raises :class:`ServiceError` on non-2xx."""
+        """One HTTP exchange; raises :class:`ServiceError` on non-2xx.
+
+        ``timeout_s`` overrides the connection default for this call
+        (long-polling endpoints must outlive their ``wait`` budget).
+        """
         conn = http.client.HTTPConnection(
-            self.host, self.port, timeout=self.timeout_s
+            self.host,
+            self.port,
+            timeout=self.timeout_s if timeout_s is None else timeout_s,
         )
         try:
             payload = None
@@ -135,20 +142,39 @@ class ServiceClient:
     def status(
         self, job_id: str, wait_s: Optional[float] = None
     ) -> Dict[str, Any]:
-        """The job record; ``wait_s`` long-polls until terminal."""
+        """The job record; ``wait_s`` long-polls until terminal.
+
+        The socket timeout is widened to cover ``wait_s`` so a slow
+        job long-polls to completion instead of tripping the shorter
+        connection default.
+        """
         path = f"/v1/jobs/{job_id}"
         if wait_s is not None:
             path += f"?wait={wait_s:g}"
-        return validate_job_record(self.request("GET", path))
+        return validate_job_record(
+            self.request("GET", path, timeout_s=self._poll_timeout(wait_s))
+        )
 
     def result(
         self, job_id: str, wait_s: Optional[float] = None
     ) -> Dict[str, Any]:
-        """The result document once the job is done (409 before)."""
+        """The result document once the job is done (409 before);
+        ``wait_s`` long-polls with a widened socket timeout (see
+        :meth:`status`)."""
         path = f"/v1/jobs/{job_id}/result"
         if wait_s is not None:
             path += f"?wait={wait_s:g}"
-        return validate_result(self.request("GET", path))
+        return validate_result(
+            self.request("GET", path, timeout_s=self._poll_timeout(wait_s))
+        )
+
+    def _poll_timeout(self, wait_s: Optional[float]) -> Optional[float]:
+        """Socket timeout for a long-poll: the server holds the
+        response up to ``wait_s``, so allow that plus a margin (never
+        less than the connection default)."""
+        if wait_s is None:
+            return None
+        return max(self.timeout_s, wait_s + 10.0)
 
     def cancel(self, job_id: str) -> bool:
         """Cancel the job; ``True`` when the cancel landed."""

@@ -34,6 +34,7 @@ that tree plus all cache/queue/engine counters into a standard
 from __future__ import annotations
 
 import asyncio
+import os
 import threading
 import time
 from collections import OrderedDict
@@ -60,6 +61,7 @@ from repro.service.queue import Job, JobQueue, RetryPolicy
 from repro.service.schemas import (
     OPTIONS_KEYS,
     SCHEMA_VERSION,
+    ServiceSchemaError,
     canonical_request_text,
     validate_job_request,
 )
@@ -144,9 +146,22 @@ class EngineConfig:
     ``rate_per_s`` / ``rate_burst``
         Per-client token bucket; ``rate_per_s <= 0`` disables
         limiting.
+    ``rate_clients_max``
+        Bound on distinct per-client buckets kept in memory; beyond it
+        refilled (idle) buckets are dropped first, then the stalest —
+        arbitrary client strings cannot grow the service without bound.
     ``retry``
         Bounded-backoff retry policy for failed job attempts
         (SupervisorConfig semantics).
+    ``job_history``
+        Bound on retained job records; the oldest *terminal* records
+        beyond it are evicted (their ids then 404 on lookup).
+    ``mesh_root``
+        When set, ``{"kind": "mesh"}`` sources must resolve under this
+        directory; requests for paths outside it are rejected with a
+        schema error (HTTP 400).  ``None`` (the default) trusts
+        clients with arbitrary server-readable paths — bind such a
+        service to localhost only (see ``docs/SERVICE.md``).
     """
 
     workers: int = 2
@@ -156,13 +171,20 @@ class EngineConfig:
     backend: Union[str, Backend, None] = "serial"
     rate_per_s: float = 0.0
     rate_burst: int = 8
+    rate_clients_max: int = 1024
     retry: RetryPolicy = field(default_factory=RetryPolicy)
+    job_history: int = 1024
+    mesh_root: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.workers < 1:
             raise ValueError("workers must be >= 1")
         if self.rate_burst < 1:
             raise ValueError("rate_burst must be >= 1")
+        if self.rate_clients_max < 1:
+            raise ValueError("rate_clients_max must be >= 1")
+        if self.job_history < 1:
+            raise ValueError("job_history must be >= 1")
 
 
 def _json_safe(value: Any) -> Any:
@@ -198,7 +220,10 @@ class ServiceEngine:
             capacity=self.config.cache_capacity,
             disk_dir=self.config.cache_dir,
         )
-        self.queue = JobQueue(maxsize=self.config.queue_maxsize)
+        self.queue = JobQueue(
+            maxsize=self.config.queue_maxsize,
+            keep_records=self.config.job_history,
+        )
         self.started_s = time.time()
         #: engine counters (exposed on /metrics and in run_report)
         self.fits_total = 0
@@ -262,6 +287,7 @@ class ServiceEngine:
         :class:`~repro.service.queue.QueueFullError`.
         """
         request = validate_job_request(document)
+        self._check_mesh_root(request["source"])
         self._check_rate(request["client"])
         key = canonical_request_text(request)
         leader = self._inflight.get(key)
@@ -285,11 +311,30 @@ class ServiceEngine:
         self._inflight[key] = job
         return job
 
+    def _check_mesh_root(self, source: Dict[str, Any]) -> None:
+        """Reject mesh paths outside the configured allowlist root."""
+        root = self.config.mesh_root
+        if root is None or source["kind"] != "mesh":
+            return
+        root_real = os.path.realpath(root)
+        path_real = os.path.realpath(source["path"])
+        try:
+            inside = os.path.commonpath([root_real, path_real]) == root_real
+        except ValueError:  # pragma: no cover - mixed drives on Windows
+            inside = False
+        if not inside:
+            raise ServiceSchemaError(
+                "$.source.path",
+                f"must resolve under the configured mesh root {root!r}",
+            )
+
     def _check_rate(self, client: str) -> None:
         if self.config.rate_per_s <= 0:
             return
         bucket = self._buckets.get(client)
         if bucket is None:
+            if len(self._buckets) >= self.config.rate_clients_max:
+                self._prune_buckets()
             bucket = self._buckets[client] = _TokenBucket(
                 self.config.rate_per_s, self.config.rate_burst
             )
@@ -297,6 +342,26 @@ class ServiceEngine:
         if not ok:
             self.rate_limited_total += 1
             raise RateLimitedError(client, retry_after)
+
+    def _prune_buckets(self) -> None:
+        """Bound the per-client bucket map.  A bucket idle long enough
+        to have refilled to ``burst`` behaves exactly like a fresh one,
+        so dropping it is lossless; if every bucket is still active the
+        stalest are dropped to enforce the hard cap."""
+        now = time.monotonic()
+        refilled = [
+            client
+            for client, bucket in self._buckets.items()
+            if bucket.tokens + (now - bucket.stamp) * bucket.rate
+            >= bucket.burst
+        ]
+        for client in refilled:
+            del self._buckets[client]
+        while len(self._buckets) >= self.config.rate_clients_max:
+            stalest = min(
+                self._buckets, key=lambda c: self._buckets[c].stamp
+            )
+            del self._buckets[stalest]
 
     # ------------------------------------------------------------------
     # lookup
@@ -310,9 +375,17 @@ class ServiceEngine:
         return job
 
     def cancel(self, job_id: str) -> bool:
-        """Cancel a job (see :meth:`JobQueue.cancel`)."""
-        self.job(job_id)
-        return self.queue.cancel(job_id)
+        """Cancel a job (see :meth:`JobQueue.cancel`).
+
+        A cancelled in-flight leader is settled immediately so its
+        coalesced followers resolve now rather than when the dead job
+        eventually drains from the FIFO.
+        """
+        job = self.job(job_id)
+        cancelled = self.queue.cancel(job_id)
+        if cancelled:
+            self._settle(job)
+        return cancelled
 
     async def wait(
         self, job_id: str, timeout_s: Optional[float] = None
@@ -381,7 +454,7 @@ class ServiceEngine:
         loop = asyncio.get_event_loop()
         policy = self.config.retry
         while True:
-            if job.terminal:  # cancelled while queued
+            if job.terminal:  # cancelled/expired before a worker got it
                 break
             if job.expired():
                 self.queue.mark_expired(job)
@@ -417,7 +490,15 @@ class ServiceEngine:
 
     def _settle(self, job: Job) -> None:
         """Fan the leader's outcome out to coalesced followers and
-        retire the in-flight entry."""
+        retire the in-flight entry.
+
+        Idempotent: runs from :meth:`cancel` as soon as a queued leader
+        is cancelled *and* again when the dead job drains from the
+        FIFO; whichever comes second is a no-op.  Followers whose own
+        deadline has passed expire here instead of receiving the
+        leader's outcome (they never pass through the queue, so this is
+        where their ``deadline_s`` is enforced).
+        """
         key = canonical_request_text(job.request)
         if self._inflight.get(key) is not job:
             return
@@ -425,6 +506,9 @@ class ServiceEngine:
         followers = self._followers.pop(key, [])
         for follower in followers:
             if follower.terminal:
+                continue
+            if follower.expired():
+                self.queue.mark_expired(follower)
                 continue
             if job.state == "done":
                 payload = dict(job.result or {})

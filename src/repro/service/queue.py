@@ -166,10 +166,16 @@ class JobQueue:
     underlying primitives bind to the running loop on Python 3.9).
     """
 
-    def __init__(self, maxsize: int = 64) -> None:
+    def __init__(self, maxsize: int = 64, keep_records: int = 1024) -> None:
         if maxsize < 1:
             raise ValueError("queue maxsize must be >= 1")
+        if keep_records < 1:
+            raise ValueError("keep_records must be >= 1")
         self.maxsize = maxsize
+        #: registry bound: beyond it the oldest *terminal* records are
+        #: evicted (their ids then 404) so a long-running service does
+        #: not grow without bound
+        self.keep_records = keep_records
         self._queue: "asyncio.Queue[Job]" = asyncio.Queue(maxsize=maxsize)
         self._jobs: Dict[str, Job] = {}
         self._counter = itertools.count()
@@ -216,24 +222,45 @@ class JobQueue:
             ) from None
         self._jobs[job.id] = job
         self.submitted += 1
+        self._prune()
         return job
 
     def register(self, job: Job) -> None:
         """Track a job that bypasses the FIFO (coalesced followers)."""
         self._jobs[job.id] = job
         self.submitted += 1
+        self._prune()
+
+    def _prune(self) -> None:
+        """Evict the oldest terminal records beyond ``keep_records``.
+
+        Live (non-terminal) jobs are never evicted; they are bounded by
+        ``maxsize`` plus the worker count, so the scan below touches a
+        small prefix before finding evictable records.
+        """
+        excess = len(self._jobs) - self.keep_records
+        if excess <= 0:
+            return
+        drop = []
+        for job_id, job in self._jobs.items():
+            if excess <= 0:
+                break
+            if job.terminal:
+                drop.append(job_id)
+                excess -= 1
+        for job_id in drop:
+            del self._jobs[job_id]
 
     async def take(self) -> Job:
-        """Next runnable job (blocks).  Jobs already cancelled or past
-        their deadline are marked and skipped, not returned."""
-        while True:
-            job = await self._queue.get()
-            if job.terminal:
-                continue
-            if job.expired():
-                self.mark_expired(job)
-                continue
-            return job
+        """Next job off the FIFO (blocks).  A job already cancelled or
+        past its deadline is still *returned* (marked ``expired`` first
+        if needed): the worker must observe every job leaving the queue
+        so coalesced followers waiting on it are settled rather than
+        stranded."""
+        job = await self._queue.get()
+        if not job.terminal and job.expired():
+            self.mark_expired(job)
+        return job
 
     def get(self, job_id: str) -> Optional[Job]:
         """The job registered under ``job_id``, if any."""

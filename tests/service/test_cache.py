@@ -66,6 +66,7 @@ class TestResultCacheMemory:
             "evictions": 0,
             "disk_hits": 0,
             "disk_corrupt": 0,
+            "disk_write_errors": 0,
         }
 
     def test_detached_from_source(self, snapshot, fitted):
@@ -135,6 +136,22 @@ class TestResultCacheDisk:
         cache.put(key, fitted)
         cache.clear()
         assert cache.get(key) is not None
+
+    def test_disk_write_failure_keeps_memory_entry(
+        self, fitted, tmp_path, monkeypatch
+    ):
+        """A failed disk-tier write (disk full, read-only) is counted
+        but does not fail the put — the in-memory result stays valid."""
+        cache = ResultCache(capacity=4, disk_dir=str(tmp_path / "c"))
+
+        def broken_write(key, entry):
+            raise OSError(28, "No space left on device")
+
+        monkeypatch.setattr(cache, "_write_disk", broken_write)
+        stored = cache.put("k1", fitted)
+        assert np.array_equal(stored.labels, fitted.labels)
+        assert cache.stats.disk_write_errors == 1
+        assert cache.get("k1") is stored  # memory tier unaffected
 
     def test_tampered_payload_detected(self, snapshot, fitted, tmp_path):
         """A structurally-valid entry whose labels were altered fails

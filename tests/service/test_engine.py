@@ -176,6 +176,90 @@ class TestSingleFlight:
         assert fits == 2
         assert coalesced == 0
 
+    def test_followers_settle_when_queued_leader_is_cancelled(self):
+        """Regression: cancelling a still-queued leader must settle its
+        coalesced followers (previously they were stranded forever —
+        the dead leader was silently dropped on its way out of the
+        queue and never fanned out)."""
+
+        async def scenario():
+            engine = ServiceEngine(EngineConfig(workers=1))
+            leader = engine.submit(request())
+            followers = [engine.submit(request()) for _ in range(3)]
+            assert all(f.coalesced for f in followers)
+            assert engine.cancel(leader.id)
+            # settled eagerly: no worker has even started yet
+            assert all(f.terminal for f in followers)
+            await engine.start()
+            try:
+                # the dead leader still drains through a worker; the
+                # second settle is a no-op and nothing resurrects
+                jobs = [
+                    await engine.wait(f.id, 60) for f in followers
+                ]
+                jobs.append(await engine.wait(leader.id, 60))
+                return jobs, engine.fits_total
+            finally:
+                await engine.stop()
+
+        jobs, fits = run(scenario())
+        *followers, leader = jobs
+        assert leader.state == "cancelled"
+        assert fits == 0  # nothing ever executed
+        for follower in followers:
+            assert follower.state == "cancelled"
+            assert leader.id in (follower.error or "")
+
+    def test_followers_settle_when_queued_leader_expires(self):
+        """Regression: a leader whose deadline passes while queued is
+        marked expired by take(); its followers must expire with it
+        instead of hanging."""
+
+        async def scenario():
+            engine = ServiceEngine(EngineConfig(workers=1))
+            leader = engine.submit(request(deadline_s=0.005))
+            follower = engine.submit(request(deadline_s=0.005))
+            assert follower.coalesced
+            await asyncio.sleep(0.05)  # both deadlines pass unserved
+            await engine.start()
+            try:
+                leader = await engine.wait(leader.id, 60)
+                follower = await engine.wait(follower.id, 60)
+                return leader, follower, engine.fits_total
+            finally:
+                await engine.stop()
+
+        leader, follower, fits = run(scenario())
+        assert leader.state == "expired"
+        assert follower.state == "expired"
+        assert fits == 0
+
+    def test_follower_own_deadline_enforced_at_settle(self):
+        """A follower with a tighter deadline than its leader expires
+        instead of receiving the late result."""
+
+        async def scenario():
+            engine = ServiceEngine(EngineConfig(workers=1))
+            leader = engine.submit(request())
+            stale = engine.submit(request(deadline_s=0.001))
+            fresh = engine.submit(request())
+            await asyncio.sleep(0.01)  # only stale's deadline passes
+            await engine.start()
+            try:
+                leader = await engine.wait(leader.id, 120)
+                stale = await engine.wait(stale.id, 60)
+                fresh = await engine.wait(fresh.id, 60)
+                return leader, stale, fresh
+            finally:
+                await engine.stop()
+
+        leader, stale, fresh = run(scenario())
+        assert leader.state == "done"
+        assert stale.state == "expired"
+        assert "deadline" in (stale.error or "")
+        assert fresh.state == "done"
+        assert fresh.result["labels"] == leader.result["labels"]
+
     def test_follower_mirrors_leader_failure(self):
         async def scenario():
             engine = ServiceEngine(
@@ -222,7 +306,56 @@ class TestAdmission:
         assert exc.retry_after_s > 0
         assert engine.rate_limited_total == 1
 
-    def test_queue_backpressure_surfaces(self):
+    def test_rate_bucket_map_is_bounded(self):
+        """Arbitrary client strings cannot grow the bucket map past
+        ``rate_clients_max`` (idle/refilled buckets are pruned)."""
+
+        async def scenario():
+            engine = ServiceEngine(
+                EngineConfig(
+                    workers=1,
+                    queue_maxsize=64,
+                    rate_per_s=1000.0,  # buckets refill immediately
+                    rate_burst=4,
+                    rate_clients_max=5,
+                )
+            )
+            for i in range(20):
+                engine.submit(request(k=2 + (i % 3), client=f"c{i}"))
+            return len(engine._buckets)
+
+        assert run(scenario()) <= 5
+
+    def test_mesh_root_restricts_source_paths(self, tmp_path):
+        """With ``mesh_root`` set, mesh sources outside it are rejected
+        at submission (HTTP 400), including traversal attempts."""
+        from repro.service.schemas import ServiceSchemaError
+
+        async def scenario():
+            root = tmp_path / "meshes"
+            root.mkdir()
+            engine = ServiceEngine(
+                EngineConfig(workers=1, mesh_root=str(root))
+            )
+            for path in (
+                "/etc/passwd",
+                str(root / ".." / "secret.npz"),
+            ):
+                with pytest.raises(ServiceSchemaError, match="mesh root"):
+                    engine.submit(
+                        request(source={"kind": "mesh", "path": path})
+                    )
+            # a path under the root passes admission (it fails later at
+            # load time, as an executed-job error, not a schema error)
+            job = engine.submit(
+                request(
+                    source={"kind": "mesh", "path": str(root / "m.npz")}
+                )
+            )
+            assert engine.queue.submitted == 1
+            return job
+
+        assert run(scenario()).state == "queued"
         async def scenario():
             engine = ServiceEngine(
                 EngineConfig(workers=1, queue_maxsize=2)

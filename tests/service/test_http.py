@@ -125,6 +125,36 @@ class TestObservability:
         assert document["meta"]["service_schema"] == "repro.service-job/1"
 
 
+class TestClientTimeouts:
+    def test_long_poll_widens_the_socket_timeout(self, monkeypatch):
+        """Regression: ``wait_s`` beyond the connection default must
+        not trip ``socket.timeout`` mid-poll — the per-request timeout
+        is derived from the wait budget."""
+        client = ServiceClient("127.0.0.1:1", timeout_s=60.0)
+        seen = {}
+
+        def capture(method, path, body=None, timeout_s=None):
+            seen[path] = timeout_s
+            raise ServiceError(404, {"error": "capture only"})
+
+        monkeypatch.setattr(client, "request", capture)
+        for call in (client.status, client.result):
+            seen.clear()
+            with pytest.raises(ServiceError):
+                call("job-000000", wait_s=300.0)
+            (timeout,) = seen.values()
+            assert timeout >= 300.0  # outlives the server-side hold
+            seen.clear()
+            with pytest.raises(ServiceError):
+                call("job-000000")  # no wait: the connection default
+            (timeout,) = seen.values()
+            assert timeout is None
+        # short waits never shrink below the connection default
+        assert client._poll_timeout(1.0) == 60.0
+        assert client._poll_timeout(None) is None
+        assert client._poll_timeout(300.0) == 310.0
+
+
 class TestRateLimiting:
     def test_429_with_retry_after(self):
         config = EngineConfig(

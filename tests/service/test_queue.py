@@ -124,7 +124,11 @@ class TestJobQueue:
 
         run(scenario())
 
-    def test_cancelled_jobs_skipped_by_take(self):
+    def test_cancelled_jobs_still_returned_by_take(self):
+        """A cancelled job is handed to the worker terminal (not
+        silently dropped) so the engine can settle its coalesced
+        followers."""
+
         async def scenario():
             queue = JobQueue(maxsize=4)
             a = queue.submit(request(k=2))
@@ -132,24 +136,50 @@ class TestJobQueue:
             assert queue.cancel(a.id)
             assert not queue.cancel(a.id)  # already terminal
             assert not queue.cancel("job-999999")  # unknown
-            assert await queue.take() is b
+            assert await queue.take() is a
             assert a.state == "cancelled"
+            assert await queue.take() is b
             assert queue.cancelled == 1
 
         run(scenario())
 
-    def test_expired_jobs_skipped_by_take(self):
+    def test_expired_jobs_marked_and_returned_by_take(self):
         async def scenario():
             queue = JobQueue(maxsize=4)
             stale = queue.submit(request(k=2), deadline_s=0.001)
             fresh = queue.submit(request(k=3))
             await asyncio.sleep(0.01)
-            assert await queue.take() is fresh
+            assert await queue.take() is stale
             assert stale.state == "expired"
             assert "deadline" in (stale.error or "")
+            assert await queue.take() is fresh
             assert queue.expired == 1
 
         run(scenario())
+
+    def test_terminal_records_evicted_beyond_keep_records(self):
+        """The registry is bounded: oldest finished records fall out,
+        live jobs are never evicted."""
+
+        async def scenario():
+            queue = JobQueue(maxsize=16, keep_records=3)
+            live = queue.submit(request(k=2))
+            done = []
+            for i in range(5):
+                job = queue.submit(request(k=3 + i))
+                job.transition("running")
+                job.transition("done")
+                done.append(job)
+            # 6 records, bound 3: the 3 oldest *terminal* ones are gone
+            assert live.id in queue  # still queued, never evicted
+            assert all(job.id not in queue for job in done[:3])
+            assert all(job.id in queue for job in done[3:])
+
+        run(scenario())
+
+    def test_keep_records_validated(self):
+        with pytest.raises(ValueError, match="keep_records"):
+            JobQueue(maxsize=4, keep_records=0)
 
     def test_states_and_lookup(self):
         async def scenario():
