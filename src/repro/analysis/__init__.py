@@ -25,6 +25,13 @@ emitting the ``repro.kernel-audit/1`` registry.  Pre-existing findings
 burn down through a committed baseline
 (:mod:`repro.analysis.baseline`) instead of blanket suppressions.
 
+The fourth layer (``repro-lint --service``) guards the async service
+seams: coroutine safety (:mod:`repro.analysis.asynccheck`:
+ASYNC001–003, TIME001), the job state-machine verifier
+(:mod:`repro.analysis.statemachine`: SM001/SM002), and the
+trust-boundary taint pass (:mod:`repro.analysis.boundary`: TRUST001),
+driven by :mod:`repro.analysis.servicecheck`.
+
 Run it as ``repro-lint --spmd src/repro`` or ``repro-contact lint``.
 """
 
@@ -52,6 +59,9 @@ from repro.analysis.kernelcheck import (  # noqa: F401  (registers KERN001)
     audit_paths,
     validate_kernel_audit,
 )
+from repro.analysis.servicecheck import (  # noqa: F401  (registers rules)
+    ServiceAnalyzer,
+)
 
 __all__ = [
     "Diagnostic",
@@ -60,6 +70,7 @@ __all__ = [
     "LintRule",
     "SpmdAnalyzer",
     "PerfAnalyzer",
+    "ServiceAnalyzer",
     "KernelAudit",
     "audit_paths",
     "validate_kernel_audit",

@@ -1,0 +1,1107 @@
+"""Coroutine-safety rule family: keep the event loop non-blocking.
+
+The service front end (:mod:`repro.service`) is an asyncio program
+whose correctness rests on conventions no runtime check enforces: the
+event loop must never execute blocking I/O or acquire a thread lock
+(every such call stalls *all* in-flight requests), every coroutine
+must be awaited or scheduled, and state shared between the loop and
+the executor threads needs a lock or a single-writer discipline.
+This module checks those conventions statically, reusing the dataflow
+summaries of :mod:`repro.analysis.dataflow` plus a light class-aware
+call resolver (attribute types recovered from ``self.x = Cls()``
+assignments, parameter annotations, and return annotations):
+
+========  ===========================================================
+ASYNC001  blocking call (file/socket I/O, ``time.sleep``,
+          ``np.load``, blocking queue ops, ``threading.Lock``
+          acquisition) reached from coroutine context without a
+          ``run_in_executor`` hop
+ASYNC002  coroutine called but never awaited or scheduled
+ASYNC003  attribute or module global mutated from both coroutine and
+          executor-thread context without a lock
+TIME001   wall-clock ``time.time()`` mixed into deadline/backoff
+          arithmetic where ``time.monotonic()`` is required
+========  ===========================================================
+
+Context discovery is conservative: every ``async def`` is loop
+context, and so is every *resolvable* synchronous callee reachable
+from one; executor context is the closure of callables handed to
+``loop.run_in_executor`` or ``threading.Thread(target=...)``.  Names
+the resolver cannot type are skipped, never guessed, so the family
+under-approximates like the SPMD pass.  See
+``docs/STATIC_ANALYSIS.md`` for the rule catalogue and the suppression
+grammar (``# repro-lint: disable=ASYNC001`` works like any other
+code).
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import (
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
+
+from repro.analysis.dataflow import (
+    CallSite,
+    FunctionSummary,
+    ModuleSummary,
+    ProjectIndex,
+    _resolve_captures,
+    _ScopeVisitor,
+    dotted_parts,
+    dotted_text,
+)
+from repro.analysis.engine import (
+    Diagnostic,
+    FileContext,
+    LintRule,
+    register_rule,
+)
+
+__all__ = [
+    "BLOCKING_CALLS",
+    "BLOCKING_METHOD_TAILS",
+    "ClassInfo",
+    "ServiceProject",
+    "ServiceRule",
+    "build_service_project",
+    "expanded_call_name",
+    "scope_walk",
+]
+
+#: expanded dotted call → what it blocks on (the ASYNC001 catalogue)
+BLOCKING_CALLS: Dict[str, str] = {
+    "time.sleep": "sleeps the whole event loop",
+    "input": "blocks on stdin",
+    "open": "file I/O",
+    "io.open": "file I/O",
+    "os.makedirs": "filesystem I/O",
+    "os.remove": "filesystem I/O",
+    "os.replace": "filesystem I/O",
+    "os.rename": "filesystem I/O",
+    "os.listdir": "filesystem I/O",
+    "os.stat": "filesystem metadata I/O",
+    "os.path.exists": "filesystem metadata I/O",
+    "os.path.getsize": "filesystem metadata I/O",
+    "os.path.realpath": "filesystem metadata I/O (symlink resolution)",
+    "shutil.rmtree": "filesystem I/O",
+    "shutil.copy": "filesystem I/O",
+    "shutil.copyfile": "filesystem I/O",
+    "shutil.move": "filesystem I/O",
+    "socket.create_connection": "network I/O",
+    "socket.getaddrinfo": "DNS resolution",
+    "urllib.request.urlopen": "network I/O",
+    "requests.get": "network I/O",
+    "requests.post": "network I/O",
+    "requests.request": "network I/O",
+    "subprocess.run": "waits on a subprocess",
+    "subprocess.call": "waits on a subprocess",
+    "subprocess.check_call": "waits on a subprocess",
+    "subprocess.check_output": "waits on a subprocess",
+    "numpy.load": "file I/O",
+    "numpy.save": "file I/O",
+    "numpy.savez": "file I/O",
+    "numpy.savez_compressed": "file I/O",
+    "numpy.loadtxt": "file I/O",
+    "numpy.genfromtxt": "file I/O",
+    "numpy.fromfile": "file I/O",
+    "repro.mesh.io.load_mesh": "mesh file I/O",
+}
+
+#: method tails that block regardless of receiver type (names chosen
+#: to be unambiguous — ``.get``/``.put`` are *not* here, they need a
+#: typed ``queue.Queue`` receiver)
+BLOCKING_METHOD_TAILS: Dict[str, str] = {
+    "read_text": "file I/O",
+    "read_bytes": "file I/O",
+    "write_text": "file I/O",
+    "write_bytes": "file I/O",
+}
+
+#: constructors whose instances expose blocking .get/.put/.join
+_BLOCKING_QUEUE_FACTORIES = frozenset(
+    {"queue.Queue", "queue.LifoQueue", "queue.PriorityQueue",
+     "multiprocessing.Queue", "multiprocessing.JoinableQueue"}
+)
+_BLOCKING_QUEUE_METHODS = frozenset({"get", "put", "join"})
+
+_THREAD_LOCK_FACTORIES = frozenset(
+    {"threading.Lock", "threading.RLock"}
+)
+
+_DEADLINE_KEYWORDS = (
+    "deadline",
+    "timeout",
+    "expire",
+    "backoff",
+    "retry_after",
+)
+
+
+def expanded_call_name(summary: ModuleSummary, name: str) -> str:
+    """Expand a dotted call name through the module's import aliases
+    (``np.load`` → ``numpy.load``, ``sleep`` → ``time.sleep``)."""
+    head, _, rest = name.partition(".")
+    target = summary.imports.get(head)
+    if target is None:
+        return name
+    return f"{target}.{rest}" if rest else target
+
+
+def scope_walk(root: ast.AST) -> Iterator[ast.AST]:
+    """Walk ``root`` without descending into nested function scopes
+    (their statements belong to other :class:`FunctionSummary` s)."""
+    stack: List[ast.AST] = [root]
+    while stack:
+        node = stack.pop()
+        yield node
+        if node is not root and isinstance(
+            node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+        ):
+            continue  # nested defs are yielded but not entered
+        stack.extend(ast.iter_child_nodes(node))
+
+
+def _parent_map(root: ast.AST) -> Dict[int, ast.AST]:
+    """``id(child) → parent`` within one function scope."""
+    parents: Dict[int, ast.AST] = {}
+    for node in scope_walk(root):
+        for child in ast.iter_child_nodes(node):
+            parents[id(child)] = node
+    return parents
+
+
+# ----------------------------------------------------------------------
+# class-aware layer on top of the dataflow summaries
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class ClassInfo:
+    """What the resolver knows about one module-level class."""
+
+    module: str
+    name: str
+    #: bare method name → summary (dataflow walks class bodies in the
+    #: enclosing scope, so methods land in ``top_level_functions``)
+    methods: Dict[str, FunctionSummary] = field(default_factory=dict)
+    #: ``self.x`` attributes assigned a ``threading.Lock``/``RLock``
+    lock_attrs: Set[str] = field(default_factory=set)
+    #: ``self.x`` attribute → (module, class) of its resolved type
+    attr_types: Dict[str, Tuple[str, str]] = field(default_factory=dict)
+
+
+@dataclass
+class ServiceProject:
+    """Everything the service rules inspect about one analysed tree."""
+
+    index: ProjectIndex
+    #: path → parsed file context (suppressions and anchoring)
+    contexts: Dict[str, FileContext]
+    #: authoritative (module, qualname) → summary map.  The dataflow
+    #: index walks class bodies in module scope, so two classes with a
+    #: same-named method collide there; methods are re-summarised here
+    #: under ``Class.method`` qualnames instead.
+    functions: Dict[Tuple[str, str], FunctionSummary] = field(
+        default_factory=dict
+    )
+    #: id(fn node) → authoritative summary, to canonicalise whatever
+    #: the index resolver returns
+    by_node: Dict[int, FunctionSummary] = field(default_factory=dict)
+    #: (module, name) → class info, for every module-level class
+    classes: Dict[Tuple[str, str], ClassInfo] = field(default_factory=dict)
+    #: (module, qualname) → owning class name (methods only)
+    owner_class: Dict[Tuple[str, str], str] = field(default_factory=dict)
+    #: every ``async def`` in definition order
+    coroutines: List[FunctionSummary] = field(default_factory=list)
+    #: loop context: coroutines plus resolvable sync callees; the value
+    #: is the coroutine root each function was first reached from
+    loop_functions: Dict[Tuple[str, str], FunctionSummary] = field(
+        default_factory=dict
+    )
+    #: executor context: run_in_executor / Thread targets + closure
+    executor_functions: Dict[Tuple[str, str], FunctionSummary] = field(
+        default_factory=dict
+    )
+
+    def summary_of(self, key: Tuple[str, str]) -> Optional[FunctionSummary]:
+        return self.functions.get(key)
+
+    def canonical(self, fn: FunctionSummary) -> FunctionSummary:
+        """The authoritative summary for the same function node."""
+        return self.by_node.get(id(fn.node), fn)
+
+    def class_of(self, fn: FunctionSummary) -> Optional[ClassInfo]:
+        name = self.owner_class.get((fn.module, fn.qualname))
+        if name is None:
+            return None
+        return self.classes.get((fn.module, name))
+
+    def in_loop(self, fn: FunctionSummary) -> bool:
+        return (fn.module, fn.qualname) in self.loop_functions
+
+    def in_executor(self, fn: FunctionSummary) -> bool:
+        return (fn.module, fn.qualname) in self.executor_functions
+
+
+def _annotation_class_name(node: Optional[ast.AST]) -> Optional[str]:
+    """Class name out of an annotation, unwrapping ``Optional[...]``
+    and one-element ``Union``-like subscripts; ``None`` when opaque."""
+    if node is None:
+        return None
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        try:
+            node = ast.parse(node.value, mode="eval").body
+        except SyntaxError:
+            return None
+    if isinstance(node, (ast.Name, ast.Attribute)):
+        return dotted_text(node)
+    if isinstance(node, ast.Subscript):
+        head = dotted_text(node.value)
+        if head is not None and head.rsplit(".", 1)[-1] == "Optional":
+            return _annotation_class_name(node.slice)
+    return None
+
+
+class _Resolver:
+    """Typed name resolution shared by every service rule."""
+
+    _DEPTH = 6
+
+    def __init__(self, project: ServiceProject) -> None:
+        self.project = project
+
+    # -- classes -------------------------------------------------------
+    def resolve_class(
+        self, module: str, name: Optional[str]
+    ) -> Optional[ClassInfo]:
+        """A (possibly dotted or imported) class name seen in
+        ``module`` → its :class:`ClassInfo`, or ``None``."""
+        if name is None:
+            return None
+        summary = self.project.index.modules.get(module)
+        if summary is None:
+            return None
+        parts = name.split(".")
+        if len(parts) == 1:
+            info = self.project.classes.get((module, name))
+            if info is not None:
+                return info
+            target = summary.imports.get(name)
+            if target is not None:
+                mod, _, cls = target.rpartition(".")
+                return self.project.classes.get((mod, cls))
+            return None
+        target = summary.imports.get(parts[0])
+        if target is not None and len(parts) == 2:
+            return self.project.classes.get((target, parts[1]))
+        return None
+
+    # -- expression types ----------------------------------------------
+    def expr_class(
+        self, fn: FunctionSummary, expr: ast.AST, depth: int = 0
+    ) -> Optional[ClassInfo]:
+        """The project class an expression evaluates to, if provable."""
+        if depth > self._DEPTH:
+            return None
+        if isinstance(expr, ast.Call):
+            name = dotted_text(expr.func)
+            info = self.resolve_class(fn.module, name)
+            if info is not None:
+                return info
+            for target in self.resolve_call_targets(
+                fn, name, follow_types=False
+            ):
+                node = target.node
+                returns = getattr(node, "returns", None)
+                info = self.resolve_class(
+                    target.module, _annotation_class_name(returns)
+                )
+                if info is not None:
+                    return info
+            return None
+        if isinstance(expr, ast.Name):
+            return self.name_class(fn, expr.id, depth + 1)
+        if isinstance(expr, ast.Attribute):
+            parts = dotted_parts(expr)
+            if parts is not None:
+                return self.chain_class(fn, parts, depth + 1)
+        return None
+
+    def name_class(
+        self, fn: FunctionSummary, name: str, depth: int = 0
+    ) -> Optional[ClassInfo]:
+        if depth > self._DEPTH:
+            return None
+        binding = fn.lookup_binding(name)
+        if binding is not None:
+            info = self.expr_class(fn, binding, depth + 1)
+            if info is not None:
+                return info
+        if name in fn.params:
+            args = getattr(fn.node, "args", None)
+            if args is not None:
+                for a in (
+                    list(args.posonlyargs)
+                    + list(args.args)
+                    + list(args.kwonlyargs)
+                ):
+                    if a.arg == name:
+                        return self.resolve_class(
+                            fn.module, _annotation_class_name(a.annotation)
+                        )
+        return None
+
+    def chain_class(
+        self, fn: FunctionSummary, parts: Sequence[str], depth: int = 0
+    ) -> Optional[ClassInfo]:
+        """Type of a dotted receiver chain (``self.engine.queue``)."""
+        if depth > self._DEPTH or not parts:
+            return None
+        if parts[0] in ("self", "cls"):
+            info = self.project.class_of(fn)
+        else:
+            info = self.name_class(fn, parts[0], depth + 1)
+        for attr in parts[1:]:
+            if info is None:
+                return None
+            typed = info.attr_types.get(attr)
+            info = self.project.classes.get(typed) if typed else None
+        return info
+
+    # -- call targets --------------------------------------------------
+    def resolve_call_targets(
+        self,
+        fn: FunctionSummary,
+        name: Optional[str],
+        follow_types: bool = True,
+    ) -> List[FunctionSummary]:
+        """Every function summary a dotted call may reach: the dataflow
+        resolution (bare names, import aliases, nested defs) plus the
+        typed method resolution (``self.x.m()`` through attribute and
+        annotation types)."""
+        if name is None:
+            return []
+        direct = self.project.index._resolve_from(fn, name)
+        if direct is not None:
+            return [self.project.canonical(direct)]
+        parts = name.split(".")
+        if len(parts) < 2 or not follow_types:
+            return []
+        owner = self.chain_class(fn, parts[:-1])
+        if owner is None:
+            return []
+        method = owner.methods.get(parts[-1])
+        return [method] if method is not None else []
+
+    def resolve_callable_expr(
+        self, fn: FunctionSummary, expr: ast.AST
+    ) -> List[FunctionSummary]:
+        """A callable *reference* (run_in_executor / Thread target)."""
+        if isinstance(expr, (ast.Name, ast.Attribute)):
+            return self.resolve_call_targets(fn, dotted_text(expr))
+        if isinstance(expr, ast.Call):
+            # functools.partial(fn, ...) and friends
+            tail = dotted_parts(expr.func)
+            if tail and tail[-1] == "partial" and expr.args:
+                return self.resolve_callable_expr(fn, expr.args[0])
+        return []
+
+
+# ----------------------------------------------------------------------
+# project construction
+# ----------------------------------------------------------------------
+
+
+def _is_lock_factory(summary: ModuleSummary, value: ast.AST) -> bool:
+    if not isinstance(value, ast.Call):
+        return False
+    name = dotted_text(value.func)
+    if name is None:
+        return False
+    return expanded_call_name(summary, name) in _THREAD_LOCK_FACTORIES
+
+
+def _resummarize_class(
+    summary: ModuleSummary, cls: ast.ClassDef
+) -> Dict[str, FunctionSummary]:
+    """Fresh summaries for one class body, qualified ``Class.method``.
+
+    The shared index walks class bodies in module scope, so methods of
+    different classes with the same name overwrite each other there;
+    running the scope visitor per class keeps each method's summary
+    (and its nested functions) intact.
+    """
+    temp = ModuleSummary(
+        module=summary.module, path=summary.path, tree=summary.tree
+    )
+    temp.imports = dict(summary.imports)
+    temp.module_bindings = dict(summary.module_bindings)
+    temp.top_level_functions = set(summary.top_level_functions)
+    visitor = _ScopeVisitor(temp)
+    for child in cls.body:
+        if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            visitor.visit(child)
+    _resolve_captures(temp)
+    out: Dict[str, FunctionSummary] = {}
+    for qualname, fn in temp.functions.items():
+        fn.qualname = f"{cls.name}.{qualname}"
+        out[qualname] = fn
+    return out
+
+
+def _collect_classes(
+    index: ProjectIndex, project: ServiceProject
+) -> None:
+    """Build the authoritative function map, :class:`ClassInfo`
+    records, and the method-owner map."""
+    for module in sorted(index.modules):
+        summary = index.modules[module]
+        for fn in summary.functions.values():
+            key = (fn.module, fn.qualname)
+            project.functions[key] = fn
+            project.by_node[id(fn.node)] = fn
+        for stmt in summary.tree.body:
+            if not isinstance(stmt, ast.ClassDef):
+                continue
+            info = ClassInfo(module=summary.module, name=stmt.name)
+            resummarized = _resummarize_class(summary, stmt)
+            for qualname, fn in resummarized.items():
+                # drop the collision-prone bare entry for this node …
+                stale = project.by_node.get(id(fn.node))
+                if stale is not None:
+                    project.functions.pop(
+                        (stale.module, stale.qualname), None
+                    )
+                # … and install the Class.method-qualified summary
+                project.functions[(fn.module, fn.qualname)] = fn
+                project.by_node[id(fn.node)] = fn
+                project.owner_class[(fn.module, fn.qualname)] = stmt.name
+                if "." not in qualname:  # direct method, not nested
+                    info.methods[fn.name] = fn
+            project.classes[(summary.module, stmt.name)] = info
+
+    # second pass: attribute types and lock attributes (needs every
+    # class registered first so annotations resolve across modules)
+    resolver = _Resolver(project)
+    for (module, _name), info in project.classes.items():
+        summary = index.modules[module]
+        for method in info.methods.values():
+            for node in scope_walk(method.node):
+                target: Optional[ast.AST] = None
+                value: Optional[ast.AST] = None
+                annotation: Optional[ast.AST] = None
+                if isinstance(node, ast.Assign) and len(node.targets) == 1:
+                    target, value = node.targets[0], node.value
+                elif isinstance(node, ast.AnnAssign):
+                    target, value = node.target, node.value
+                    annotation = node.annotation
+                if not (
+                    isinstance(target, ast.Attribute)
+                    and isinstance(target.value, ast.Name)
+                    and target.value.id == "self"
+                ):
+                    continue
+                attr = target.attr
+                if value is not None and _is_lock_factory(summary, value):
+                    info.lock_attrs.add(attr)
+                    continue
+                typed: Optional[ClassInfo] = None
+                if annotation is not None:
+                    typed = resolver.resolve_class(
+                        module, _annotation_class_name(annotation)
+                    )
+                if typed is None and value is not None:
+                    typed = resolver.expr_class(method, value)
+                if typed is not None and attr not in info.attr_types:
+                    info.attr_types[attr] = (typed.module, typed.name)
+
+
+def _iter_functions(project: ServiceProject) -> Iterator[FunctionSummary]:
+    for key in sorted(project.functions):
+        yield project.functions[key]
+
+
+def _close_over(
+    project: ServiceProject,
+    resolver: _Resolver,
+    roots: Iterable[Tuple[FunctionSummary, FunctionSummary]],
+    out: Dict[Tuple[str, str], FunctionSummary],
+) -> None:
+    """Reachability over *synchronous* callees: coroutines met along
+    the way are their own roots, so the walk stops at them."""
+    stack = list(roots)
+    while stack:
+        fn, root = stack.pop(0)
+        key = (fn.module, fn.qualname)
+        if key in out:
+            continue
+        out[key] = root
+        for call in fn.calls:
+            for target in resolver.resolve_call_targets(fn, call.name):
+                if isinstance(target.node, ast.AsyncFunctionDef):
+                    continue
+                if (target.module, target.qualname) not in out:
+                    stack.append((target, root))
+
+
+def build_service_project(
+    index: ProjectIndex, contexts: Dict[str, FileContext]
+) -> ServiceProject:
+    """Classify every function as loop / executor / neither context."""
+    project = ServiceProject(index=index, contexts=contexts)
+    _collect_classes(index, project)
+    resolver = _Resolver(project)
+
+    for fn in _iter_functions(project):
+        if isinstance(fn.node, ast.AsyncFunctionDef):
+            project.coroutines.append(fn)
+
+    _close_over(
+        project,
+        resolver,
+        ((fn, fn) for fn in project.coroutines),
+        project.loop_functions,
+    )
+
+    executor_roots: List[Tuple[FunctionSummary, FunctionSummary]] = []
+    for fn in _iter_functions(project):
+        if not isinstance(
+            fn.node, (ast.FunctionDef, ast.AsyncFunctionDef)
+        ):
+            continue
+        # AST walk rather than fn.calls: chained receivers like
+        # `asyncio.get_event_loop().run_in_executor(...)` have no
+        # dotted name, so the dataflow visitor never records them
+        for node in scope_walk(fn.node):
+            if not isinstance(node, ast.Call):
+                continue
+            if isinstance(node.func, ast.Attribute):
+                tail = node.func.attr
+            elif isinstance(node.func, ast.Name):
+                tail = node.func.id
+            else:
+                continue
+            expr: Optional[ast.AST] = None
+            if tail == "run_in_executor" and len(node.args) >= 2:
+                expr = node.args[1]
+            elif tail == "Thread":
+                for kw in node.keywords:
+                    if kw.arg == "target":
+                        expr = kw.value
+            if expr is None:
+                continue
+            for target in resolver.resolve_callable_expr(fn, expr):
+                executor_roots.append((target, target))
+    _close_over(
+        project, resolver, executor_roots, project.executor_functions
+    )
+    return project
+
+
+# ----------------------------------------------------------------------
+# rule machinery
+# ----------------------------------------------------------------------
+
+
+class ServiceRule(LintRule):
+    """Base for the project-level service correctness rules.
+
+    The per-file :meth:`check` is a no-op; the
+    :class:`~repro.analysis.servicecheck.ServiceAnalyzer` drives
+    :meth:`project_check` with a shared :class:`ServiceProject`.
+    """
+
+    opt_in = True
+
+    def check(self, ctx: FileContext) -> Iterable[Diagnostic]:
+        return ()
+
+    def project_check(
+        self, project: ServiceProject
+    ) -> Iterator[Diagnostic]:
+        raise NotImplementedError
+
+    def fn_diag(
+        self, fn: FunctionSummary, node: ast.AST, message: str
+    ) -> Diagnostic:
+        return Diagnostic(
+            path=fn.path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0) + 1,
+            code=self.code,
+            message=message,
+        )
+
+
+def _is_lockish(project: ServiceProject, fn: FunctionSummary, expr: ast.AST) -> bool:
+    """Whether a ``with`` context expression names a lock: a known
+    lock attribute of the function's class, a local bound to a
+    ``threading.Lock()``, or any name containing ``lock``."""
+    parts = dotted_parts(expr)
+    if parts is None and isinstance(expr, ast.Call):
+        parts = dotted_parts(expr.func)
+    if parts is None:
+        return False
+    info = project.class_of(fn)
+    if (
+        info is not None
+        and len(parts) == 2
+        and parts[0] in ("self", "cls")
+        and parts[1] in info.lock_attrs
+    ):
+        return True
+    if len(parts) == 1:
+        binding = fn.lookup_binding(parts[0])
+        summary = project.index.modules.get(fn.module)
+        if (
+            binding is not None
+            and summary is not None
+            and _is_lock_factory(summary, binding)
+        ):
+            return True
+    return any("lock" in p.lower() for p in parts)
+
+
+def _protected_by_lock(
+    project: ServiceProject,
+    fn: FunctionSummary,
+    parents: Dict[int, ast.AST],
+    node: ast.AST,
+) -> bool:
+    """Whether ``node`` sits inside a ``with <lock>:`` block."""
+    cur: Optional[ast.AST] = node
+    while cur is not None:
+        parent = parents.get(id(cur))
+        if isinstance(parent, (ast.With, ast.AsyncWith)):
+            for item in parent.items:
+                if _is_lockish(project, fn, item.context_expr):
+                    return True
+        cur = parent
+    return False
+
+
+# ----------------------------------------------------------------------
+# ASYNC001 — blocking call in coroutine context
+# ----------------------------------------------------------------------
+
+
+def _blocking_reason(
+    project: ServiceProject, fn: FunctionSummary, call: CallSite
+) -> Optional[str]:
+    """Why this call blocks, or ``None`` when it does not."""
+    summary = project.index.modules.get(fn.module)
+    if summary is None:
+        return None
+    expanded = expanded_call_name(summary, call.name)
+    reason = BLOCKING_CALLS.get(expanded)
+    if reason is not None:
+        return f"{expanded}(...) ({reason})"
+    parts = call.name.split(".")
+    if len(parts) < 2:
+        return None
+    tail = parts[-1]
+    reason = BLOCKING_METHOD_TAILS.get(tail)
+    if reason is not None:
+        return f".{tail}(...) ({reason})"
+    if tail in _BLOCKING_QUEUE_METHODS and len(parts) == 2:
+        binding = fn.lookup_binding(parts[0])
+        if (
+            binding is not None
+            and isinstance(binding, ast.Call)
+            and expanded_call_name(
+                summary, dotted_text(binding.func) or ""
+            )
+            in _BLOCKING_QUEUE_FACTORIES
+        ):
+            return f"{call.name}(...) (blocking queue operation)"
+    if tail == "acquire" and _is_lockish(
+        project, fn, call.node.func.value  # type: ignore[attr-defined]
+    ):
+        return f"{call.name}() (thread-lock acquisition)"
+    return None
+
+
+@register_rule
+class BlockingCallRule(ServiceRule):
+    """ASYNC001 — blocking call reached from coroutine context.
+
+    A blocking call anywhere in the synchronous closure of a coroutine
+    stalls every other in-flight request on the loop.  The fix is an
+    ``await loop.run_in_executor(None, fn, ...)`` hop — functions only
+    reachable through one are executor context and exempt.
+    """
+
+    code = "ASYNC001"
+    name = "async-blocking-call"
+    description = "blocking call reached from coroutine context"
+
+    def project_check(
+        self, project: ServiceProject
+    ) -> Iterator[Diagnostic]:
+        for key in sorted(project.loop_functions):
+            fn = project.summary_of(key)
+            if fn is None:
+                continue
+            root = project.loop_functions[key]
+            via = (
+                ""
+                if root is fn
+                else f" via coroutine '{root.name}' ({root.module})"
+            )
+            for call in fn.calls:
+                reason = _blocking_reason(project, fn, call)
+                if reason is not None:
+                    yield self.fn_diag(
+                        fn,
+                        call.node,
+                        f"blocking call {reason} on the event loop"
+                        f"{via}; route it through run_in_executor",
+                    )
+            # `with <threading lock>:` blocks the loop exactly like I/O
+            # (an executor thread may hold the lock arbitrarily long)
+            if not isinstance(
+                fn.node, (ast.FunctionDef, ast.AsyncFunctionDef)
+            ):
+                continue
+            for node in scope_walk(fn.node):
+                if not isinstance(node, ast.With):
+                    continue
+                for item in node.items:
+                    expr = item.context_expr
+                    if isinstance(expr, ast.Call):
+                        continue  # tracer spans etc., not bare locks
+                    if _is_lockish(project, fn, expr):
+                        name = dotted_text(expr) or "<lock>"
+                        yield self.fn_diag(
+                            fn,
+                            node,
+                            f"thread-lock acquisition 'with {name}:' "
+                            f"on the event loop{via}; executor threads "
+                            "may hold it — route the critical section "
+                            "through run_in_executor",
+                        )
+
+
+# ----------------------------------------------------------------------
+# ASYNC002 — coroutine called but never awaited
+# ----------------------------------------------------------------------
+
+
+@register_rule
+class UnawaitedCoroutineRule(ServiceRule):
+    """ASYNC002 — a coroutine call whose result is discarded.
+
+    ``coro()`` as a bare statement builds a coroutine object and drops
+    it: the body never runs.  It must be awaited, or scheduled via
+    ``create_task`` / ``ensure_future`` / ``gather`` / ``run``.
+    """
+
+    code = "ASYNC002"
+    name = "async-unawaited-coroutine"
+    description = "coroutine called but never awaited or scheduled"
+
+    def project_check(
+        self, project: ServiceProject
+    ) -> Iterator[Diagnostic]:
+        resolver = _Resolver(project)
+        for fn in _iter_functions(project):
+            if not isinstance(
+                fn.node, (ast.FunctionDef, ast.AsyncFunctionDef)
+            ):
+                continue
+            for node in scope_walk(fn.node):
+                if not isinstance(node, ast.Expr) or not isinstance(
+                    node.value, ast.Call
+                ):
+                    continue
+                call = node.value
+                name = dotted_text(call.func)
+                if name is None:
+                    continue
+                targets = resolver.resolve_call_targets(fn, name)
+                if len(targets) != 1 or not isinstance(
+                    targets[0].node, ast.AsyncFunctionDef
+                ):
+                    continue
+                yield self.fn_diag(
+                    fn,
+                    call,
+                    f"coroutine '{targets[0].name}' is called but the "
+                    "result is discarded — await it or schedule it "
+                    "with asyncio.create_task(...)",
+                )
+
+
+# ----------------------------------------------------------------------
+# ASYNC003 — state shared across loop and executor contexts
+# ----------------------------------------------------------------------
+
+
+@register_rule
+class CrossContextStateRule(ServiceRule):
+    """ASYNC003 — unlocked state mutated from both contexts.
+
+    Coroutines all run on the loop thread, so loop-only mutation needs
+    no lock; executor threads run concurrently with the loop *and*
+    each other.  An attribute (or module global) mutated on both sides
+    must hold a lock on every unprotected site.
+    """
+
+    code = "ASYNC003"
+    name = "async-cross-context-state"
+    description = (
+        "state mutated from both coroutine and executor context "
+        "without a lock"
+    )
+
+    _Site = Tuple[FunctionSummary, ast.AST, bool]  # fn, node, locked
+
+    def _mutation_sites(
+        self,
+        project: ServiceProject,
+        keys: Iterable[Tuple[str, str]],
+    ) -> Dict[Tuple[str, str, str], List["CrossContextStateRule._Site"]]:
+        """(module, class-or-'', attr) → mutation sites in ``keys``."""
+        sites: Dict[
+            Tuple[str, str, str], List[CrossContextStateRule._Site]
+        ] = {}
+        for key in sorted(keys):
+            fn = project.summary_of(key)
+            if fn is None or not isinstance(
+                fn.node, (ast.FunctionDef, ast.AsyncFunctionDef)
+            ):
+                continue
+            parents = _parent_map(fn.node)
+            info = project.class_of(fn)
+            for mut in fn.mutations:
+                state_key: Optional[Tuple[str, str, str]] = None
+                if (
+                    mut.chain[0] in ("self", "cls")
+                    and len(mut.chain) >= 2
+                    and info is not None
+                ):
+                    state_key = (fn.module, info.name, mut.chain[1])
+                elif (
+                    len(mut.chain) == 1
+                    and mut.kind in ("augassign", "assign")
+                    and (
+                        mut.chain[0] in fn.global_decls
+                        or mut.chain[0] in fn.global_reads
+                    )
+                ):
+                    state_key = (fn.module, "", mut.chain[0])
+                if state_key is None:
+                    continue
+                locked = _protected_by_lock(
+                    project, fn, parents, mut.node
+                )
+                sites.setdefault(state_key, []).append(
+                    (fn, mut.node, locked)
+                )
+        return sites
+
+    def project_check(
+        self, project: ServiceProject
+    ) -> Iterator[Diagnostic]:
+        loop_sites = self._mutation_sites(
+            project, project.loop_functions
+        )
+        exec_sites = self._mutation_sites(
+            project, project.executor_functions
+        )
+        for state_key in sorted(set(loop_sites) & set(exec_sites)):
+            module, cls, attr = state_key
+            shown = f"self.{attr}" if cls else attr
+            other = exec_sites[state_key][0][0]
+            emitted: Set[Tuple[str, int]] = set()
+            for fn, node, locked in (
+                loop_sites[state_key] + exec_sites[state_key]
+            ):
+                if locked:
+                    continue
+                anchor = (fn.path, getattr(node, "lineno", 1))
+                if anchor in emitted:
+                    continue
+                emitted.add(anchor)
+                yield self.fn_diag(
+                    fn,
+                    node,
+                    f"'{shown}' ({module}.{cls or attr}) is mutated "
+                    f"from both coroutine and executor context (e.g. "
+                    f"'{other.name}') — this site holds no lock",
+                )
+
+
+# ----------------------------------------------------------------------
+# TIME001 — wall clock in deadline arithmetic
+# ----------------------------------------------------------------------
+
+
+def _is_deadline_name(name: Optional[str]) -> bool:
+    if name is None:
+        return False
+    tail = name.rsplit(".", 1)[-1].lower()
+    return any(k in tail for k in _DEADLINE_KEYWORDS)
+
+
+def _mentions_monotonic(
+    summary: ModuleSummary, fn: Optional[FunctionSummary], expr: ast.AST
+) -> bool:
+    for node in ast.walk(expr):
+        if isinstance(node, ast.Call):
+            name = dotted_text(node.func)
+            if (
+                name is not None
+                and expanded_call_name(summary, name) == "time.monotonic"
+            ):
+                return True
+        if isinstance(node, ast.Name) and fn is not None:
+            binding = fn.lookup_binding(node.id)
+            if (
+                binding is not None
+                and binding is not expr
+                and isinstance(binding, ast.Call)
+            ):
+                bname = dotted_text(binding.func)
+                if (
+                    bname is not None
+                    and expanded_call_name(summary, bname)
+                    == "time.monotonic"
+                ):
+                    return True
+    return False
+
+
+def _mentions_deadline(expr: ast.AST) -> bool:
+    for node in ast.walk(expr):
+        if isinstance(node, (ast.Name, ast.Attribute)):
+            if _is_deadline_name(dotted_text(node)):
+                return True
+    return False
+
+
+@register_rule
+class WallClockDeadlineRule(ServiceRule):
+    """TIME001 — ``time.time()`` feeding deadline/backoff arithmetic.
+
+    Wall clocks jump (NTP, DST, manual adjustment); a deadline or
+    backoff computed from ``time.time()`` can fire years early or
+    never.  Deadline arithmetic must use ``time.monotonic()`` —
+    wall-clock reads are fine for timestamps that are only recorded.
+    """
+
+    code = "TIME001"
+    name = "wall-clock-deadline"
+    description = (
+        "wall-clock time.time() used in deadline/backoff arithmetic"
+    )
+
+    def project_check(
+        self, project: ServiceProject
+    ) -> Iterator[Diagnostic]:
+        for module in sorted(project.index.modules):
+            summary = project.index.modules[module]
+            # project.functions holds the collision-corrected method
+            # summaries (Class.method qualnames), unlike the raw index
+            fn_by_node = {
+                id(f.node): f
+                for (mod, _), f in project.functions.items()
+                if mod == module
+            }
+            yield from self._check_scope(
+                project, summary, None, summary.tree, fn_by_node
+            )
+
+    def _check_scope(
+        self,
+        project: ServiceProject,
+        summary: ModuleSummary,
+        fn: Optional[FunctionSummary],
+        root: ast.AST,
+        fn_by_node: Dict[int, FunctionSummary],
+    ) -> Iterator[Diagnostic]:
+        parents = _parent_map(root)
+        for node in scope_walk(root):
+            child_fn = fn_by_node.get(id(node))
+            if child_fn is not None and node is not root:
+                yield from self._check_scope(
+                    project, summary, child_fn, node, fn_by_node
+                )
+                continue
+            if not isinstance(node, ast.Call):
+                continue
+            name = dotted_text(node.func)
+            if (
+                name is None
+                or expanded_call_name(summary, name) != "time.time"
+            ):
+                continue
+            offense = self._offending_use(summary, fn, parents, node)
+            if offense is not None:
+                yield Diagnostic(
+                    path=summary.path,
+                    line=node.lineno,
+                    col=node.col_offset + 1,
+                    code=self.code,
+                    message=(
+                        f"wall-clock time.time() {offense} — use "
+                        "time.monotonic() for deadline/backoff "
+                        "arithmetic"
+                    ),
+                )
+
+    @staticmethod
+    def _offending_use(
+        summary: ModuleSummary,
+        fn: Optional[FunctionSummary],
+        parents: Dict[int, ast.AST],
+        call: ast.Call,
+    ) -> Optional[str]:
+        cur: ast.AST = call
+        while True:
+            parent = parents.get(id(cur))
+            if parent is None:
+                return None
+            if isinstance(parent, (ast.BinOp, ast.Compare, ast.IfExp)):
+                siblings: List[ast.AST] = [
+                    child
+                    for child in ast.iter_child_nodes(parent)
+                    if child is not cur
+                    and not isinstance(
+                        child, (ast.operator, ast.cmpop, ast.boolop)
+                    )
+                ]
+                for sib in siblings:
+                    if _mentions_monotonic(summary, fn, sib):
+                        return "mixed with a time.monotonic() value"
+                    if _mentions_deadline(sib):
+                        return "compared/combined with a deadline value"
+            if isinstance(parent, ast.keyword) and _is_deadline_name(
+                parent.arg
+            ):
+                return f"passed as {parent.arg!r}"
+            if isinstance(parent, (ast.Assign, ast.AugAssign, ast.AnnAssign)):
+                targets = (
+                    parent.targets
+                    if isinstance(parent, ast.Assign)
+                    else [parent.target]
+                )
+                for target in targets:
+                    if _is_deadline_name(dotted_text(target)):
+                        return (
+                            f"assigned to "
+                            f"{dotted_text(target)!r}"
+                        )
+                return None
+            if isinstance(parent, ast.stmt):
+                return None
+            cur = parent

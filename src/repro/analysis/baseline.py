@@ -12,10 +12,13 @@ ignoring line/column: moving code around must not resurrect a
 baselined finding, while a genuinely new instance of the same rule in
 the same file still counts once the baselined occurrences are used up.
 
-KERN001 (kernel-certification regressions) can never be baselined:
-a declared kernel that stops being certifiable is a seam regression,
-not a backlog item — :func:`write_baseline` drops such entries and
-:func:`apply_baseline` refuses to subtract them.
+Some codes can never be baselined — :func:`write_baseline` drops
+such entries and :func:`load_baseline` refuses documents containing
+them.  KERN001 (a declared kernel that stops being certifiable) is a
+seam regression, not a backlog item; TRUST001 (unvalidated request
+data reaching a sink) and SM001/SM002 (an illegal or malformed job
+state machine) are trust-boundary and lifecycle *correctness*
+violations — grandfathering one would ship the hole it proves.
 
 Schema (``repro.lint-baseline/1``)::
 
@@ -41,7 +44,7 @@ from repro.analysis.engine import Diagnostic
 BASELINE_SCHEMA_VERSION = "repro.lint-baseline/1"
 
 #: codes a baseline is never allowed to silence
-NEVER_BASELINED = frozenset({"KERN001"})
+NEVER_BASELINED = frozenset({"KERN001", "TRUST001", "SM001", "SM002"})
 
 #: profile annotations appended by ``--trace-json`` ranking — stripped
 #: before matching so a baseline works with and without a profile
@@ -115,8 +118,8 @@ def load_baseline(path: Union[str, Path]) -> "Counter[_Key]":
         code = str(entry["code"])
         if code in NEVER_BASELINED:
             raise BaselineError(
-                f"{path}: entries[{i}] baselines {code} — kernel "
-                f"certification regressions cannot be baselined"
+                f"{path}: entries[{i}] baselines {code} — this class "
+                f"of finding must be fixed, it cannot be baselined"
             )
         counts[(str(entry["path"]), code, str(entry["message"]))] += 1
     return counts

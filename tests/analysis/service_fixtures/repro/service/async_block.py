@@ -1,0 +1,49 @@
+"""ASYNC001 fixture: blocking calls reachable from coroutine context.
+
+Five findings: ``time.sleep`` and ``np.load`` directly inside a
+coroutine, ``open`` inside a sync helper that a coroutine calls, a
+``threading.Lock`` acquired inside a coroutine, and a blocking
+``queue.Queue.get``.  The executor-routed helper at the bottom stays
+clean — that is the sanctioned escape hatch.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import queue as queue_mod
+import threading
+import time
+
+import numpy as np
+
+
+class BlockingService:
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self.handled = 0
+
+    async def handle(self) -> bytes:
+        time.sleep(0.01)  # ASYNC001: blocking sleep on the loop
+        grid = np.load("grid.npy")  # ASYNC001: synchronous file I/O
+        config = self._read_config()  # drags the helper into loop context
+        with self._lock:  # ASYNC001: thread lock can park the loop
+            self.handled += 1
+        await asyncio.sleep(0)
+        return config.encode() + bytes(grid.shape[0])
+
+    def _read_config(self) -> str:
+        with open("service.cfg") as fh:  # ASYNC001: via coroutine 'handle'
+            return fh.read()
+
+    async def drain(self) -> None:
+        backlog: queue_mod.Queue = queue_mod.Queue()
+        backlog.get()  # ASYNC001: blocking queue op on the loop
+
+    async def offloaded(self) -> bytes:
+        loop = asyncio.get_event_loop()
+        return await loop.run_in_executor(None, self._read_disk)
+
+    def _read_disk(self) -> bytes:
+        # clean: only ever reached through run_in_executor
+        with open("payload.bin", "rb") as fh:
+            return fh.read()

@@ -1,0 +1,29 @@
+"""ASYNC002 fixture: coroutines called but never awaited or scheduled.
+
+Two findings: a bare module-level coroutine call and a discarded
+``self.<coroutine>()`` call.  The awaited and ``create_task``-scheduled
+variants stay clean.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+
+async def refresh_cache() -> None:
+    await asyncio.sleep(0)
+
+
+async def tick() -> None:
+    refresh_cache()  # ASYNC002: coroutine object silently discarded
+    await refresh_cache()  # clean: awaited
+    asyncio.create_task(refresh_cache())  # clean: scheduled
+
+
+class Worker:
+    async def pulse(self) -> None:
+        await asyncio.sleep(0)
+
+    async def run(self) -> None:
+        self.pulse()  # ASYNC002: discarded bound coroutine
+        await self.pulse()  # clean

@@ -1,0 +1,33 @@
+"""ASYNC003 fixture: state mutated from both loop and executor context.
+
+``unsafe_total`` is bumped by the coroutine *and* by the executor
+worker with no lock on either side — both sites are flagged.
+``safe_total`` follows the same cross-context pattern but every site
+holds a lock (asyncio lock on the loop side, thread lock on the
+executor side), so it stays clean.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+
+
+class SharedCounters:
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._loop_lock = asyncio.Lock()
+        self.unsafe_total = 0
+        self.safe_total = 0
+
+    async def record(self) -> None:
+        self.unsafe_total += 1  # ASYNC003: unlocked loop-side write
+        async with self._loop_lock:
+            self.safe_total += 1  # clean: locked
+        loop = asyncio.get_event_loop()
+        await loop.run_in_executor(None, self._work)
+
+    def _work(self) -> None:
+        self.unsafe_total += 1  # ASYNC003: unlocked executor-side write
+        with self._lock:
+            self.safe_total += 1  # clean: locked

@@ -1,0 +1,33 @@
+"""TIME001 fixture: wall clock mixed into deadline/backoff arithmetic.
+
+Three findings in ``schedule_retry``: a ``time.time()`` result
+assigned to a deadline, one compared against a deadline attribute, and
+one subtracted from a monotonic reading.  Recording timestamps for
+human consumption (``record_timestamps``) stays clean — wall clock is
+the right source there.
+"""
+
+from __future__ import annotations
+
+import time
+
+RETRY_BUDGET_S = 5.0
+
+
+class RetryJob:
+    def __init__(self) -> None:
+        self.deadline_s = time.monotonic() + RETRY_BUDGET_S
+
+
+def schedule_retry(job: RetryJob) -> float:
+    deadline = time.time() + RETRY_BUDGET_S  # TIME001: NTP step skews this
+    if time.time() >= job.deadline_s:  # TIME001: compares to monotonic deadline
+        return 0.0
+    backoff = time.monotonic() - time.time()  # TIME001: mixed clock domains
+    return deadline + backoff
+
+
+def record_timestamps() -> dict:
+    started = time.time()  # clean: record-only wall clock
+    elapsed = time.time() - started  # clean: no deadline involved
+    return {"started": started, "elapsed": elapsed}

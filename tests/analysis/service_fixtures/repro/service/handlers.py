@@ -1,0 +1,44 @@
+"""TRUST001 fixture: request fields reaching sinks without validation.
+
+Three findings: the acceptance-criterion flow (``json.loads`` body
+straight into ``np.load``), an interprocedural flow where the tainted
+field crosses a helper boundary before hitting ``open``, and a tainted
+element inside a ``subprocess.run`` argv list.  ``admitted`` routes
+the document through the schema validator first and stays clean.
+"""
+
+from __future__ import annotations
+
+import json
+import subprocess
+from typing import Any, Dict
+
+import numpy as np
+
+from repro.service.schemas import validate_job_request
+
+
+def load_request_mesh(body: bytes) -> "np.ndarray":
+    doc = json.loads(body.decode("utf-8"))
+    return np.load(doc["path"])  # TRUST001: unvalidated path from the wire
+
+
+def submit(body: bytes) -> None:
+    doc = json.loads(body.decode("utf-8"))
+    _probe(doc["source"])  # taint flows into the helper
+
+
+def _probe(source: Dict[str, Any]) -> None:
+    with open(source["path"], "rb"):  # TRUST001: via 'submit'
+        pass
+
+
+def convert(body: bytes) -> None:
+    doc = json.loads(body)
+    subprocess.run(["mesh-convert", doc["path"]])  # TRUST001: tainted argv
+
+
+def admitted(body: bytes) -> "np.ndarray":
+    request = validate_job_request(json.loads(body))
+    # clean: every field passed through the schema validator
+    return np.load(request["source"]["path"])

@@ -1,0 +1,46 @@
+"""SM001/SM002 fixture: a deliberately broken job state machine.
+
+The transition table is a mutated copy of the real
+``repro.service.queue._TRANSITIONS`` seeding every table-shape
+diagnostic (SM002): a dangling edge (``running -> ghost``), a declared
+terminal state with an exit (``failed``), an unreachable state
+(``orphan`` — which drags ``stuck`` into a second unreachable
+finding), and a state with no outgoing edges that is not declared
+terminal (``stuck``).
+
+``settle`` seeds the call-site diagnostics (SM001): an illegal
+consecutive pair (``running -> cancelled`` is not an edge), a
+transition to an unknown state, and a transition into a state no edge
+ever enters.
+"""
+
+from __future__ import annotations
+
+_TRANSITIONS = {
+    "queued": ("running", "cancelled"),
+    "running": ("done", "failed", "ghost"),  # SM002: 'ghost' is not a state
+    "done": (),
+    "failed": ("queued",),  # SM002: terminal state with an outgoing edge
+    "cancelled": (),
+    "orphan": ("done",),  # SM002: unreachable from 'queued'
+    "stuck": (),  # SM002: unreachable, and dead-ends without being terminal
+}
+
+_TERMINAL = ("done", "failed", "cancelled")
+
+
+class LifecycleJob:
+    def __init__(self) -> None:
+        self.state = "queued"
+
+    def transition(self, state: str) -> None:
+        if state not in _TRANSITIONS.get(self.state, ()):
+            raise RuntimeError(f"illegal transition {self.state} -> {state}")
+        self.state = state
+
+
+def settle(job: LifecycleJob) -> None:
+    job.transition("running")  # clean on its own
+    job.transition("cancelled")  # SM001: 'running' -> 'cancelled' not an edge
+    job.transition("nowhere")  # SM001: not a state at all
+    job.transition("orphan")  # SM001: no edge ever enters 'orphan'

@@ -10,7 +10,13 @@ from repro.cli import main as contact_main
 FIXTURES = Path(__file__).parent / "fixtures"
 SPMD_FIXTURES = Path(__file__).parent / "spmd_fixtures"
 PERF_FIXTURES = Path(__file__).parent / "perf_fixtures"
+SERVICE_FIXTURES = Path(__file__).parent / "service_fixtures"
 LIBRARY = Path(repro.__file__).parent
+
+SERVICE_CODES = (
+    "ASYNC001", "ASYNC002", "ASYNC003", "TIME001",
+    "SM001", "SM002", "TRUST001",
+)
 
 
 class TestExitCodes:
@@ -159,6 +165,112 @@ class TestPerfFlag:
         assert code == 0
         assert "suppressed" in captured.err
         assert "no issues found" in captured.out
+
+
+class TestServiceFlag:
+    def test_service_flag_finds_seeded_violations(self, capsys):
+        assert lint_main(["--service", str(SERVICE_FIXTURES)]) == 1
+        out = capsys.readouterr().out
+        for code in SERVICE_CODES:
+            assert code in out
+
+    def test_without_flag_fixtures_are_clean(self, capsys):
+        # the service family is opt-in and project-level; the per-file
+        # engine alone must not fire on the fixture tree
+        assert lint_main([str(SERVICE_FIXTURES)]) == 0
+
+    def test_service_select_narrows(self, capsys):
+        assert (
+            lint_main(
+                ["--service", "--select", "TRUST001",
+                 str(SERVICE_FIXTURES)]
+            )
+            == 1
+        )
+        out = capsys.readouterr().out
+        assert "TRUST001" in out and "ASYNC001" not in out
+
+    def test_service_unknown_code_exits_two(self, capsys):
+        assert lint_main(
+            ["--service", "--select", "NOPE999", str(SERVICE_FIXTURES)]
+        ) == 2
+        assert "NOPE999" in capsys.readouterr().err
+
+    def test_service_respects_exclude(self, capsys):
+        code = lint_main(
+            ["--service", str(SERVICE_FIXTURES),
+             "--exclude", "*/service_fixtures/*"]
+        )
+        assert code == 0
+        assert "no issues found" in capsys.readouterr().out
+
+    def test_list_rules_includes_service_family(self, capsys):
+        lint_main(["--list-rules"])
+        out = capsys.readouterr().out
+        for code in SERVICE_CODES:
+            assert code in out
+
+    def test_service_sarif_has_rule_metadata(self, capsys):
+        assert lint_main(
+            ["--format", "sarif", "--service", str(SERVICE_FIXTURES)]
+        ) == 1
+        log = json.loads(capsys.readouterr().out)
+        rules = {
+            r["id"] for r in log["runs"][0]["tool"]["driver"]["rules"]
+        }
+        assert set(SERVICE_CODES) <= rules
+
+    def test_service_library_lints_clean(self, capsys):
+        """Acceptance: `repro-lint --service src/repro` must exit 0."""
+        assert lint_main(["--service", str(LIBRARY)]) == 0
+        assert "no issues found" in capsys.readouterr().out
+
+    def test_write_baseline_drops_trust_and_sm_codes(self, tmp_path, capsys):
+        base = tmp_path / "baseline.json"
+        assert lint_main(
+            ["--service", "--write-baseline", str(base),
+             str(SERVICE_FIXTURES)]
+        ) == 0
+        capsys.readouterr()
+        doc = json.loads(base.read_text())
+        codes = {e["code"] for e in doc["entries"]}
+        assert codes and not codes & {"TRUST001", "SM001", "SM002"}
+        # applying the baseline silences the ASYNC/TIME backlog but the
+        # run still fails on the never-baselined correctness codes
+        assert lint_main(
+            ["--service", "--baseline", str(base), str(SERVICE_FIXTURES)]
+        ) == 1
+        out = capsys.readouterr().out
+        assert "TRUST001" in out and "SM001" in out
+        assert "ASYNC001" not in out and "TIME001" not in out
+
+    def test_handcrafted_trust_baseline_is_rejected(self, tmp_path, capsys):
+        bad = tmp_path / "baseline.json"
+        bad.write_text(json.dumps({
+            "schema": "repro.lint-baseline/1",
+            "entries": [{
+                "path": "src/repro/service/http.py",
+                "code": "TRUST001",
+                "message": "request-derived value reaches a sink",
+            }],
+        }))
+        assert lint_main(
+            ["--service", "--baseline", str(bad), str(SERVICE_FIXTURES)]
+        ) == 2
+        assert "cannot be baselined" in capsys.readouterr().err
+
+    def test_suppression_grammar_covers_service_codes(self, tmp_path, capsys):
+        src = (
+            "import time\n\n\n"
+            "async def handler():\n"
+            "    time.sleep(1)  # repro-lint: disable=ASYNC001 warm-up\n"
+            "    deadline = time.time() + 5  # repro-lint: disable=TIME001 test double\n"
+            "    return deadline\n"
+        )
+        target = tmp_path / "suppressed.py"
+        target.write_text(src)
+        assert lint_main(["--service", str(target)]) == 0
+        assert "no issues found" in capsys.readouterr().out
 
 
 class TestBaselineFlags:

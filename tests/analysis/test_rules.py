@@ -210,18 +210,25 @@ class TestRuleMetadata:
     def test_every_rule_has_pass_and_fail_coverage(self):
         # guard: a new rule must extend this file's coverage (the SPMD
         # family is covered by test_spmd.py, the PERF family by
-        # test_perf.py, KERN001 by test_kernelcheck.py)
+        # test_perf.py, KERN001 by test_kernelcheck.py, the service
+        # family by test_asynccheck/test_statemachine/test_boundary)
         from repro.analysis.engine import all_rules
 
         covered = {"ARR001", "ARR002", "RNG001", "ASSERT001", "VAL001", "LOOP001"}
         spmd = {"SPMD001", "SPMD002", "SPMD003", "DET001", "FLOAT001"}
         perf = {"PERF001", "PERF002", "PERF003", "PERF004", "PERF005"}
         kern = {"KERN001"}
-        assert {r.code for r in all_rules()} == covered | spmd | perf | kern
+        service = {
+            "ASYNC001", "ASYNC002", "ASYNC003", "TIME001",
+            "SM001", "SM002", "TRUST001",
+        }
+        assert {r.code for r in all_rules()} == (
+            covered | spmd | perf | kern | service
+        )
 
     def test_opt_in_rules_skipped_by_default(self):
-        # the PERF family and KERN001 are opt-in: a default engine run
-        # must not include them, an explicit --select must
+        # the PERF, KERN and service families are opt-in: a default
+        # engine run must not include them, an explicit --select must
         from repro.analysis.engine import LintEngine, all_rules
 
         default_codes = {r.code for r in LintEngine().rules}
@@ -229,6 +236,8 @@ class TestRuleMetadata:
         assert opt_in == {
             "PERF001", "PERF002", "PERF003", "PERF004", "PERF005",
             "KERN001",
+            "ASYNC001", "ASYNC002", "ASYNC003", "TIME001",
+            "SM001", "SM002", "TRUST001",
         }
         assert not (default_codes & opt_in)
         selected = LintEngine(select=["PERF001"]).rules

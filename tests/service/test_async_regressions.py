@@ -1,0 +1,95 @@
+"""Regressions for the blocking-call fixes the service lint forced.
+
+``repro-lint --service`` (ASYNC001) flagged two genuine loop stalls:
+``/v1/report`` built the run report while holding the engine's
+execution lock on the event loop, and ``ServiceEngine.stop`` closed
+the pooled backend (and took ``_backend_lock``) from a coroutine.
+Both now hop through ``run_in_executor`` — these tests pin the hop.
+"""
+
+import asyncio
+import threading
+
+from repro.service.engine import EngineConfig, ServiceEngine
+from repro.service.http import ServerThread
+from repro.service.schemas import SCHEMA_VERSION
+from repro.service.client import ServiceClient
+
+SOURCE = {"kind": "impact", "n_steps": 2, "refine": 0.5}
+
+
+def request(**overrides):
+    doc = {
+        "schema": SCHEMA_VERSION,
+        "kind": "partition",
+        "k": 4,
+        "source": dict(SOURCE),
+    }
+    doc.update(overrides)
+    return doc
+
+
+class TestReportOffLoop:
+    def test_v1_report_runs_off_the_event_loop_thread(self):
+        with ServerThread(EngineConfig(workers=1)) as srv:
+            client = ServiceClient(srv.address)
+            client.partition(4, SOURCE, wait_s=120)
+
+            seen = {}
+            engine = srv.engine
+            original = engine.run_report
+
+            def spy():
+                seen["thread"] = threading.get_ident()
+                return original()
+
+            engine.run_report = spy
+            try:
+                document = client.report()
+            finally:
+                engine.run_report = original
+
+        assert document["meta"]["fits_total"] >= 1
+        assert seen["thread"] != srv._thread.ident
+
+
+class TestBackendCloseOffLoop:
+    def test_stop_detaches_and_closes_backend_off_loop(self):
+        seen = {}
+
+        async def scenario():
+            engine = ServiceEngine(EngineConfig(workers=1))
+            await engine.start()
+            # contact-step jobs are the ones that materialise the
+            # pooled backend
+            job = await engine.wait(
+                engine.submit(request(kind="contact-step", steps=1)).id,
+                120,
+            )
+            assert job.state == "done"
+            assert engine._backend is not None  # pool materialised
+
+            original = engine._close_backend
+
+            def spy():
+                seen["thread"] = threading.get_ident()
+                original()
+
+            engine._close_backend = spy
+            loop_thread = threading.get_ident()
+            await engine.stop()
+            return loop_thread, engine
+
+        loop_thread, engine = asyncio.run(scenario())
+        assert engine._backend is None  # detached and closed
+        assert seen["thread"] != loop_thread
+
+    def test_stop_without_backend_is_a_no_op(self):
+        async def scenario():
+            engine = ServiceEngine(EngineConfig(workers=1))
+            await engine.start()
+            await engine.stop()
+            return engine
+
+        engine = asyncio.run(scenario())
+        assert engine._backend is None

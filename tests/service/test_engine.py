@@ -440,11 +440,13 @@ class TestReporting:
             try:
                 await engine.wait(engine.submit(request()).id, 120)
                 await engine.wait(engine.submit(request()).id, 120)
-                return engine.run_report()
             finally:
                 await engine.stop()
+            return engine
 
-        report = run(scenario())
+        # run_report takes the execution lock, so build it off-loop —
+        # exactly what the /v1/report route does (ASYNC001)
+        report = run(scenario()).run_report()
         assert report.meta["fits_total"] == 1
         assert report.meta["cache_hits"] == 1
         assert report.meta["queue_submitted"] == 2
