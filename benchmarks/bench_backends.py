@@ -28,7 +28,7 @@ from repro.core.contact_search import parallel_contact_search
 from repro.core.mcml_dt import MCMLDTParams, MCMLDTPartitioner
 from repro.geometry.bbox import element_bboxes
 from repro.obs.tracer import Tracer
-from repro.runtime.backends import make_backend
+from repro.runtime.backends import build_backend
 
 from .conftest import record, register_backend_result, strong_options
 
@@ -58,7 +58,7 @@ _reference = {}
 
 def _run_backend(benchmark, scene, name):
     snap, plan, boxes, coords, point_part = scene
-    backend = make_backend(name, workers=WORKERS)
+    backend = build_backend(name, workers=WORKERS)
     tracer = Tracer()
 
     def run():
@@ -104,6 +104,8 @@ def _run_backend(benchmark, scene, name):
         workers=WORKERS if name != "serial" else 1,
         candidates=len(pairs),
         exchanged=ledger.items("contact-exchange"),
+        bytes_sent=getattr(backend, "bytes_sent", 0),
+        bytes_recv=getattr(backend, "bytes_recv", 0),
         spans=spans,
     )
     record(

@@ -112,11 +112,39 @@ def _write_kernel_report(session) -> None:
         rep.write_line(f"kernel report written to {_KERNEL_REPORT}")
 
 
+#: distributed-backend measurements registered by ``bench_tcp``;
+#: summarised into ``BENCH_tcp.json`` at session end (CI artifact)
+TCP_RESULTS: dict = {}
+
+_TCP_REPORT = Path(__file__).resolve().parent.parent / "BENCH_tcp.json"
+
+
+def register_tcp_result(name: str, **payload) -> None:
+    """Record one distributed-backend measurement (search run or
+    superstep dispatch overhead) for the end-of-session
+    ``BENCH_tcp.json`` report."""
+    TCP_RESULTS[name] = payload
+
+
+def _write_tcp_report(session) -> None:
+    report = {
+        "schema": "repro.bench-tcp/1",
+        "cpu_count": os.cpu_count(),
+        "results": TCP_RESULTS,
+    }
+    _TCP_REPORT.write_text(json.dumps(report, indent=2) + "\n")
+    rep = session.config.pluginmanager.get_plugin("terminalreporter")
+    if rep is not None:
+        rep.write_line(f"tcp report written to {_TCP_REPORT}")
+
+
 def pytest_sessionfinish(session, exitstatus):
     if SERVICE_RESULTS:
         _write_service_report(session)
     if KERNEL_RESULTS:
         _write_kernel_report(session)
+    if TCP_RESULTS:
+        _write_tcp_report(session)
     if not BACKEND_RESULTS:
         return
     serial = BACKEND_RESULTS.get("serial", {})

@@ -69,11 +69,13 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--backend",
-        choices=("serial", "thread", "process", "sentinel", "chaos"),
+        metavar="SPEC",
         default=None,
         help=(
-            "execution backend for the parallel stages (default: "
-            "$REPRO_BACKEND or serial; see docs/PARALLELISM.md)"
+            "execution backend spec for the parallel stages: a "
+            "registered name ('serial', 'process:4') or a URI "
+            "('tcp://host:port?workers=4&deadline=30'); default: "
+            "$REPRO_BACKEND or serial (see docs/PARALLELISM.md)"
         ),
     )
     parser.add_argument(
@@ -119,9 +121,12 @@ def _build_parser() -> argparse.ArgumentParser:
         )
         p.add_argument(
             "--backend",
-            choices=("serial", "thread", "process", "sentinel", "chaos"),
+            metavar="SPEC",
             default=argparse.SUPPRESS,
-            help="execution backend for the parallel stages",
+            help=(
+                "execution backend spec (name or URI) for the "
+                "parallel stages"
+            ),
         )
         p.add_argument(
             "--workers",

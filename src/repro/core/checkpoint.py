@@ -27,7 +27,7 @@ from repro.core.mcml_dt import MCMLDTParams, MCMLDTPartitioner
 from repro.core.update import UpdateStrategy
 from repro.graph.digest import digest_arrays
 from repro.partition.config import PartitionOptions
-from repro.runtime.backends.base import BackendSpec
+from repro.runtime.backends.base import BackendLike
 from repro.runtime.ledger import CommLedger, PhaseTotals
 
 PathLike = Union[str, Path]
@@ -172,7 +172,7 @@ def restore_driver_state(
 
 
 def load_driver(
-    path: Target, backend: "BackendSpec" = None
+    path: Target, backend: "BackendLike" = None
 ) -> ContactStepDriver:
     """Reconstruct a driver from a checkpoint.
 

@@ -21,7 +21,7 @@ from repro.geometry.boxsearch import SearchPlan, candidate_pairs
 from repro.kernels import kernel
 from repro.obs.tracer import TracerBase, ensure_tracer
 from repro.runtime.backends import SpmdContext, resolve_backend
-from repro.runtime.backends.base import BackendSpec
+from repro.runtime.backends.base import BackendLike
 from repro.runtime.ledger import CommLedger
 
 
@@ -151,7 +151,7 @@ def parallel_contact_search(
     k: int,
     ledger: Optional[CommLedger] = None,
     tracer: Optional[TracerBase] = None,
-    backend: BackendSpec = None,
+    backend: BackendLike = None,
 ) -> Tuple[Set[Tuple[int, int]], CommLedger]:
     """Execute the two-superstep parallel global search.
 

@@ -50,7 +50,7 @@ from repro.metrics.comm import fe_comm
 from repro.obs.tracer import TracerBase, ensure_tracer
 from repro.partition.repartition import diffusion_repartition
 from repro.runtime.backends import resolve_backend
-from repro.runtime.backends.base import BackendError, BackendSpec
+from repro.runtime.backends.base import BackendError, BackendLike
 from repro.runtime.ledger import CommLedger
 from repro.sim.sequence import ContactSnapshot
 
@@ -109,7 +109,7 @@ class ContactStepDriver:
         repartition_period: int = 10,
         resolve_local: bool = True,
         tracer: Optional[TracerBase] = None,
-        backend: BackendSpec = None,
+        backend: BackendLike = None,
         recovery: Optional[RecoveryPolicy] = None,
     ):
         if k < 1:

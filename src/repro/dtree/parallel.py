@@ -42,7 +42,7 @@ from repro.dtree.induction import induce_pure_tree
 from repro.dtree.tree import DecisionTree, TreeNode
 from repro.obs.tracer import TracerBase
 from repro.runtime.backends import SpmdContext, resolve_backend
-from repro.runtime.backends.base import BackendSpec
+from repro.runtime.backends.base import BackendLike
 from repro.runtime.ledger import CommLedger
 
 
@@ -190,7 +190,7 @@ def parallel_induce_pure_tree(
     exact_below: int = 48,
     max_rounds: int = 64,
     ledger: Optional[CommLedger] = None,
-    backend: BackendSpec = None,
+    backend: BackendLike = None,
     tracer: Optional[TracerBase] = None,
 ) -> Tuple[DecisionTree, CommLedger]:
     """Induce a pure tree over distributed points.

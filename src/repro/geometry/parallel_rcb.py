@@ -29,7 +29,7 @@ import numpy as np
 
 from repro.obs.tracer import TracerBase
 from repro.runtime.backends import SpmdContext, resolve_backend
-from repro.runtime.backends.base import BackendSpec
+from repro.runtime.backends.base import BackendLike
 from repro.runtime.ledger import CommLedger
 
 
@@ -151,7 +151,7 @@ def parallel_rcb(
     weights: Optional[np.ndarray] = None,
     search_iters: int = 40,
     ledger: Optional[CommLedger] = None,
-    backend: BackendSpec = None,
+    backend: BackendLike = None,
     tracer: Optional[TracerBase] = None,
 ) -> Tuple[np.ndarray, CommLedger]:
     """Distributed RCB into ``k`` parts.

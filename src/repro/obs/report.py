@@ -35,6 +35,17 @@ RECOVERY_COUNTERS = (
     "step_recoveries",
 )
 
+#: counters the distributed tcp backend emits (coordinator traffic and
+#: elastic-membership churn — docs/PARALLELISM.md "Distributed
+#: backend")
+DISTRIBUTED_COUNTERS = (
+    "bytes_sent",
+    "bytes_recv",
+    "reconnects",
+    "ranks_migrated",
+    "agents_joined",
+)
+
 #: counters the compiled kernel tier emits (repro.runtime.compiled;
 #: attached to the root span by ``Tracer(kernel_counters=True)`` —
 #: docs/PARALLELISM.md "Compiled kernels")
@@ -206,6 +217,17 @@ class RunReport:
             if span.name == "recovery"
         )
 
+    def distributed_totals(self) -> Dict[str, float]:
+        """Distributed-backend counters (traffic volume, reconnects,
+        rank migrations) summed over the span tree — only the nonzero
+        ones; empty when the run never left the process."""
+        totals = {name: 0.0 for name in DISTRIBUTED_COUNTERS}
+        for _path, span in self.spans.walk():
+            for name, value in span.counters.items():
+                if name in totals:
+                    totals[name] += value
+        return {name: value for name, value in totals.items() if value}
+
     def kernel_totals(self) -> Dict[str, float]:
         """Compiled-kernel-tier counters summed over the span tree
         (only the nonzero ones; empty when the run never dispatched a
@@ -237,6 +259,15 @@ class RunReport:
             lines.append(f"recovery_wall_s={self.recovery_seconds():.3f}")
             blocks.append(
                 "Fault recovery\n--------------\n" + "\n".join(lines)
+            )
+        distributed = self.distributed_totals()
+        if distributed:
+            lines = [
+                f"{name}={value:g}"
+                for name, value in distributed.items()
+            ]
+            blocks.append(
+                "Distributed\n-----------\n" + "\n".join(lines)
             )
         kernels = self.kernel_totals()
         if kernels:

@@ -37,7 +37,7 @@ from repro.partition.balance import BalanceTracker, target_weights
 from repro.partition.config import PartitionOptions
 from repro.partition.kway import partition_kway
 from repro.runtime.backends import SpmdSession, resolve_backend
-from repro.runtime.backends.base import BackendSpec
+from repro.runtime.backends.base import BackendLike
 from repro.runtime.ledger import CommLedger
 from repro.utils.rng import as_rng
 
@@ -145,7 +145,7 @@ def parallel_partition_kway(
     coarsen_to: Optional[int] = None,
     refine_rounds: int = 3,
     ledger: Optional[CommLedger] = None,
-    backend: BackendSpec = None,
+    backend: BackendLike = None,
 ) -> ParallelKwayResult:
     """Distributed multilevel k-way partitioning (see module docstring).
 

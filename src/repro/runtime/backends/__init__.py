@@ -16,12 +16,18 @@ from repro.runtime.backends.base import (
     WORKERS_ENV,
     Backend,
     BackendError,
+    BackendLike,
+    BackendSpec,
     SpmdContext,
     SpmdSession,
+    backend_names,
+    build_backend,
     default_workers,
     make_backend,
+    register_backend,
     resolve_backend,
     set_default_backend,
+    unregister_backend,
 )
 from repro.runtime.backends.process import ProcessBackend, SupervisorConfig
 from repro.runtime.backends.sentinel import (
@@ -29,6 +35,7 @@ from repro.runtime.backends.sentinel import (
     SharedStateMutationError,
 )
 from repro.runtime.backends.serial import SerialBackend
+from repro.runtime.backends.tcp import TCPBackend
 from repro.runtime.backends.thread import ThreadBackend
 
 __all__ = [
@@ -41,6 +48,8 @@ __all__ = [
     "WORKERS_ENV",
     "Backend",
     "BackendError",
+    "BackendLike",
+    "BackendSpec",
     "ProcessBackend",
     "SentinelBackend",
     "SerialBackend",
@@ -48,9 +57,14 @@ __all__ = [
     "SpmdContext",
     "SpmdSession",
     "SupervisorConfig",
+    "TCPBackend",
     "ThreadBackend",
+    "backend_names",
+    "build_backend",
     "default_workers",
     "make_backend",
+    "register_backend",
     "resolve_backend",
     "set_default_backend",
+    "unregister_backend",
 ]

@@ -34,20 +34,26 @@ Superstep functions receive a :class:`SpmdContext` with
 
 from __future__ import annotations
 
+import importlib
 import os
+import warnings
+from dataclasses import dataclass, field, replace
 from typing import (
     Any,
     Callable,
     ContextManager,
     Dict,
+    Iterator,
     List,
     Mapping,
     Optional,
+    Sequence,
     Tuple,
     Type,
     Union,
 )
 from types import TracebackType
+from urllib.parse import parse_qsl, urlsplit
 
 from repro.obs.tracer import (
     NULL_TRACER,
@@ -82,9 +88,6 @@ CHAOS_INNER_ENV = "REPRO_CHAOS_INNER"
 STEP_DEADLINE_ENV = "REPRO_STEP_DEADLINE"
 #: per-superstep retry budget for the supervised process backend
 MAX_RETRIES_ENV = "REPRO_MAX_RETRIES"
-
-BACKEND_NAMES = ("serial", "thread", "process", "sentinel", "chaos")
-
 
 class BackendError(RuntimeError):
     """An execution backend failed (worker crash, protocol misuse)."""
@@ -357,14 +360,8 @@ class Backend:
 
 
 # ----------------------------------------------------------------------
-# default-backend resolution
+# backend specs (URI form)
 # ----------------------------------------------------------------------
-
-BackendSpec = Union[None, str, Backend]
-
-_default_backend: Optional[Backend] = None
-_env_backend: Optional[Backend] = None
-_env_backend_key: Optional[Tuple[str, ...]] = None
 
 
 def _parse_workers(text: str, source: str) -> int:
@@ -390,86 +387,381 @@ def default_workers() -> int:
     return max(1, os.cpu_count() or 1)
 
 
-def make_backend(
-    spec: Union[str, Backend], workers: Optional[int] = None
-) -> Backend:
-    """Build a backend from ``name`` or ``name:workers`` text.
+@dataclass(frozen=True)
+class BackendSpec:
+    """A parsed, typed backend selection.
 
-    ``workers`` (when given) overrides any count embedded in the spec.
-    An already-constructed :class:`Backend` instance passes through
-    untouched (``workers`` is ignored — the instance already has its
-    pool), so call sites that resolve a spec once and hand the pooled
-    instance around (the service engine runs every job on one resolved
-    backend) can feed it back through any resolution path without
-    re-triggering precedence or building a second pool.
+    Every textual way of naming a backend — ``--backend``,
+    ``$REPRO_BACKEND``, the service request's ``backend`` field, a
+    checkpoint's provenance string — parses **once** into this frozen
+    value, and every resolution path consumes it.  Three text forms:
+
+    * bare name: ``"serial"``, ``"process"``,
+    * name with worker count: ``"process:4"`` (the historical form),
+    * URI: ``"tcp://host:port?workers=4&deadline=30"`` — scheme is the
+      registered backend name, the authority carries host/port (a
+      trailing ``:N`` authority segment is an alternative worker
+      count: ``tcp://127.0.0.1:0:2``), and query parameters become
+      :attr:`options`, validated against the backend's registered
+      ``spec_schema``.
+
+    Instances are hashable (options are a sorted tuple of pairs), so a
+    spec can key caches — :func:`_backend_from_env` keys its memo on
+    the parsed spec, which is what keeps registry-registered backends
+    configured through URI query parameters from going stale.
+    """
+
+    scheme: str
+    workers: Optional[int] = None
+    host: Optional[str] = None
+    port: Optional[int] = None
+    options: Tuple[Tuple[str, str], ...] = field(default=())
+
+    def __post_init__(self) -> None:
+        if not self.scheme:
+            raise ValueError("backend spec needs a name")
+        if self.workers is not None and self.workers < 1:
+            raise ValueError(
+                f"worker count must be >= 1, got {self.workers}"
+            )
+        if self.port is not None and not 0 <= self.port <= 65535:
+            raise ValueError(f"port out of range: {self.port}")
+
+    # -- parsing -------------------------------------------------------
+    @classmethod
+    def parse(cls, text: str) -> "BackendSpec":
+        """Parse any of the three textual spec forms (see class doc)."""
+        text = text.strip()
+        if not text:
+            raise ValueError("empty backend spec")
+        if "://" not in text:
+            name, _, count = text.partition(":")
+            name = name.strip().lower()
+            workers = (
+                _parse_workers(count, f"backend spec {text!r}")
+                if count
+                else None
+            )
+            return cls(scheme=name, workers=workers)
+        parts = urlsplit(text)
+        scheme = parts.scheme.strip().lower()
+        if parts.path not in ("", "/") or parts.fragment:
+            raise ValueError(
+                f"backend URI {text!r} must not carry a path/fragment"
+            )
+        host: Optional[str] = None
+        port: Optional[int] = None
+        workers = None
+        netloc = parts.netloc
+        # authority may be host[:port[:workers]]; urlsplit rejects the
+        # second colon, so split by hand
+        if netloc:
+            pieces = netloc.split(":")
+            if len(pieces) > 3:
+                raise ValueError(
+                    f"backend URI authority {netloc!r} has too many "
+                    "':' segments (host[:port[:workers]])"
+                )
+            host = pieces[0] or None
+            if len(pieces) >= 2 and pieces[1]:
+                try:
+                    port = int(pieces[1])
+                except ValueError:
+                    raise ValueError(
+                        f"invalid port {pieces[1]!r} in backend URI "
+                        f"{text!r}"
+                    ) from None
+            if len(pieces) == 3 and pieces[2]:
+                workers = _parse_workers(pieces[2], f"backend URI {text!r}")
+        options: List[Tuple[str, str]] = []
+        for key, value in parse_qsl(parts.query, keep_blank_values=True):
+            if key == "workers":
+                workers = _parse_workers(value, f"backend URI {text!r}")
+            else:
+                options.append((key, value))
+        return cls(
+            scheme=scheme,
+            workers=workers,
+            host=host,
+            port=port,
+            options=tuple(sorted(options)),
+        )
+
+    # -- accessors -----------------------------------------------------
+    @property
+    def options_map(self) -> Dict[str, str]:
+        """Query options as a plain dict."""
+        return dict(self.options)
+
+    def option(self, key: str, default: Optional[str] = None) -> Optional[str]:
+        """One query option (raw text; ``default`` when absent)."""
+        return self.options_map.get(key, default)
+
+    def typed_options(
+        self, schema: Mapping[str, Callable[[str], Any]]
+    ) -> Dict[str, Any]:
+        """Options converted through ``schema`` (the backend's
+        registered ``spec_schema``); unknown keys raise."""
+        out: Dict[str, Any] = {}
+        for key, raw in self.options:
+            convert = schema.get(key)
+            if convert is None:
+                raise ValueError(
+                    f"backend {self.scheme!r} does not accept option "
+                    f"{key!r}; allowed: {sorted(schema) or 'none'}"
+                )
+            try:
+                out[key] = convert(raw)
+            except (TypeError, ValueError) as exc:
+                raise ValueError(
+                    f"invalid value {raw!r} for backend option "
+                    f"{key!r}: {exc}"
+                ) from None
+        return out
+
+    def with_workers(self, workers: Optional[int]) -> "BackendSpec":
+        """A copy with ``workers`` replaced."""
+        return replace(self, workers=workers)
+
+    def to_text(self) -> str:
+        """Canonical textual form (parses back to an equal spec)."""
+        if self.host is None and self.port is None and not self.options:
+            if self.workers is None:
+                return self.scheme
+            return f"{self.scheme}:{self.workers}"
+        authority = self.host or ""
+        if self.port is not None:
+            authority += f":{self.port}"
+        query = list(self.options)
+        if self.workers is not None:
+            query.append(("workers", str(self.workers)))
+        text = f"{self.scheme}://{authority}"
+        if query:
+            text += "?" + "&".join(f"{k}={v}" for k, v in sorted(query))
+        return text
+
+    def __str__(self) -> str:
+        return self.to_text()
+
+
+# ----------------------------------------------------------------------
+# the backend registry
+# ----------------------------------------------------------------------
+
+#: a factory builds a backend from its parsed spec
+BackendFactory = Callable[[BackendSpec], Backend]
+#: per-option converters validating a spec's query parameters
+SpecSchema = Mapping[str, Callable[[str], Any]]
+
+
+@dataclass
+class _RegistryEntry:
+    name: str
+    factory: Union[str, BackendFactory]
+    spec_schema: Optional[SpecSchema]
+
+    def resolve(self) -> BackendFactory:
+        """Import a lazy ``"module:attr"`` factory on first use."""
+        if isinstance(self.factory, str):
+            module_name, _, attr_path = self.factory.partition(":")
+            if not attr_path:
+                raise ValueError(
+                    f"lazy backend factory {self.factory!r} must be "
+                    "'module:attribute'"
+                )
+            target: Any = importlib.import_module(module_name)
+            for attr in attr_path.split("."):
+                target = getattr(target, attr)
+            self.factory = target
+        return self.factory
+
+
+_REGISTRY: Dict[str, _RegistryEntry] = {}
+#: bumped on every (un)registration — cache keys include it so a
+#: re-registered name is never served from a stale memo
+_registry_generation = 0
+
+
+def register_backend(
+    name: str,
+    factory: Union[str, BackendFactory],
+    *,
+    spec_schema: Optional[SpecSchema] = None,
+    overwrite: bool = False,
+) -> None:
+    """Register an execution backend under ``name``.
+
+    ``factory`` is either a callable ``factory(spec: BackendSpec) ->
+    Backend`` or a lazy ``"module:attribute"`` string imported on
+    first use (how the built-ins register without importing their
+    modules eagerly).  ``spec_schema`` maps the URI query options the
+    backend accepts to converter callables (e.g. ``{"deadline":
+    float}``); ``None`` means the backend takes no options, and
+    unknown options always fail resolution with the allowed list.
+    Re-registering an existing name requires ``overwrite=True``.
+    """
+    global _registry_generation
+    key = name.strip().lower()
+    if not key or any(ch in key for ch in ":/?&= \t"):
+        raise ValueError(f"invalid backend name {name!r}")
+    if key in _REGISTRY and not overwrite:
+        raise ValueError(
+            f"backend {key!r} is already registered "
+            "(pass overwrite=True to replace it)"
+        )
+    _REGISTRY[key] = _RegistryEntry(key, factory, spec_schema)
+    _registry_generation += 1
+
+
+def unregister_backend(name: str) -> bool:
+    """Remove a registered backend; returns whether it existed."""
+    global _registry_generation
+    existed = _REGISTRY.pop(name.strip().lower(), None) is not None
+    if existed:
+        _registry_generation += 1
+    return existed
+
+
+def backend_names() -> Tuple[str, ...]:
+    """The currently registered backend names, sorted."""
+    return tuple(sorted(_REGISTRY))
+
+
+class _BackendNames(Sequence[str]):
+    """Live, read-only view of the registered names.
+
+    Importing modules keep seeing a truthful ``BACKEND_NAMES`` even
+    when backends are registered after import."""
+
+    def __getitem__(self, index: Any) -> Any:
+        return backend_names()[index]
+
+    def __len__(self) -> int:
+        return len(_REGISTRY)
+
+    def __contains__(self, item: object) -> bool:
+        return item in _REGISTRY
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(backend_names())
+
+    def __repr__(self) -> str:
+        return repr(backend_names())
+
+
+#: registered backend names (live registry view, not a frozen tuple)
+BACKEND_NAMES: Sequence[str] = _BackendNames()
+
+
+def build_backend(
+    spec: Union[str, BackendSpec, Backend],
+    workers: Optional[int] = None,
+) -> Backend:
+    """Build a backend instance through the registry.
+
+    ``spec`` is a spec string (any :meth:`BackendSpec.parse` form), a
+    parsed :class:`BackendSpec`, or an already-built :class:`Backend`
+    (passed through untouched — the instance already has its pool).
+    ``workers`` applies only when the spec embeds no count.  Query
+    options are validated against the backend's registered
+    ``spec_schema`` before the factory runs.
     """
     if isinstance(spec, Backend):
         return spec
-    name, _, count = spec.partition(":")
-    name = name.strip().lower()
-    if count:
-        workers = _parse_workers(count, f"backend spec {spec!r}")
-    if workers is not None and workers < 1:
-        raise ValueError(f"worker count must be >= 1, got {workers}")
-    if name == "serial":
-        from repro.runtime.backends.serial import SerialBackend
+    parsed = spec if isinstance(spec, BackendSpec) else BackendSpec.parse(spec)
+    if workers is not None and parsed.workers is None:
+        if workers < 1:
+            raise ValueError(
+                f"worker count must be >= 1, got {workers}"
+            )
+        parsed = parsed.with_workers(workers)
+    entry = _REGISTRY.get(parsed.scheme)
+    if entry is None:
+        raise ValueError(
+            f"unknown backend {parsed.scheme!r}; "
+            f"expected one of {backend_names()}"
+        )
+    parsed.typed_options(entry.spec_schema or {})
+    return entry.resolve()(parsed)
 
-        return SerialBackend()
-    if name == "thread":
-        from repro.runtime.backends.thread import ThreadBackend
 
-        return ThreadBackend(workers=workers)
-    if name == "process":
-        from repro.runtime.backends.process import ProcessBackend
+def make_backend(
+    spec: Union[str, Backend], workers: Optional[int] = None
+) -> Backend:
+    """Deprecated alias of :func:`build_backend`.
 
-        return ProcessBackend(workers=workers)
-    if name == "sentinel":
-        from repro.runtime.backends.sentinel import SentinelBackend
-
-        return SentinelBackend(workers=workers)
-    if name == "chaos":
-        from repro.runtime.faults import ChaosBackend
-
-        return ChaosBackend(workers=workers)
-    raise ValueError(
-        f"unknown backend {spec!r}; expected one of {BACKEND_NAMES}"
+    .. deprecated:: PR 10
+       The hardcoded backend chain is gone; use
+       :func:`build_backend` (or :func:`resolve_backend` for the full
+       precedence), and :func:`register_backend` to add backends.
+    """
+    warnings.warn(
+        "make_backend() is deprecated; use build_backend()/"
+        "resolve_backend(), and register_backend() to add backends "
+        "(repro.runtime.backends registry)",
+        DeprecationWarning,
+        stacklevel=2,
     )
+    return build_backend(spec, workers)
 
 
-def set_default_backend(backend: Union[None, str, Backend]) -> None:
+# ----------------------------------------------------------------------
+# default-backend resolution
+# ----------------------------------------------------------------------
+
+#: anything a ``backend=`` argument accepts
+BackendLike = Union[None, str, BackendSpec, Backend]
+
+_default_backend: Optional[Backend] = None
+_env_backend: Optional[Backend] = None
+_env_backend_key: Optional[Tuple[Any, ...]] = None
+
+
+def set_default_backend(backend: BackendLike) -> None:
     """Install the process-wide default backend (``None`` resets to the
     environment/serial resolution).  Accepts a spec string too."""
     global _default_backend
-    if isinstance(backend, str):
-        backend = make_backend(backend)
+    if isinstance(backend, (str, BackendSpec)):
+        backend = build_backend(backend)
     _default_backend = backend
 
 
 def _backend_from_env() -> Optional[Backend]:
-    """Backend selected by ``$REPRO_BACKEND`` (cached per env value)."""
+    """Backend selected by ``$REPRO_BACKEND``.
+
+    The built instance is memoised on the **parsed**
+    :class:`BackendSpec` (plus the registry generation and the
+    auxiliary env vars every backend may read), so any change visible
+    in the spec — including URI query options of registry-registered
+    backends — invalidates the cache.
+    """
     global _env_backend, _env_backend_key
-    spec = os.environ.get(BACKEND_ENV)
-    if not spec:
+    text = os.environ.get(BACKEND_ENV)
+    if not text:
         return None
-    key = tuple(
-        os.environ.get(var, "")
-        for var in (
-            BACKEND_ENV,
-            WORKERS_ENV,
-            FAULT_PLAN_ENV,
-            CHAOS_INNER_ENV,
-            STEP_DEADLINE_ENV,
-            MAX_RETRIES_ENV,
-        )
+    spec = BackendSpec.parse(text)
+    key: Tuple[Any, ...] = (
+        spec,
+        _registry_generation,
+        tuple(
+            os.environ.get(var, "")
+            for var in (
+                WORKERS_ENV,
+                FAULT_PLAN_ENV,
+                CHAOS_INNER_ENV,
+                STEP_DEADLINE_ENV,
+                MAX_RETRIES_ENV,
+            )
+        ),
     )
     if _env_backend is None or _env_backend_key != key:
-        _env_backend = make_backend(spec)
+        _env_backend = build_backend(spec)
         _env_backend_key = key
     return _env_backend
 
 
 def resolve_backend(
-    backend: BackendSpec = None, workers: Optional[int] = None
+    backend: BackendLike = None, workers: Optional[int] = None
 ) -> Backend:
     """Normalise a backend argument to a usable instance.
 
@@ -478,9 +770,10 @@ def resolve_backend(
 
     1. an explicit :class:`Backend` instance — returned as-is
        (``workers`` is ignored; the instance already has its pool),
-    2. an explicit spec string (``name`` / ``name:count``) — built via
-       :func:`make_backend`; ``workers`` applies when the spec embeds
-       no count,
+    2. an explicit spec — a string (``name`` / ``name:count`` /
+       ``scheme://host:port?workers=N``) or a parsed
+       :class:`BackendSpec` — built via :func:`build_backend`;
+       ``workers`` applies when the spec embeds no count,
     3. ``workers`` alone — implies a ``process`` pool of that size,
     4. the default installed with :func:`set_default_backend`,
     5. ``$REPRO_BACKEND`` (with ``$REPRO_WORKERS``),
@@ -488,10 +781,10 @@ def resolve_backend(
     """
     if isinstance(backend, Backend):
         return backend
-    if isinstance(backend, str):
-        return make_backend(backend, workers)
+    if isinstance(backend, (str, BackendSpec)):
+        return build_backend(backend, workers)
     if workers is not None:
-        return make_backend("process", workers)
+        return build_backend("process", workers)
     if _default_backend is not None:
         return _default_backend
     env = _backend_from_env()
@@ -500,6 +793,40 @@ def resolve_backend(
     from repro.runtime.backends.serial import SerialBackend
 
     return SerialBackend()
+
+
+# ----------------------------------------------------------------------
+# built-in registrations (lazy factories: nothing imports eagerly)
+# ----------------------------------------------------------------------
+
+register_backend(
+    "serial", "repro.runtime.backends.serial:serial_from_spec"
+)
+register_backend(
+    "thread", "repro.runtime.backends.thread:thread_from_spec"
+)
+register_backend(
+    "process", "repro.runtime.backends.process:process_from_spec"
+)
+register_backend(
+    "sentinel", "repro.runtime.backends.sentinel:sentinel_from_spec"
+)
+register_backend(
+    "chaos",
+    "repro.runtime.faults:chaos_from_spec",
+    spec_schema={"plan": str, "inner": str},
+)
+register_backend(
+    "tcp",
+    "repro.runtime.backends.tcp:tcp_from_spec",
+    spec_schema={
+        "deadline": float,
+        "spawn": str,
+        "accept_timeout": float,
+        "heartbeat": float,
+        "retries": int,
+    },
+)
 
 
 # ----------------------------------------------------------------------

@@ -45,7 +45,6 @@ import copy
 import itertools
 import os
 import pickle
-import struct
 import time
 import traceback
 import warnings
@@ -65,6 +64,7 @@ from repro.runtime.backends.base import (
     STEP_DEADLINE_ENV,
     Backend,
     BackendError,
+    BackendSpec,
     Message,
     RankOutcome,
     SpmdSession,
@@ -72,6 +72,7 @@ from repro.runtime.backends.base import (
     default_workers,
     run_rank_step,
 )
+from repro.runtime.backends.wire import pipe_recv, pipe_send
 from repro.runtime.ledger import CommLedger
 
 #: pipe frames are sent in chunks of this many bytes
@@ -181,29 +182,27 @@ class _WorkerLoss(Exception):
 
 
 # ----------------------------------------------------------------------
-# chunked pipe transport
+# chunked pipe transport (``repro.wire/1`` framing)
 # ----------------------------------------------------------------------
 
 
-def _send_msg(conn: Connection, obj: Any) -> None:
-    """Pickle ``obj`` and send it as a length-prefixed chunked frame."""
-    blob = pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL)
-    conn.send_bytes(struct.pack("<Q", len(blob)))
-    for offset in range(0, len(blob), CHUNK_BYTES):
-        conn.send_bytes(blob[offset:offset + CHUNK_BYTES])
+def _send_msg(conn: Connection, obj: Any) -> int:
+    """Send ``obj`` as one ``repro.wire/1`` message: NumPy array
+    payloads travel as raw out-of-band frames instead of passing
+    through the pickler as opaque blobs.  Returns bytes sent."""
+    return pipe_send(conn, obj, CHUNK_BYTES)
 
 
 def _recv_msg(conn: Connection) -> Any:
-    """Receive one chunked frame and unpickle it."""
-    header = conn.recv_bytes()
-    (total,) = struct.unpack("<Q", header)
-    parts: List[bytes] = []
-    received = 0
-    while received < total:
-        chunk = conn.recv_bytes()
-        parts.append(chunk)
-        received += len(chunk)
-    return pickle.loads(b"".join(parts))
+    """Receive one wire message (:func:`_recv_msg_counted` also
+    reports the byte count)."""
+    obj, _nbytes = pipe_recv(conn)
+    return obj
+
+
+def _recv_msg_counted(conn: Connection) -> Tuple[Any, int]:
+    """Receive one wire message, returning ``(object, bytes_read)``."""
+    return pipe_recv(conn)
 
 
 # ----------------------------------------------------------------------
@@ -497,8 +496,14 @@ def _worker_main(conn: Connection) -> None:
 class _WorkerHandle:
     """Parent-side handle to one pooled worker process."""
 
-    def __init__(self, ctx: BaseContext, index: int) -> None:
+    def __init__(
+        self,
+        ctx: BaseContext,
+        index: int,
+        sink: Optional["ProcessBackend"] = None,
+    ) -> None:
         self.index = index
+        self.sink = sink
         parent_conn, child_conn = ctx.Pipe(duplex=True)
         self.proc: BaseProcess = ctx.Process(
             target=_worker_main,
@@ -512,12 +517,14 @@ class _WorkerHandle:
 
     def send(self, msg: Any) -> None:
         try:
-            _send_msg(self.conn, msg)
+            nbytes = _send_msg(self.conn, msg)
         except (BrokenPipeError, OSError) as exc:
             raise BackendError(
                 f"worker {self.proc.name} is gone "
                 f"(exitcode={self.proc.exitcode})"
             ) from exc
+        if self.sink is not None:
+            self.sink.bytes_sent += nbytes
 
     def poll(self, timeout: Optional[float]) -> bool:
         """Whether a reply is readable within ``timeout`` seconds
@@ -529,12 +536,14 @@ class _WorkerHandle:
 
     def recv(self) -> Tuple[str, Any]:
         try:
-            reply = _recv_msg(self.conn)
+            reply, nbytes = _recv_msg_counted(self.conn)
         except (EOFError, OSError) as exc:
             raise BackendError(
                 f"worker {self.proc.name} died "
                 f"(exitcode={self.proc.exitcode})"
             ) from exc
+        if self.sink is not None:
+            self.sink.bytes_recv += nbytes
         if not isinstance(reply, tuple) or len(reply) != 2:
             raise BackendError(f"malformed worker reply: {reply!r}")
         return reply
@@ -1012,11 +1021,15 @@ class ProcessBackend(Backend):
         #: (plan reuse — ROADMAP item 1 transfer-cost attack)
         self.shm_creates = 0
         self.shm_reuses = 0
+        #: parent-side ``repro.wire/1`` pipe traffic
+        self.bytes_sent = 0
+        self.bytes_recv = 0
 
     def _ensure_pool(self) -> List[_WorkerHandle]:
         if self._pool is None:
             self._pool = [
-                _WorkerHandle(self._ctx, i) for i in range(self.workers)
+                _WorkerHandle(self._ctx, i, self)
+                for i in range(self.workers)
             ]
             if not self._atexit_registered:
                 atexit.register(self.close)
@@ -1028,7 +1041,7 @@ class ProcessBackend(Backend):
         slot (the old process is terminated, escalating to kill)."""
         cfg = self.supervisor
         handle.destroy(cfg.shutdown_grace_s, cfg.kill_grace_s)
-        fresh = _WorkerHandle(self._ctx, handle.index)
+        fresh = _WorkerHandle(self._ctx, handle.index, self)
         pool = self._ensure_pool()
         for slot, existing in enumerate(pool):
             if existing is handle:
@@ -1147,3 +1160,8 @@ class ProcessBackend(Backend):
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"ProcessBackend(workers={self.workers})"
+
+
+def process_from_spec(spec: BackendSpec) -> ProcessBackend:
+    """Registry factory for ``process``."""
+    return ProcessBackend(workers=spec.workers)

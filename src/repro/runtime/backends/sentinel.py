@@ -30,6 +30,7 @@ import numpy as np
 from repro.obs.tracer import TracerBase
 from repro.runtime.backends.base import (
     BackendError,
+    BackendSpec,
     Message,
     RankOutcome,
     SpmdSession,
@@ -231,3 +232,8 @@ class SentinelBackend(ThreadBackend):
             f"SentinelBackend(workers={self.workers}, "
             f"enabled={self.enabled})"
         )
+
+
+def sentinel_from_spec(spec: "BackendSpec") -> SentinelBackend:
+    """Registry factory for ``sentinel``."""
+    return SentinelBackend(workers=spec.workers)

@@ -15,6 +15,7 @@ from typing import Any, Dict, List, Mapping, Optional
 from repro.obs.tracer import TracerBase
 from repro.runtime.backends.base import (
     Backend,
+    BackendSpec,
     Message,
     RankOutcome,
     SpmdSession,
@@ -73,3 +74,9 @@ class SerialBackend(Backend):
         shared: Optional[Mapping[str, Any]] = None,
     ) -> SpmdSession:
         return SerialSession(size, ledger, tracer, shared)
+
+
+def serial_from_spec(spec: BackendSpec) -> SerialBackend:
+    """Registry factory for ``serial`` (ranks have no pool, so the
+    spec's worker count is irrelevant and ignored)."""
+    return SerialBackend()

@@ -21,6 +21,7 @@ from typing import Any, Dict, List, Mapping, Optional
 from repro.obs.tracer import TracerBase
 from repro.runtime.backends.base import (
     Backend,
+    BackendSpec,
     Message,
     RankOutcome,
     SpmdSession,
@@ -123,3 +124,8 @@ class ThreadBackend(Backend):
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"ThreadBackend(workers={self.workers})"
+
+
+def thread_from_spec(spec: BackendSpec) -> ThreadBackend:
+    """Registry factory for ``thread``."""
+    return ThreadBackend(workers=spec.workers)

@@ -23,7 +23,7 @@ from typing import Any, Callable, List, Mapping, Optional, Sequence
 
 from repro.obs.tracer import TracerBase
 from repro.runtime.backends.base import (
-    BackendSpec,
+    BackendLike,
     SpmdContext,
     call_without_arg,
     resolve_backend,
@@ -37,7 +37,7 @@ def spmd_run(
     size: int,
     supersteps: Sequence[SuperstepFn],
     ledger: Optional[CommLedger] = None,
-    backend: BackendSpec = None,
+    backend: BackendLike = None,
     tracer: Optional[TracerBase] = None,
     shared: Optional[Mapping[str, Any]] = None,
 ) -> List[List[Any]]:

@@ -44,12 +44,13 @@ from repro.runtime.backends.base import (
     FAULT_PLAN_ENV,
     Backend,
     BackendError,
+    BackendSpec,
     Message,
     RankOutcome,
     SpmdContext,
     SpmdSession,
     StepFn,
-    make_backend,
+    build_backend,
 )
 from repro.runtime.ledger import CommLedger
 
@@ -329,9 +330,9 @@ class ChaosBackend(Backend):
         if inner is None:
             inner = os.environ.get(CHAOS_INNER_ENV) or "process"
         if isinstance(inner, str):
-            if inner.partition(":")[0].strip().lower() == "chaos":
+            if BackendSpec.parse(inner).scheme == "chaos":
                 raise ValueError("chaos backend cannot wrap itself")
-            inner = make_backend(inner, workers)
+            inner = build_backend(inner, workers)
         elif isinstance(inner, ChaosBackend):
             raise ValueError("chaos backend cannot wrap itself")
         self.inner: Backend = inner
@@ -380,3 +381,19 @@ class ChaosBackend(Backend):
             f"ChaosBackend(inner={self.inner!r}, "
             f"plan={self.plan.to_text()!r})"
         )
+
+
+def chaos_from_spec(spec: BackendSpec) -> ChaosBackend:
+    """Registry factory for ``chaos``.
+
+    URI options override the environment: ``plan`` is a fault-plan
+    text (``KIND@STEP.RANK[:SECONDS]``, comma-separated), ``inner``
+    the wrapped backend spec — e.g.
+    ``chaos://?plan=kill@2.1&inner=tcp://127.0.0.1:0:2``.
+    """
+    opts = spec.typed_options({"plan": str, "inner": str})
+    return ChaosBackend(
+        plan=opts.get("plan"),
+        inner=opts.get("inner"),
+        workers=spec.workers,
+    )

@@ -5,7 +5,7 @@
 * the bounded :class:`~repro.service.queue.JobQueue`,
 * the content-addressed :class:`~repro.service.cache.ResultCache`,
 * one pooled execution backend (resolved once via
-  :func:`~repro.runtime.backends.make_backend` and reused by every
+  :func:`~repro.runtime.backends.build_backend` and reused by every
   contact-step job — the instance-passthrough contract),
 * a pool of asyncio workers that pull jobs off the queue and run the
   blocking partitioning work in executor threads.
@@ -53,7 +53,7 @@ from repro.mesh.io import load_mesh
 from repro.obs.report import RunReport
 from repro.obs.tracer import Span, Tracer
 from repro.partition.config import PartitionOptions
-from repro.runtime.backends import make_backend
+from repro.runtime.backends import build_backend
 from repro.runtime.backends.base import Backend
 from repro.runtime.ledger import CommLedger, PhaseTotals
 from repro.service.cache import ResultCache, result_cache_key
@@ -672,7 +672,7 @@ class ServiceEngine:
     # ------------------------------------------------------------------
     def _backend_instance(self) -> Backend:
         if self._backend is None:
-            self._backend = make_backend(self.config.backend or "serial")
+            self._backend = build_backend(self.config.backend or "serial")
         return self._backend
 
     def _sequence(self, source: Dict[str, Any]) -> MeshSequence:

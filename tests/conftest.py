@@ -64,11 +64,16 @@ def rng():
         ("process", None),
         ("sentinel", None),
         ("chaos", None),
+        ("tcp://127.0.0.1:0?accept_timeout=30", None),
         ("serial", "compiled"),
         ("process", "compiled"),
         ("chaos", "compiled"),
     ],
-    ids=lambda p: p[0] if p[1] is None else f"{p[0]}-{p[1]}",
+    ids=lambda p: (
+        ("tcp" if p[0].startswith("tcp:") else p[0])
+        if p[1] is None
+        else f"{p[0]}-{p[1]}"
+    ),
 )
 def spmd_backend(request):
     """Each (execution backend, kernel tier) combination,
@@ -80,14 +85,18 @@ def spmd_backend(request):
     ``SharedStateMutationError`` if one does); the ``chaos`` variant
     exercises the fault-injection harness (a passthrough unless
     ``$REPRO_FAULT_PLAN`` schedules faults — the chaos CI job does,
-    and results must STILL be identical).  The ``*-compiled`` variants
+    and results must STILL be identical).  The ``tcp`` variant runs
+    the distributed coordinator against two locally spawned
+    ``repro-agent`` processes over loopback sockets — the full
+    ``repro.wire/1`` stack, same bit-identical results.  The
+    ``*-compiled`` variants
     run the same assertions with ``REPRO_KERNELS=compiled``
     (``repro.runtime.compiled``): with numba the compiled kernels must
     be bit-identical to the serial/pure baseline, without it the
     per-kernel fallback must be equally invisible."""
     import os
 
-    from repro.runtime.backends import make_backend
+    from repro.runtime.backends import build_backend
     from repro.runtime.compiled import KERNELS_ENV, set_kernel_tier
 
     name, tier = request.param
@@ -97,7 +106,7 @@ def spmd_backend(request):
         # session inherit the tier
         os.environ[KERNELS_ENV] = tier
         set_kernel_tier(tier)
-    backend = make_backend(name, workers=2)
+    backend = build_backend(name, workers=2)
     yield backend
     backend.close()
     if tier is not None:

@@ -1,0 +1,185 @@
+"""Tests for the ``repro.wire/1`` framed message protocol.
+
+The wire layer carries every byte the distributed tcp backend moves
+and (via the pipe transport) every process-backend worker message, so
+the codec must round-trip arbitrary Python payloads exactly, hoist
+NumPy arrays out-of-band, and reject mismatched or malformed peers
+*before* trusting a payload byte.
+"""
+
+import io
+import struct
+
+import numpy as np
+import pytest
+
+from repro.runtime.backends import wire
+from repro.runtime.backends.wire import (
+    WIRE_MAGIC,
+    WIRE_VERSION,
+    WireError,
+    WireVersionError,
+    from_frames,
+    peek_version,
+    pipe_recv,
+    pipe_send,
+    read_stream,
+    to_frames,
+    write_stream,
+)
+
+
+def _roundtrip_stream(obj):
+    buf = io.BytesIO()
+    sent = write_stream(buf.write, obj)
+    buf.seek(0)
+    got, received = read_stream(buf.read)
+    assert sent == received == len(buf.getvalue())
+    return got
+
+
+PAYLOADS = [
+    None,
+    42,
+    "text",
+    {"k": [1, 2, 3], "t": ("a", 0.5)},
+    np.arange(12, dtype=np.float64),
+    np.arange(12, dtype=np.int32).reshape(3, 4),
+    np.zeros((0, 3), dtype=np.float64),  # zero-size array
+    {"a": np.ones(5, dtype=np.float32), "b": [np.arange(3)]},
+]
+
+
+class TestFrameCodec:
+    @pytest.mark.parametrize("obj", PAYLOADS, ids=type)
+    def test_roundtrip(self, obj):
+        got = from_frames(to_frames(obj))
+        if isinstance(obj, np.ndarray):
+            np.testing.assert_array_equal(got, obj)
+            assert got.dtype == obj.dtype
+        else:
+            cmp = repr(got) == repr(obj)
+            assert cmp
+
+    def test_arrays_travel_out_of_band(self):
+        arr = np.arange(1000, dtype=np.float64)
+        frames = to_frames({"a": arr})
+        # header pickle + one raw frame holding the array bytes
+        assert len(frames) == 2
+        assert len(frames[1]) == arr.nbytes
+        assert len(frames[0]) < arr.nbytes  # bytes not in the pickle
+
+    def test_fortran_order_preserved(self):
+        arr = np.asfortranarray(
+            np.arange(12, dtype=np.float64).reshape(3, 4)
+        )
+        got = from_frames(to_frames(arr))
+        np.testing.assert_array_equal(got, arr)
+
+    def test_empty_message_rejected(self):
+        with pytest.raises(WireError, match="empty wire message"):
+            from_frames([])
+
+
+class TestStreamTransport:
+    def test_roundtrip_and_byte_count(self):
+        payload = {"x": np.arange(7, dtype=np.int64), "y": "ok"}
+        got = _roundtrip_stream(payload)
+        np.testing.assert_array_equal(got["x"], payload["x"])
+        assert got["y"] == "ok"
+
+    def test_bad_magic_rejected_before_payload(self):
+        head = struct.pack("<4sHI", b"XXXX", WIRE_VERSION, 1)
+        buf = io.BytesIO(head + b"\x00" * 64)
+        with pytest.raises(WireError, match="bad wire magic"):
+            read_stream(buf.read)
+
+    def test_version_mismatch_rejected_before_payload(self):
+        head = struct.pack("<4sHI", WIRE_MAGIC, WIRE_VERSION + 7, 1)
+        buf = io.BytesIO(head + b"\x00" * 64)
+        with pytest.raises(WireVersionError) as err:
+            read_stream(buf.read)
+        assert err.value.theirs == WIRE_VERSION + 7
+        assert err.value.ours == WIRE_VERSION
+
+    def test_unreasonable_frame_count_rejected(self):
+        head = struct.pack(
+            "<4sHI", WIRE_MAGIC, WIRE_VERSION, wire.MAX_FRAMES + 1
+        )
+        with pytest.raises(WireError, match="frame count"):
+            read_stream(io.BytesIO(head).read)
+
+    def test_peek_version(self):
+        buf = io.BytesIO()
+        write_stream(buf.write, "hi")
+        assert peek_version(buf.getvalue()) == WIRE_VERSION
+        with pytest.raises(WireError, match="short wire header"):
+            peek_version(b"RP")
+
+
+class _FakePipe:
+    """Duck-typed multiprocessing connection backed by a list."""
+
+    def __init__(self):
+        self.chunks = []
+        self._cursor = 0
+
+    def send_bytes(self, blob):
+        self.chunks.append(bytes(blob))
+
+    def recv_bytes(self):
+        chunk = self.chunks[self._cursor]
+        self._cursor += 1
+        return chunk
+
+
+class TestPipeTransport:
+    def test_roundtrip(self):
+        pipe = _FakePipe()
+        payload = {"arr": np.arange(9, dtype=np.float64), "n": 3}
+        sent = pipe_send(pipe, payload)
+        got, received = pipe_recv(pipe)
+        assert sent == received
+        np.testing.assert_array_equal(got["arr"], payload["arr"])
+        assert got["n"] == 3
+
+    def test_chunking_bounds_writes(self):
+        pipe = _FakePipe()
+        arr = np.arange(256, dtype=np.uint8)
+        pipe_send(pipe, arr, chunk_bytes=64)
+        # every chunk after the header respects the bound
+        assert all(len(c) <= 64 for c in pipe.chunks[1:])
+        got, _n = pipe_recv(pipe)
+        np.testing.assert_array_equal(got, arr)
+
+    def test_zero_size_array_keeps_stream_in_sync(self):
+        pipe = _FakePipe()
+        pipe_send(pipe, np.zeros(0, dtype=np.float64))
+        pipe_send(pipe, "next message")
+        first, _ = pipe_recv(pipe)
+        second, _ = pipe_recv(pipe)
+        assert first.size == 0
+        assert second == "next message"
+
+    def test_version_mismatch_on_pipe(self):
+        pipe = _FakePipe()
+        pipe_send(pipe, "hello")
+        head = bytearray(pipe.chunks[0])
+        head[4:6] = struct.pack("<H", WIRE_VERSION + 1)
+        pipe.chunks[0] = bytes(head)
+        with pytest.raises(WireVersionError):
+            pipe_recv(pipe)
+
+    def test_real_multiprocessing_pipe(self):
+        from multiprocessing import Pipe
+
+        a, b = Pipe(duplex=True)
+        try:
+            payload = [np.arange(5, dtype=np.int16), {"ok": True}]
+            pipe_send(a, payload)
+            got, _n = pipe_recv(b)
+            np.testing.assert_array_equal(got[0], payload[0])
+            assert got[1] == {"ok": True}
+        finally:
+            a.close()
+            b.close()
